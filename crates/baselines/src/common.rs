@@ -1,0 +1,165 @@
+//! Shared helpers for the baseline forecasters.
+
+use timekd_tensor::Tensor;
+
+/// Splits a univariate series of length `len` into overlapping patches.
+///
+/// Returns `[num_patches, patch_len]`; the last patch is right-aligned so
+/// the series end is always covered.
+pub fn patchify(series: &[f32], patch_len: usize, stride: usize) -> Tensor {
+    assert!(patch_len > 0 && stride > 0, "bad patch parameters");
+    assert!(
+        series.len() >= patch_len,
+        "series of {} too short for patches of {patch_len}",
+        series.len()
+    );
+    let mut starts: Vec<usize> = (0..=(series.len() - patch_len)).step_by(stride).collect();
+    let last_start = series.len() - patch_len;
+    if *starts.last().unwrap() != last_start {
+        starts.push(last_start);
+    }
+    let mut data = Vec::with_capacity(starts.len() * patch_len);
+    for &s in &starts {
+        data.extend_from_slice(&series[s..s + patch_len]);
+    }
+    Tensor::from_vec(data, [starts.len(), patch_len])
+}
+
+/// Number of patches produced by [`patchify`] for the given geometry.
+pub fn num_patches(len: usize, patch_len: usize, stride: usize) -> usize {
+    let base = (len - patch_len) / stride + 1;
+    if (base - 1) * stride != len - patch_len {
+        base + 1
+    } else {
+        base
+    }
+}
+
+/// Per-window instance statistics captured by [`instance_normalize`].
+pub struct InstanceStats {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+/// Stateless per-channel instance normalisation of a `[T, N]` window (the
+/// non-stationary normalisation used by the official iTransformer,
+/// PatchTST, OFA, Time-LLM, UniTime and TimeCMA implementations — without
+/// it, models with global train-split scaling collapse on drifting series
+/// like Exchange).
+pub fn instance_normalize(x: &Tensor) -> (Tensor, InstanceStats) {
+    assert_eq!(x.shape().rank(), 2, "instance_normalize expects [T, N]");
+    let (t, n) = (x.dims()[0], x.dims()[1]);
+    let data = x.data();
+    let mut mean = vec![0.0f32; n];
+    let mut std = vec![0.0f32; n];
+    for j in 0..n {
+        let mut s = 0.0f32;
+        for i in 0..t {
+            s += data[i * n + j];
+        }
+        let mu = s / t as f32;
+        let mut v = 0.0f32;
+        for i in 0..t {
+            let d = data[i * n + j] - mu;
+            v += d * d;
+        }
+        mean[j] = mu;
+        std[j] = (v / t as f32 + 1e-5).sqrt();
+    }
+    drop(data);
+    let mu_t = Tensor::from_vec(mean.clone(), [1, n]);
+    let std_t = Tensor::from_vec(std.clone(), [1, n]);
+    (x.sub(&mu_t).div(&std_t), InstanceStats { mean, std })
+}
+
+/// Inverts [`instance_normalize`] on a `[M, N]` model output.
+pub fn instance_denormalize(y: &Tensor, stats: &InstanceStats) -> Tensor {
+    assert_eq!(y.shape().rank(), 2, "instance_denormalize expects [M, N]");
+    let n = y.dims()[1];
+    assert_eq!(stats.mean.len(), n, "channel count mismatch");
+    let mu_t = Tensor::from_vec(stats.mean.clone(), [1, n]);
+    let std_t = Tensor::from_vec(stats.std.clone(), [1, n]);
+    y.mul(&std_t).add(&mu_t)
+}
+
+/// A centred moving average over a `[T, N]` tensor along time — the trend
+/// extractor of DLinear's series decomposition.
+pub fn moving_average(x: &Tensor, window: usize) -> Tensor {
+    assert!(window >= 1, "window must be positive");
+    let (t, n) = (x.dims()[0], x.dims()[1]);
+    let data = x.data();
+    let half = window / 2;
+    let mut out = vec![0.0f32; t * n];
+    for i in 0..t {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(t);
+        let count = (hi - lo) as f32;
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in lo..hi {
+                s += data[k * n + j];
+            }
+            out[i * n + j] = s / count;
+        }
+    }
+    Tensor::from_vec(out, [t, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patchify_counts_and_contents() {
+        let s: Vec<f32> = (0..10).map(|x| x as f32).collect();
+        let p = patchify(&s, 4, 2);
+        assert_eq!(p.dims(), &[4, 4]);
+        assert_eq!(p.to_vec()[..4], [0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(p.to_vec()[12..], [6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn patchify_right_aligns_tail() {
+        let s: Vec<f32> = (0..9).map(|x| x as f32).collect();
+        let p = patchify(&s, 4, 3);
+        // starts: 0, 3, then forced 5 to cover the end.
+        assert_eq!(p.dims()[0], 3);
+        assert_eq!(&p.to_vec()[8..], &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(num_patches(9, 4, 3), 3);
+    }
+
+    #[test]
+    fn num_patches_matches_patchify() {
+        for (len, pl, st) in [(96, 16, 8), (24, 6, 6), (10, 10, 1)] {
+            let s = vec![0.0f32; len];
+            assert_eq!(patchify(&s, pl, st).dims()[0], num_patches(len, pl, st));
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths_constant() {
+        let x = Tensor::from_vec(vec![2.0; 12], [6, 2]);
+        let ma = moving_average(&x, 3);
+        assert_eq!(ma.to_vec(), vec![2.0; 12]);
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), [4, 2]);
+        assert_eq!(moving_average(&x, 1).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn moving_average_reduces_variance() {
+        let x = Tensor::from_vec(
+            (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            [20, 1],
+        );
+        let ma = moving_average(&x, 5);
+        let var = |v: &[f32]| {
+            let m = v.iter().sum::<f32>() / v.len() as f32;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / v.len() as f32
+        };
+        assert!(var(&ma.to_vec()) < var(&x.to_vec()) * 0.5);
+    }
+}

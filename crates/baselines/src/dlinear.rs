@@ -1,0 +1,144 @@
+//! DLinear (Zeng et al., AAAI 2023): series decomposition into trend
+//! (moving average) and seasonal (residual) components, each forecast by a
+//! single linear map shared across channels. Included as the "are
+//! Transformers even needed?" sanity baseline.
+
+use rand::rngs::StdRng;
+use timekd_data::ForecastWindow;
+use timekd_nn::{mse_loss, AdamW, AdamWConfig, Linear, Module};
+use timekd_tensor::{seeded_rng, Tensor};
+
+use timekd::Forecaster;
+
+use crate::common::moving_average;
+
+/// DLinear hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DlinearConfig {
+    /// Moving-average window of the trend extractor.
+    pub ma_window: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl Default for DlinearConfig {
+    fn default() -> Self {
+        DlinearConfig { ma_window: 25, lr: 3e-3, seed: 13 }
+    }
+}
+
+/// The DLinear forecaster.
+pub struct Dlinear {
+    trend: Linear,
+    seasonal: Linear,
+    config: DlinearConfig,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+    optimizer: AdamW,
+}
+
+impl Dlinear {
+    /// Builds DLinear for the given window geometry.
+    pub fn new(
+        config: DlinearConfig,
+        input_len: usize,
+        horizon: usize,
+        num_vars: usize,
+    ) -> Dlinear {
+        let mut rng: StdRng = seeded_rng(config.seed);
+        Dlinear {
+            trend: Linear::new(input_len, horizon, &mut rng),
+            seasonal: Linear::new(input_len, horizon, &mut rng),
+            config,
+            input_len,
+            horizon,
+            num_vars,
+            optimizer: AdamW::new(
+                config.lr,
+                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+            ),
+        }
+    }
+
+    fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.dims(), &[self.input_len, self.num_vars]);
+        debug_assert_eq!(self.trend.out_features(), self.horizon);
+        let trend_part = moving_average(x, self.config.ma_window);
+        let seasonal_part = x.sub(&trend_part);
+        // Linear maps operate on [N, H] rows.
+        let t = self.trend.forward(&trend_part.transpose_last()); // [N, M]
+        let s = self.seasonal.forward(&seasonal_part.transpose_last());
+        t.add(&s).transpose_last() // [M, N]
+    }
+
+    fn params(&self) -> Vec<Tensor> {
+        let mut v = self.trend.params();
+        v.extend(self.seasonal.params());
+        v
+    }
+}
+
+impl Forecaster for Dlinear {
+    fn name(&self) -> String {
+        "DLinear".into()
+    }
+
+    fn train_epoch(&mut self, windows: &[ForecastWindow]) -> f32 {
+        let params = self.params();
+        let mut total = 0.0;
+        for w in windows {
+            for p in &params {
+                p.zero_grad();
+            }
+            let loss = mse_loss(&self.forward(&w.x), &w.y);
+            total += loss.item();
+            loss.backward();
+            self.optimizer.step(&params);
+        }
+        total / windows.len().max(1) as f32
+    }
+
+    fn predict(&self, x: &Tensor) -> Tensor {
+        timekd_tensor::no_grad(|| self.forward(x))
+    }
+
+    fn num_trainable_params(&self) -> usize {
+        self.params().iter().map(Tensor::num_elements).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd_data::{DatasetKind, Split, SplitDataset};
+
+    #[test]
+    fn shapes() {
+        let m = Dlinear::new(DlinearConfig::default(), 36, 12, 4);
+        assert_eq!(m.predict(&Tensor::zeros([36, 4])).dims(), &[12, 4]);
+    }
+
+    #[test]
+    fn tiny_param_count() {
+        let m = Dlinear::new(DlinearConfig::default(), 96, 24, 7);
+        // Two linear layers of 96→24 regardless of channel count.
+        assert_eq!(m.num_trainable_params(), 2 * (96 * 24 + 24));
+    }
+
+    #[test]
+    fn learns_fast_on_linear_trend() {
+        let ds = SplitDataset::new(DatasetKind::Exchange, 600, 3, 24, 8);
+        let mut m = Dlinear::new(DlinearConfig::default(), 24, 8, ds.num_vars());
+        let train = ds.windows(Split::Train, 4);
+        let val = ds.windows(Split::Val, 4);
+        let (before, _) = m.evaluate(&val);
+        for _ in 0..3 {
+            m.train_epoch(&train);
+        }
+        let (after, _) = m.evaluate(&val);
+        assert!(after < before, "{before} -> {after}");
+    }
+}

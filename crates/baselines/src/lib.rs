@@ -1,0 +1,38 @@
+//! # timekd-baselines
+//!
+//! Faithful, matched-scale re-implementations of every baseline the TimeKD
+//! paper compares against, all speaking the shared [`timekd::Forecaster`]
+//! interface:
+//!
+//! - Transformer-based: [`ITransformer`] (channel-dependent, inverted
+//!   embedding), [`PatchTst`] (channel-independent patching), plus
+//!   [`Dlinear`] as a linear sanity baseline;
+//! - LLM-based: [`Ofa`] (frozen LM body, fine-tuned embed/head),
+//!   [`TimeLlm`] (prototype reprogramming, channel-independent),
+//!   [`UniTime`] (instruction-conditioned, channel-independent), and
+//!   [`TimeCma`] (cross-modality alignment, channel-dependent — the
+//!   strongest baseline).
+//!
+//! The LLM-based models share one pretrained [`timekd_lm::FrozenLm`], like
+//! the shared GPT-2 checkpoint in the paper's setup.
+
+mod common;
+mod dlinear;
+mod itransformer;
+mod ofa;
+mod patchtst;
+mod timecma;
+mod timellm;
+mod unitime;
+
+pub use common::{
+    instance_denormalize, instance_normalize, moving_average, num_patches, patchify,
+    InstanceStats,
+};
+pub use dlinear::{Dlinear, DlinearConfig};
+pub use itransformer::{ITransformer, ITransformerConfig};
+pub use ofa::{Ofa, OfaConfig};
+pub use patchtst::{PatchTst, PatchTstConfig};
+pub use timecma::{TimeCma, TimeCmaConfig};
+pub use timellm::{TimeLlm, TimeLlmConfig};
+pub use unitime::{UniTime, UniTimeConfig};

@@ -1,0 +1,73 @@
+//! Design-choice ablation: the frozen-CLM **embedding cache** (paper
+//! §IV-B2, "to avoid repetitive processing with the frozen CLMs, we store
+//! the subtracted embeddings").
+//!
+//! Measures TimeKD training epochs with the cache enabled vs disabled; the
+//! steady-state epoch time with caching should be several times lower,
+//! which is what keeps TimeKD's training competitive in Table IV.
+//!
+//! Run: `cargo bench -p timekd-bench --bench ablation_cache`
+
+use std::time::Instant;
+
+use timekd::{Forecaster, TimeKd};
+use timekd_bench::{secs, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 96;
+    let ds = SplitDataset::new(
+        DatasetKind::EttM1,
+        profile.num_steps(horizon),
+        42,
+        profile.input_len,
+        horizon,
+    );
+    let windows = timekd_bench::run_windows(&ds, &profile, 1.0);
+
+    let mut table = ResultTable::new(
+        "Design ablation: frozen-CLM embedding cache",
+        &["cache", "epoch", "train time", "cache hits", "cache misses"],
+    );
+
+    for enabled in [true, false] {
+        shared.frozen.clear_cache();
+        shared.frozen.set_caching(enabled);
+        let cfg = timekd_bench::timekd_config(&profile, &shared, ds.kind().freq_minutes());
+        let mut model = TimeKd::with_frozen_lm(
+            shared.frozen.clone(),
+            shared.tokenizer.clone(),
+            cfg,
+            ds.input_len(),
+            ds.horizon(),
+            ds.num_vars(),
+        );
+        for epoch in 1..=3 {
+            let t0 = Instant::now();
+            model.train_epoch(&windows.train);
+            let dt = t0.elapsed().as_secs_f64();
+            let (hits, misses) = shared.frozen.cache_stats();
+            eprintln!(
+                "[ablation_cache] cache={enabled} epoch {epoch}: {} (hits {hits}, misses {misses})",
+                secs(dt)
+            );
+            table.push_row(vec![
+                enabled.to_string(),
+                epoch.to_string(),
+                secs(dt),
+                hits.to_string(),
+                misses.to_string(),
+            ]);
+        }
+    }
+    shared.frozen.set_caching(true);
+
+    table.print();
+    match table.save_csv("ablation_cache") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

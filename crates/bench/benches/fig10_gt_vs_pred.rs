@@ -1,0 +1,90 @@
+//! Reproduces **Figure 10**: ground truth vs TimeKD prediction on ETTh1
+//! (FH 96), for four variables (HUFL, MUFL, LUFL, OT), printed as ASCII
+//! sparkline pairs and saved as CSV series.
+//!
+//! Expected shape: the prediction tracks the periodic structure of the
+//! ground truth.
+//!
+//! Run: `cargo bench -p timekd-bench --bench fig10_gt_vs_pred`
+
+use timekd_bench::{ModelKind, Profile, SharedLm};
+use timekd_data::{column, write_csv, DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+/// Eight-level unicode sparkline of a series.
+fn sparkline(values: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    values
+        .iter()
+        .map(|&v| {
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            BARS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 96;
+    let ds = SplitDataset::new(
+        DatasetKind::EttH1,
+        profile.num_steps(horizon),
+        42,
+        profile.input_len,
+        horizon,
+    );
+    let mut model = timekd_bench::build_model(
+        ModelKind::TimeKd,
+        &shared,
+        &profile,
+        ds.input_len(),
+        ds.horizon(),
+        ds.num_vars(),
+        ds.kind().freq_minutes(),
+    );
+    let windows = timekd_bench::run_windows(&ds, &profile, 1.0);
+    for _ in 0..profile.epochs {
+        model.train_epoch(&windows.train);
+    }
+    let probe = &windows.test[windows.test.len() / 2];
+    let pred = model.predict(&probe.x);
+
+    let names = ds.kind().variable_names();
+    // Paper shows HUFL, MUFL, LUFL, OT — indices 0, 2, 4, 6.
+    let chosen = [0usize, 2, 4, 6];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    println!("\n=== Figure 10: ground truth vs prediction (ETTh1, FH 96) ===");
+    for &v in &chosen {
+        let truth = column(&probe.y, v);
+        let predicted = column(&pred, v);
+        println!("\n{}:", names[v]);
+        println!("  truth {}", sparkline(&truth));
+        println!("  pred  {}", sparkline(&predicted));
+        let mse: f32 = truth
+            .iter()
+            .zip(&predicted)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / truth.len() as f32;
+        println!("  per-variable MSE: {mse:.4}");
+        for (t, (gt, p)) in truth.iter().zip(&predicted).enumerate() {
+            rows.push(vec![
+                names[v].clone(),
+                t.to_string(),
+                format!("{gt:.6}"),
+                format!("{p:.6}"),
+            ]);
+        }
+    }
+    let dir = timekd_bench::experiments_dir();
+    write_csv(
+        dir.join("fig10_gt_vs_pred.csv"),
+        &["variable", "step", "ground_truth", "prediction"],
+        &rows,
+    )
+    .unwrap();
+    println!("\nsaved {}", dir.join("fig10_gt_vs_pred.csv").display());
+}

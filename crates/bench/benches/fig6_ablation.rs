@@ -1,0 +1,98 @@
+//! Reproduces **Figure 6**: component ablations of TimeKD — w/o_PI,
+//! w/o_CA, w/o_CLM, w/o_SCA, w/o_CD, w/o_FD — on ETTm1, ETTh2, Weather and
+//! Exchange, averaged over horizons.
+//!
+//! Expected shape: the full model best; w/o_CLM weakest; w/o_PI and w/o_CD
+//! clearly worse than full (privileged information and correlation
+//! distillation matter).
+//!
+//! Run: `cargo bench -p timekd-bench --bench fig6_ablation`
+
+use timekd::{AblationConfig, Forecaster, TimeKd};
+use timekd_bench::{f3, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn variants() -> Vec<AblationConfig> {
+    vec![
+        AblationConfig::full(),
+        AblationConfig::without_privileged_info(),
+        AblationConfig::without_calibrated_attention(),
+        AblationConfig::without_clm(),
+        AblationConfig::without_sca(),
+        AblationConfig::without_correlation_distillation(),
+        AblationConfig::without_feature_distillation(),
+    ]
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizons: Vec<usize> = if profile.quick { vec![24, 48] } else { vec![24, 36, 48, 96, 192] };
+
+    let mut headers = vec!["dataset".to_string()];
+    for v in variants() {
+        headers.push(format!("{} MSE", v.label()));
+        headers.push(format!("{} MAE", v.label()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Figure 6: ablations (avg over horizons)",
+        &header_refs,
+    );
+
+    for kind in [
+        DatasetKind::EttM1,
+        DatasetKind::EttH2,
+        DatasetKind::Weather,
+        DatasetKind::Exchange,
+    ] {
+        let mut row = vec![kind.name().to_string()];
+        for ablation in variants() {
+            let mut mse_sum = 0.0f64;
+            let mut mae_sum = 0.0f64;
+            for &horizon in &horizons {
+                let ds = SplitDataset::new(
+                    kind,
+                    profile.num_steps(horizon),
+                    42,
+                    profile.input_len,
+                    horizon,
+                );
+                let mut cfg =
+                    timekd_bench::timekd_config(&profile, &shared, kind.freq_minutes());
+                cfg.ablation = ablation;
+                if !ablation.calibrated_attention {
+                    cfg.lm.calibration_delta = 0.0;
+                }
+                let mut model = TimeKd::with_frozen_lm(
+                    shared.frozen.clone(),
+                    shared.tokenizer.clone(),
+                    cfg,
+                    ds.input_len(),
+                    ds.horizon(),
+                    ds.num_vars(),
+                );
+                let windows = timekd_bench::run_windows(&ds, &profile, 1.0);
+                for _ in 0..profile.epochs {
+                    model.train_epoch(&windows.train);
+                }
+                let (mse, mae) = model.evaluate(&windows.test);
+                mse_sum += mse as f64;
+                mae_sum += mae as f64;
+            }
+            let mse = (mse_sum / horizons.len() as f64) as f32;
+            let mae = (mae_sum / horizons.len() as f64) as f32;
+            eprintln!("[fig6] {} {}: MSE {mse:.3} MAE {mae:.3}", kind.name(), ablation.label());
+            row.push(f3(mse));
+            row.push(f3(mae));
+        }
+        table.push_row(row);
+    }
+
+    table.print();
+    match table.save_csv("fig6_ablation") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

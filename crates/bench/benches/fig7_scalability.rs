@@ -1,0 +1,61 @@
+//! Reproduces **Figure 7**: scalability of TimeKD under data scarcity —
+//! training-data fractions 20/40/60/80/100% on ETTm1, ETTh2, Weather and
+//! Exchange with horizon 96.
+//!
+//! Expected shape: MSE and MAE decrease monotonically (modulo noise) as
+//! the fraction grows.
+//!
+//! Run: `cargo bench -p timekd-bench --bench fig7_scalability`
+
+use timekd_bench::{f3, ModelKind, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 96;
+    let fractions = [0.2f32, 0.4, 0.6, 0.8, 1.0];
+
+    let mut table = ResultTable::new(
+        "Figure 7: effect of training-data fraction (TimeKD, FH 96)",
+        &["dataset", "fraction", "MSE", "MAE"],
+    );
+
+    for kind in [
+        DatasetKind::EttM1,
+        DatasetKind::EttH2,
+        DatasetKind::Weather,
+        DatasetKind::Exchange,
+    ] {
+        let ds = SplitDataset::new(
+            kind,
+            profile.num_steps(horizon),
+            42,
+            profile.input_len,
+            horizon,
+        );
+        for &fraction in &fractions {
+            let r = timekd_bench::run_experiment(ModelKind::TimeKd, &ds, &shared, &profile, fraction);
+            eprintln!(
+                "[fig7] {} {:.0}%: MSE {:.3} MAE {:.3}",
+                kind.name(),
+                fraction * 100.0,
+                r.mse,
+                r.mae
+            );
+            table.push_row(vec![
+                kind.name().to_string(),
+                format!("{:.0}%", fraction * 100.0),
+                f3(r.mse),
+                f3(r.mae),
+            ]);
+        }
+    }
+
+    table.print();
+    match table.save_csv("fig7_scalability") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

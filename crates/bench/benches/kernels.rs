@@ -1,0 +1,78 @@
+//! Criterion microbenchmarks of the hot kernels underneath every
+//! experiment: batched matmul, calibrated-LM prompt encoding, subtractive
+//! cross attention, and the full student forward pass.
+//!
+//! Run: `cargo bench -p timekd-bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use timekd::{SubtractiveCrossAttention, TimeKdConfig};
+use timekd_lm::{pretrain_lm, CausalLm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
+use timekd_tensor::{no_grad, seeded_rng, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let a = Tensor::randn([64, 64], 1.0, &mut rng);
+    let b = Tensor::randn([64, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| no_grad(|| black_box(&a).matmul(black_box(&b))))
+    });
+    let a3 = Tensor::randn([4, 32, 32], 1.0, &mut rng);
+    let b3 = Tensor::randn([4, 32, 32], 1.0, &mut rng);
+    c.bench_function("matmul_batched_4x32x32", |bench| {
+        bench.iter(|| no_grad(|| black_box(&a3).matmul(black_box(&b3))))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let x = Tensor::randn([64, 128], 1.0, &mut rng);
+    c.bench_function("softmax_64x128", |bench| {
+        bench.iter(|| no_grad(|| black_box(&x).softmax_last()))
+    });
+}
+
+fn bench_clm_prompt(c: &mut Criterion) {
+    let tok = PromptTokenizer::new();
+    let (lm, _) = pretrain_lm(
+        &tok,
+        LmConfig::for_size(LmSize::Base),
+        PretrainConfig { steps: 1, ..Default::default() },
+    );
+    let mut rng = seeded_rng(2);
+    let prompt = timekd_lm::sample_corpus_prompt(&tok, 16, &mut rng);
+    c.bench_function("clm_last_token_embedding", |bench| {
+        bench.iter(|| no_grad(|| lm.last_token_embedding(black_box(&prompt), true)))
+    });
+    let _: &CausalLm = &lm;
+}
+
+fn bench_sca(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let sca = SubtractiveCrossAttention::new(32, 64, &mut rng);
+    let gt = Tensor::randn([21, 32], 1.0, &mut rng);
+    let hd = Tensor::randn([21, 32], 1.0, &mut rng);
+    c.bench_function("sca_forward_21vars", |bench| {
+        bench.iter(|| no_grad(|| sca.forward(black_box(&gt), black_box(&hd))))
+    });
+}
+
+#[allow(clippy::field_reassign_with_default)]
+fn bench_student_forward(c: &mut Criterion) {
+    let mut cfg = TimeKdConfig::default();
+    cfg.dim = 32;
+    let mut rng = seeded_rng(4);
+    let student = timekd::Student::new(&cfg, 96, 96, 7, &mut rng);
+    let x = Tensor::randn([96, 7], 1.0, &mut rng);
+    c.bench_function("student_predict_96to96_7vars", |bench| {
+        bench.iter(|| student.predict(black_box(&x)))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_softmax, bench_clm_prompt, bench_sca, bench_student_forward
+);
+criterion_main!(kernels);

@@ -1,0 +1,95 @@
+//! Reproduces **Table I**: long-term forecasting MSE/MAE on ETTm1, ETTm2,
+//! ETTh1, ETTh2, Weather and Exchange with input length 96 and horizons
+//! {24, 36, 48, 96, 192}, for TimeKD and the six baselines.
+//!
+//! Expected shape (not absolute numbers — the substrate is synthetic):
+//! TimeKD best overall, TimeCMA the best existing method, LLM-based models
+//! generally ahead of the pure Transformers.
+//!
+//! Run: `cargo bench -p timekd-bench --bench table1_longterm`
+//! (`QUICK=0` for the full profile; `DATASETS`/`HORIZONS` env vars narrow
+//! the sweep, e.g. `DATASETS=ETTm1 HORIZONS=24,96`.)
+
+use timekd_bench::{f3, ModelKind, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+
+    let all_datasets = [
+        DatasetKind::EttM1,
+        DatasetKind::EttM2,
+        DatasetKind::EttH1,
+        DatasetKind::EttH2,
+        DatasetKind::Weather,
+        DatasetKind::Exchange,
+    ];
+    let datasets: Vec<DatasetKind> = match std::env::var("DATASETS") {
+        Ok(list) => all_datasets
+            .iter()
+            .copied()
+            .filter(|k| list.split(',').any(|n| n.eq_ignore_ascii_case(k.name())))
+            .collect(),
+        Err(_) => all_datasets.to_vec(),
+    };
+    let horizons: Vec<usize> = match std::env::var("HORIZONS") {
+        Ok(list) => list.split(',').filter_map(|h| h.parse().ok()).collect(),
+        Err(_) => profile.long_horizons.to_vec(),
+    };
+
+    let mut headers = vec!["dataset".to_string(), "FH".to_string()];
+    for m in ModelKind::paper_models() {
+        headers.push(format!("{} MSE", m.name()));
+        headers.push(format!("{} MAE", m.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Table I: long-term forecasting (input 96)",
+        &header_refs,
+    );
+
+    for &kind in &datasets {
+        let mut avg: Vec<(f64, f64)> = vec![(0.0, 0.0); ModelKind::paper_models().len()];
+        for &horizon in &horizons {
+            let ds = SplitDataset::new(
+                kind,
+                profile.num_steps(horizon),
+                42,
+                profile.input_len,
+                horizon,
+            );
+            let mut row = vec![kind.name().to_string(), horizon.to_string()];
+            for (mi, model) in ModelKind::paper_models().into_iter().enumerate() {
+                let r = timekd_bench::run_experiment(model, &ds, &shared, &profile, 1.0);
+                eprintln!(
+                    "[table1] {} FH={horizon} {}: MSE {:.3} MAE {:.3}",
+                    kind.name(),
+                    r.model,
+                    r.mse,
+                    r.mae
+                );
+                avg[mi].0 += r.mse as f64;
+                avg[mi].1 += r.mae as f64;
+                row.push(f3(r.mse));
+                row.push(f3(r.mae));
+            }
+            table.push_row(row);
+        }
+        // Per-dataset average row, as in the paper.
+        let mut row = vec![kind.name().to_string(), "Avg".to_string()];
+        for (m, a) in avg.iter().enumerate() {
+            let _ = m;
+            row.push(f3((a.0 / horizons.len() as f64) as f32));
+            row.push(f3((a.1 / horizons.len() as f64) as f32));
+        }
+        table.push_row(row);
+    }
+
+    table.print();
+    match table.save_csv("table1_longterm") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

@@ -1,0 +1,59 @@
+//! Reproduces **Table II**: short-term forecasting on PEMS04 and PEMS08
+//! with input length 96 and horizon 12.
+//!
+//! Expected shape: the channel-dependent models with inverted embeddings
+//! (TimeKD, TimeCMA, iTransformer) ahead of the channel-independent ones,
+//! because the PEMS generators couple adjacent sensors.
+//!
+//! Run: `cargo bench -p timekd-bench --bench table2_shortterm`
+
+use timekd_bench::{f3, ModelKind, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 12;
+
+    let mut headers = vec!["dataset".to_string()];
+    for m in ModelKind::paper_models() {
+        headers.push(format!("{} MSE", m.name()));
+        headers.push(format!("{} MAE", m.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Table II: short-term forecasting (input 96, FH 12)",
+        &header_refs,
+    );
+
+    for kind in [DatasetKind::Pems04, DatasetKind::Pems08] {
+        let ds = SplitDataset::new(
+            kind,
+            profile.num_steps(horizon),
+            42,
+            profile.input_len,
+            horizon,
+        );
+        let mut row = vec![kind.name().to_string()];
+        for model in ModelKind::paper_models() {
+            let r = timekd_bench::run_experiment(model, &ds, &shared, &profile, 1.0);
+            eprintln!(
+                "[table2] {} {}: MSE {:.3} MAE {:.3}",
+                kind.name(),
+                r.model,
+                r.mse,
+                r.mae
+            );
+            row.push(f3(r.mse));
+            row.push(f3(r.mae));
+        }
+        table.push_row(row);
+    }
+
+    table.print();
+    match table.save_csv("table2_shortterm") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

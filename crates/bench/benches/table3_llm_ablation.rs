@@ -1,0 +1,56 @@
+//! Reproduces **Table III**: ablation of the LM backbone inside TimeKD on
+//! Exchange with horizon 24 — BERT-, GPT-2- and LLaMA-3.2-tier substitutes
+//! (see DESIGN.md for the substitution).
+//!
+//! Expected shape: accuracy improves with LM capacity, with diminishing
+//! returns from base → large (the paper's reason for adopting GPT-2).
+//!
+//! Run: `cargo bench -p timekd-bench --bench table3_llm_ablation`
+
+use timekd_bench::{f3, ModelKind, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::{LmConfig, LmSize};
+use timekd_nn::Module;
+
+fn main() {
+    let profile = Profile::from_env();
+    let horizon = 24;
+    let ds = SplitDataset::new(
+        DatasetKind::Exchange,
+        profile.num_steps(horizon),
+        42,
+        profile.input_len,
+        horizon,
+    );
+
+    let mut table = ResultTable::new(
+        "Table III: LLM backbone ablation (Exchange, FH 24)",
+        &["backbone", "LM params", "MSE", "MAE"],
+    );
+
+    for size in [LmSize::Small, LmSize::Base, LmSize::Large] {
+        let shared = SharedLm::pretrain(size, &profile);
+        let lm_params = shared.frozen.model().num_params();
+        let r = timekd_bench::run_experiment(ModelKind::TimeKd, &ds, &shared, &profile, 1.0);
+        eprintln!(
+            "[table3] {} ({} params): MSE {:.3} MAE {:.3}",
+            size.backbone_name(),
+            lm_params,
+            r.mse,
+            r.mae
+        );
+        let _ = LmConfig::for_size(size);
+        table.push_row(vec![
+            size.backbone_name().to_string(),
+            lm_params.to_string(),
+            f3(r.mse),
+            f3(r.mae),
+        ]);
+    }
+
+    table.print();
+    match table.save_csv("table3_llm_ablation") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

@@ -1,0 +1,75 @@
+//! Reproduces **Table IV**: resource efficiency on ETTm1 with horizon 96 —
+//! trainable parameters, training time per epoch, peak memory, and
+//! inference seconds per window, for every model.
+//!
+//! Expected shape: TimeKD with the lowest memory and fastest inference
+//! (no LM at test time), the lowest trainable-parameter count and training
+//! time among the LLM-based methods, and Time-LLM the slowest overall.
+//!
+//! The peak-memory column uses a counting global allocator installed in
+//! this binary, measured per model around its train+inference phase.
+//!
+//! Run: `cargo bench -p timekd-bench --bench table4_efficiency`
+
+use timekd_bench::{secs, ModelKind, PeakAlloc, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc::new();
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 96;
+    let ds = SplitDataset::new(
+        DatasetKind::EttM1,
+        profile.num_steps(horizon),
+        42,
+        profile.input_len,
+        horizon,
+    );
+
+    let mut table = ResultTable::new(
+        "Table IV: efficiency on ETTm1 (FH 96)",
+        &[
+            "model",
+            "trainable params",
+            "train time/epoch",
+            "peak mem (MiB)",
+            "infer s/window",
+        ],
+    );
+
+    let mut models: Vec<ModelKind> = ModelKind::paper_models().to_vec();
+    models.push(ModelKind::Dlinear);
+    for kind in models {
+        // Reset peak so each model is measured from the shared baseline
+        // (datasets + pretrained LM stay live across models).
+        ALLOC.reset_peak();
+        let base = ALLOC.live_bytes();
+        let r = timekd_bench::run_experiment(kind, &ds, &shared, &profile, 1.0);
+        let peak_delta = ALLOC.peak_bytes().saturating_sub(base);
+        eprintln!(
+            "[table4] {}: {} params, {} /epoch, {:.1} MiB, {} /window",
+            r.model,
+            r.params,
+            secs(r.train_secs_per_epoch),
+            peak_delta as f64 / (1024.0 * 1024.0),
+            secs(r.infer_secs_per_window),
+        );
+        table.push_row(vec![
+            r.model.clone(),
+            r.params.to_string(),
+            secs(r.train_secs_per_epoch),
+            format!("{:.1}", peak_delta as f64 / (1024.0 * 1024.0)),
+            secs(r.infer_secs_per_window),
+        ]);
+    }
+
+    table.print();
+    match table.save_csv("table4_efficiency") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Reproduces **Table V**: few-shot forecasting with only the first 10% of
+//! the training data, horizon 96, on the four ETT datasets.
+//!
+//! Expected shape: TimeKD ahead of all baselines; LLM-based methods ahead
+//! of the pure Transformers under data scarcity.
+//!
+//! Run: `cargo bench -p timekd-bench --bench table5_fewshot`
+
+use timekd_bench::{f3, ModelKind, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 96;
+
+    let mut headers = vec!["dataset".to_string()];
+    for m in ModelKind::paper_models() {
+        headers.push(format!("{} MSE", m.name()));
+        headers.push(format!("{} MAE", m.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Table V: few-shot (10% training data, FH 96)",
+        &header_refs,
+    );
+
+    for kind in [
+        DatasetKind::EttM1,
+        DatasetKind::EttM2,
+        DatasetKind::EttH1,
+        DatasetKind::EttH2,
+    ] {
+        let ds = SplitDataset::new(
+            kind,
+            profile.num_steps(horizon),
+            42,
+            profile.input_len,
+            horizon,
+        );
+        let mut row = vec![kind.name().to_string()];
+        for model in ModelKind::paper_models() {
+            let r = timekd_bench::run_experiment(model, &ds, &shared, &profile, 0.1);
+            eprintln!(
+                "[table5] {} {}: MSE {:.3} MAE {:.3}",
+                kind.name(),
+                r.model,
+                r.mse,
+                r.mae
+            );
+            row.push(f3(r.mse));
+            row.push(f3(r.mae));
+        }
+        table.push_row(row);
+    }
+
+    table.print();
+    match table.save_csv("table5_fewshot") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

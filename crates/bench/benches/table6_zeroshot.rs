@@ -1,0 +1,68 @@
+//! Reproduces **Table VI**: zero-shot transfer between related ETT
+//! datasets — the model is trained on the source and evaluated, untouched,
+//! on the target's test split (FH 96).
+//!
+//! Expected shape: TimeKD transfers best; channel-dependent LLM methods
+//! beat the pure Transformers, whose iTransformer suffers most.
+//!
+//! Run: `cargo bench -p timekd-bench --bench table6_zeroshot`
+
+use timekd_bench::{f3, ModelKind, Profile, ResultTable, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+fn main() {
+    let profile = Profile::from_env();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let horizon = 96;
+
+    let pairs = [
+        (DatasetKind::EttM1, DatasetKind::EttM2),
+        (DatasetKind::EttM2, DatasetKind::EttM1),
+        (DatasetKind::EttH1, DatasetKind::EttH2),
+        (DatasetKind::EttH2, DatasetKind::EttH1),
+    ];
+
+    let mut headers = vec!["transfer".to_string()];
+    for m in ModelKind::paper_models() {
+        headers.push(format!("{} MSE", m.name()));
+        headers.push(format!("{} MAE", m.name()));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Table VI: zero-shot forecasting on ETT (FH 96)",
+        &header_refs,
+    );
+
+    for (src_kind, dst_kind) in pairs {
+        let src = SplitDataset::new(
+            src_kind,
+            profile.num_steps(horizon),
+            42,
+            profile.input_len,
+            horizon,
+        );
+        let dst = SplitDataset::new(
+            dst_kind,
+            profile.num_steps(horizon),
+            43,
+            profile.input_len,
+            horizon,
+        );
+        let label = format!("{} -> {}", src_kind.name(), dst_kind.name());
+        let mut row = vec![label.clone()];
+        for model in ModelKind::paper_models() {
+            let (mse, mae) = timekd_bench::run_zero_shot(model, &src, &dst, &shared, &profile);
+            eprintln!("[table6] {label} {}: MSE {mse:.3} MAE {mae:.3}", model.name());
+            row.push(f3(mse));
+            row.push(f3(mae));
+        }
+        table.push_row(row);
+    }
+
+    table.print();
+    match table.save_csv("table6_zeroshot") {
+        Ok(p) => println!("saved {}", p.display()),
+        Err(e) => eprintln!("csv save failed: {e}"),
+    }
+}

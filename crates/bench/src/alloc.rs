@@ -1,0 +1,115 @@
+//! Counting global allocator for the memory column of Table IV.
+//!
+//! Wraps the system allocator with atomic live/peak byte counters. Bench
+//! binaries install it with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: timekd_bench::PeakAlloc = timekd_bench::PeakAlloc::new();
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator with live/peak accounting.
+pub struct PeakAlloc {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PeakAlloc {
+    /// A fresh counting allocator.
+    pub const fn new() -> PeakAlloc {
+        PeakAlloc {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Currently live heap bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Peak live heap bytes since the last [`PeakAlloc::reset_peak`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current live size.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn on_alloc(&self, size: usize) {
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(&self, size: usize) {
+        self.live.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for PeakAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates all allocation to `System`; the bookkeeping uses only
+// relaxed atomics and never allocates itself.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            self.on_dealloc(layout.size());
+            self.on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator in unit tests; exercise the
+    // counters directly.
+    #[test]
+    fn counters_track_alloc_dealloc() {
+        let a = PeakAlloc::new();
+        a.on_alloc(100);
+        a.on_alloc(50);
+        assert_eq!(a.live_bytes(), 150);
+        assert_eq!(a.peak_bytes(), 150);
+        a.on_dealloc(100);
+        assert_eq!(a.live_bytes(), 50);
+        assert_eq!(a.peak_bytes(), 150, "peak survives frees");
+        a.reset_peak();
+        assert_eq!(a.peak_bytes(), 50);
+    }
+
+    #[test]
+    fn peak_is_maximum_of_live() {
+        let a = PeakAlloc::new();
+        a.on_alloc(10);
+        a.on_dealloc(10);
+        a.on_alloc(5);
+        assert_eq!(a.peak_bytes(), 10);
+    }
+}

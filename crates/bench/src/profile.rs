@@ -1,0 +1,103 @@
+//! Experiment sizing profiles.
+//!
+//! The paper trains on A100s; this reproduction runs on a laptop CPU. The
+//! default **quick** profile is sized so the full bench suite finishes in
+//! minutes while preserving every experimental contrast; `QUICK=0` switches
+//! to the **full** profile with longer series, more windows, and more
+//! epochs.
+
+/// Sizing knobs shared by all experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Profile {
+    /// Generated series length for a dataset whose largest window is
+    /// `input_len + horizon` (added on top of this base).
+    pub base_steps: usize,
+    /// Training epochs per run.
+    pub epochs: usize,
+    /// Maximum training windows per epoch (subsampled by stride).
+    pub max_train_windows: usize,
+    /// Maximum evaluation windows.
+    pub max_eval_windows: usize,
+    /// History length `H` (the paper fixes 96).
+    pub input_len: usize,
+    /// Long-term horizons swept in Table I.
+    pub long_horizons: &'static [usize],
+    /// Whether this is the quick profile.
+    pub quick: bool,
+}
+
+impl Profile {
+    /// The laptop-scale default.
+    pub fn quick() -> Profile {
+        Profile {
+            base_steps: 900,
+            epochs: 4,
+            max_train_windows: 24,
+            max_eval_windows: 24,
+            input_len: 96,
+            long_horizons: &[24, 36, 48, 96, 192],
+            quick: true,
+        }
+    }
+
+    /// The larger profile selected by `QUICK=0`.
+    pub fn full() -> Profile {
+        Profile {
+            base_steps: 3000,
+            epochs: 8,
+            max_train_windows: 128,
+            max_eval_windows: 96,
+            input_len: 96,
+            long_horizons: &[24, 36, 48, 96, 192],
+            quick: false,
+        }
+    }
+
+    /// Reads `QUICK` from the environment (`0`/`false` → full profile).
+    pub fn from_env() -> Profile {
+        match std::env::var("QUICK").as_deref() {
+            Ok("0") | Ok("false") | Ok("no") => Profile::full(),
+            _ => Profile::quick(),
+        }
+    }
+
+    /// Series length to generate for a given horizon.
+    pub fn num_steps(&self, horizon: usize) -> usize {
+        self.base_steps + 4 * (self.input_len + horizon)
+    }
+
+    /// Stride that brings `available` windows down to at most `cap`.
+    pub fn stride_for(&self, available: usize, cap: usize) -> usize {
+        (available / cap.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_smaller_than_full() {
+        let q = Profile::quick();
+        let f = Profile::full();
+        assert!(q.base_steps < f.base_steps);
+        assert!(q.epochs < f.epochs);
+        assert!(q.max_train_windows < f.max_train_windows);
+    }
+
+    #[test]
+    fn num_steps_scales_with_horizon() {
+        let p = Profile::quick();
+        assert!(p.num_steps(192) > p.num_steps(24));
+        // Always enough for the 4x window requirement of SplitDataset.
+        assert!(p.num_steps(192) >= 4 * (96 + 192));
+    }
+
+    #[test]
+    fn stride_caps_windows() {
+        let p = Profile::quick();
+        assert_eq!(p.stride_for(100, 25), 4);
+        assert_eq!(p.stride_for(10, 25), 1);
+        assert_eq!(p.stride_for(0, 25), 1);
+    }
+}

@@ -1,0 +1,548 @@
+//! Model zoo construction and single-experiment execution.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_baselines::{
+    Dlinear, DlinearConfig, ITransformer, ITransformerConfig, Ofa, OfaConfig, PatchTst,
+    PatchTstConfig, TimeCma, TimeCmaConfig, TimeLlm, TimeLlmConfig, UniTime, UniTimeConfig,
+};
+use timekd_data::{ForecastWindow, PromptConfig, Split, SplitDataset};
+use timekd_lm::{pretrain_lm, FrozenLm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
+
+use crate::profile::Profile;
+
+/// The models of the paper's comparison tables (plus DLinear as an extra
+/// sanity baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The proposed method.
+    TimeKd,
+    /// Strongest existing baseline (LLM, channel-dependent).
+    TimeCma,
+    /// LLM reprogramming (channel-independent).
+    TimeLlm,
+    /// LLM with text instructions (channel-independent).
+    UniTime,
+    /// Frozen-LM fine-tuning.
+    Ofa,
+    /// Inverted-embedding Transformer.
+    ITransformer,
+    /// Channel-independent patching Transformer.
+    PatchTst,
+    /// Decomposition + linear maps.
+    Dlinear,
+}
+
+impl ModelKind {
+    /// The seven models of Tables I/II in paper column order.
+    pub fn paper_models() -> [ModelKind; 7] {
+        [
+            ModelKind::TimeKd,
+            ModelKind::TimeCma,
+            ModelKind::TimeLlm,
+            ModelKind::UniTime,
+            ModelKind::Ofa,
+            ModelKind::ITransformer,
+            ModelKind::PatchTst,
+        ]
+    }
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::TimeKd => "TimeKD",
+            ModelKind::TimeCma => "TimeCMA",
+            ModelKind::TimeLlm => "Time-LLM",
+            ModelKind::UniTime => "UniTime",
+            ModelKind::Ofa => "OFA",
+            ModelKind::ITransformer => "iTransformer",
+            ModelKind::PatchTst => "PatchTST",
+            ModelKind::Dlinear => "DLinear",
+        }
+    }
+
+    /// Whether the model contains a language model.
+    pub fn is_llm_based(self) -> bool {
+        matches!(
+            self,
+            ModelKind::TimeKd
+                | ModelKind::TimeCma
+                | ModelKind::TimeLlm
+                | ModelKind::UniTime
+                | ModelKind::Ofa
+        )
+    }
+}
+
+/// One pretrained frozen LM shared by every LLM-based model in a sweep —
+/// the analogue of the shared GPT-2 checkpoint.
+pub struct SharedLm {
+    /// Prompt tokenizer used to pretrain the LM.
+    pub tokenizer: Rc<PromptTokenizer>,
+    /// The frozen model.
+    pub frozen: Rc<FrozenLm>,
+    /// The tier it was built at.
+    pub size: LmSize,
+}
+
+impl SharedLm {
+    /// Pretrains an LM of `size` on the synthetic prompt corpus.
+    pub fn pretrain(size: LmSize, profile: &Profile) -> SharedLm {
+        let steps = if profile.quick { 600 } else { 1500 };
+        Self::pretrain_with_steps(size, steps)
+    }
+
+    /// Pretraining with an explicit step budget (tests use small budgets).
+    pub fn pretrain_with_steps(size: LmSize, steps: usize) -> SharedLm {
+        let tokenizer = Rc::new(PromptTokenizer::new());
+        let (lm, _report) = pretrain_lm(
+            &tokenizer,
+            LmConfig::for_size(size),
+            PretrainConfig {
+                steps,
+                ..Default::default()
+            },
+        );
+        SharedLm {
+            tokenizer,
+            frozen: Rc::new(FrozenLm::new(lm)),
+            size,
+        }
+    }
+}
+
+/// Prompt sizing for the profile.
+pub fn prompt_config(profile: &Profile, freq_minutes: usize) -> PromptConfig {
+    PromptConfig {
+        max_history: if profile.quick { 8 } else { 16 },
+        max_future: if profile.quick { 12 } else { 16 },
+        freq_minutes,
+    }
+}
+
+/// The TimeKD configuration a sweep uses (ablation switches default to the
+/// full model).
+pub fn timekd_config(profile: &Profile, shared: &SharedLm, freq_minutes: usize) -> TimeKdConfig {
+    let mut cfg = TimeKdConfig::with_lm_size(shared.size);
+    if profile.quick {
+        cfg.dim = 16;
+        cfg.ffn_hidden = 32;
+        cfg.num_heads = 2;
+        // Few optimisation steps per run at this scale: compensate with a
+        // higher learning rate (all models get the same treatment below).
+        cfg.lr = 5e-3;
+    }
+    cfg.prompt = prompt_config(profile, freq_minutes);
+    cfg
+}
+
+/// Builds one model of the zoo for the given geometry.
+pub fn build_model(
+    kind: ModelKind,
+    shared: &SharedLm,
+    profile: &Profile,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+    freq_minutes: usize,
+) -> Box<dyn Forecaster> {
+    match kind {
+        ModelKind::TimeKd => Box::new(TimeKd::with_frozen_lm(
+            shared.frozen.clone(),
+            shared.tokenizer.clone(),
+            timekd_config(profile, shared, freq_minutes),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::TimeCma => Box::new(TimeCma::new(
+            shared.frozen.clone(),
+            TimeCmaConfig {
+                prompt: prompt_config(profile, freq_minutes),
+                ..Default::default()
+            },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::TimeLlm => Box::new(TimeLlm::new(
+            shared.frozen.clone(),
+            TimeLlmConfig::default(),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::UniTime => Box::new(UniTime::new(
+            shared.frozen.clone(),
+            UniTimeConfig::default(),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::Ofa => Box::new(Ofa::new(
+            shared.frozen.clone(),
+            OfaConfig::default(),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::ITransformer => Box::new(ITransformer::new(
+            ITransformerConfig::default(),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::PatchTst => Box::new(PatchTst::new(
+            PatchTstConfig::default(),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::Dlinear => Box::new(Dlinear::new(
+            DlinearConfig::default(),
+            input_len,
+            horizon,
+            num_vars,
+        )),
+    }
+}
+
+/// Outcome of one (model, dataset, horizon) run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Model display name.
+    pub model: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Test MSE.
+    pub mse: f32,
+    /// Test MAE.
+    pub mae: f32,
+    /// Wall-clock seconds per training epoch.
+    pub train_secs_per_epoch: f64,
+    /// Wall-clock seconds per inference window (test batch size 1, as in
+    /// the paper).
+    pub infer_secs_per_window: f64,
+    /// Trainable parameter count.
+    pub params: usize,
+}
+
+/// Training/evaluation window sets for a run.
+pub struct RunWindows {
+    /// Training windows (strided, possibly truncated by `train_fraction`).
+    pub train: Vec<ForecastWindow>,
+    /// Test windows.
+    pub test: Vec<ForecastWindow>,
+}
+
+/// Extracts capped window sets per the profile. `train_fraction < 1`
+/// reproduces few-shot (Table V) and scalability (Fig. 7) protocols.
+pub fn run_windows(ds: &SplitDataset, profile: &Profile, train_fraction: f32) -> RunWindows {
+    let train_stride = profile.stride_for(ds.num_windows(Split::Train), profile.max_train_windows);
+    let test_stride = profile.stride_for(ds.num_windows(Split::Test), profile.max_eval_windows);
+    RunWindows {
+        train: ds.windows_with(Split::Train, train_stride, train_fraction),
+        test: ds.windows(Split::Test, test_stride),
+    }
+}
+
+/// Trains `model` on `windows.train` for `profile.epochs` and measures test
+/// error plus the Table IV efficiency metrics.
+pub fn run_model(
+    model: &mut dyn Forecaster,
+    windows: &RunWindows,
+    ds: &SplitDataset,
+    profile: &Profile,
+) -> RunResult {
+    let t0 = Instant::now();
+    for _ in 0..profile.epochs {
+        model.train_epoch(&windows.train);
+    }
+    let train_secs_per_epoch = t0.elapsed().as_secs_f64() / profile.epochs as f64;
+
+    let (mse, mae) = model.evaluate(&windows.test);
+
+    let infer_t0 = Instant::now();
+    for w in &windows.test {
+        let _ = model.predict(&w.x);
+    }
+    let infer_secs_per_window =
+        infer_t0.elapsed().as_secs_f64() / windows.test.len().max(1) as f64;
+
+    RunResult {
+        model: model.name(),
+        dataset: ds.kind().name().to_string(),
+        horizon: ds.horizon(),
+        mse,
+        mae,
+        train_secs_per_epoch,
+        infer_secs_per_window,
+        params: model.num_trainable_params(),
+    }
+}
+
+/// Convenience wrapper: build, train, evaluate one configuration.
+pub fn run_experiment(
+    kind: ModelKind,
+    ds: &SplitDataset,
+    shared: &SharedLm,
+    profile: &Profile,
+    train_fraction: f32,
+) -> RunResult {
+    let mut model = build_model(
+        kind,
+        shared,
+        profile,
+        ds.input_len(),
+        ds.horizon(),
+        ds.num_vars(),
+        ds.kind().freq_minutes(),
+    );
+    let windows = run_windows(ds, profile, train_fraction);
+    run_model(model.as_mut(), &windows, ds, profile)
+}
+
+/// Averages a run over several model seeds (the paper repeats each
+/// experiment with three seeds). Dataset and windows stay fixed; only the
+/// model initialisation varies.
+pub fn run_experiment_seeds(
+    kind: ModelKind,
+    ds: &SplitDataset,
+    shared: &SharedLm,
+    profile: &Profile,
+    train_fraction: f32,
+    seeds: &[u64],
+) -> RunResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let windows = run_windows(ds, profile, train_fraction);
+    let mut agg: Option<RunResult> = None;
+    for &seed in seeds {
+        let mut model = build_model_seeded(
+            kind,
+            shared,
+            profile,
+            ds.input_len(),
+            ds.horizon(),
+            ds.num_vars(),
+            ds.kind().freq_minutes(),
+            seed,
+        );
+        let r = run_model(model.as_mut(), &windows, ds, profile);
+        agg = Some(match agg {
+            None => r,
+            Some(mut a) => {
+                a.mse += r.mse;
+                a.mae += r.mae;
+                a.train_secs_per_epoch += r.train_secs_per_epoch;
+                a.infer_secs_per_window += r.infer_secs_per_window;
+                a
+            }
+        });
+    }
+    let mut a = agg.expect("at least one seed");
+    let k = seeds.len() as f32;
+    a.mse /= k;
+    a.mae /= k;
+    a.train_secs_per_epoch /= k as f64;
+    a.infer_secs_per_window /= k as f64;
+    a
+}
+
+/// [`build_model`] with an explicit model seed overriding each config's
+/// default.
+#[allow(clippy::too_many_arguments)]
+pub fn build_model_seeded(
+    kind: ModelKind,
+    shared: &SharedLm,
+    profile: &Profile,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+    freq_minutes: usize,
+    seed: u64,
+) -> Box<dyn Forecaster> {
+    match kind {
+        ModelKind::TimeKd => {
+            let mut cfg = timekd_config(profile, shared, freq_minutes);
+            cfg.seed = seed;
+            Box::new(TimeKd::with_frozen_lm(
+                shared.frozen.clone(),
+                shared.tokenizer.clone(),
+                cfg,
+                input_len,
+                horizon,
+                num_vars,
+            ))
+        }
+        ModelKind::TimeCma => Box::new(TimeCma::new(
+            shared.frozen.clone(),
+            TimeCmaConfig {
+                prompt: prompt_config(profile, freq_minutes),
+                seed,
+                ..Default::default()
+            },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::TimeLlm => Box::new(TimeLlm::new(
+            shared.frozen.clone(),
+            TimeLlmConfig { seed, ..Default::default() },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::UniTime => Box::new(UniTime::new(
+            shared.frozen.clone(),
+            UniTimeConfig { seed, ..Default::default() },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::Ofa => Box::new(Ofa::new(
+            shared.frozen.clone(),
+            OfaConfig { seed, ..Default::default() },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::ITransformer => Box::new(ITransformer::new(
+            ITransformerConfig { seed, ..Default::default() },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::PatchTst => Box::new(PatchTst::new(
+            PatchTstConfig { seed, ..Default::default() },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+        ModelKind::Dlinear => Box::new(Dlinear::new(
+            DlinearConfig { seed, ..Default::default() },
+            input_len,
+            horizon,
+            num_vars,
+        )),
+    }
+}
+
+/// Zero-shot transfer (Table VI): train on `source`, evaluate on `target`
+/// (same geometry). Returns (mse, mae) on the target's test split.
+pub fn run_zero_shot(
+    kind: ModelKind,
+    source: &SplitDataset,
+    target: &SplitDataset,
+    shared: &SharedLm,
+    profile: &Profile,
+) -> (f32, f32) {
+    assert_eq!(source.num_vars(), target.num_vars(), "zero-shot needs matching N");
+    assert_eq!(source.horizon(), target.horizon());
+    assert_eq!(source.input_len(), target.input_len());
+    let mut model = build_model(
+        kind,
+        shared,
+        profile,
+        source.input_len(),
+        source.horizon(),
+        source.num_vars(),
+        source.kind().freq_minutes(),
+    );
+    let windows = run_windows(source, profile, 1.0);
+    for _ in 0..profile.epochs {
+        model.train_epoch(&windows.train);
+    }
+    let target_windows = run_windows(target, profile, 1.0);
+    model.evaluate(&target_windows.test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd_data::DatasetKind;
+
+    fn tiny_profile() -> Profile {
+        Profile {
+            base_steps: 500,
+            epochs: 1,
+            max_train_windows: 6,
+            max_eval_windows: 6,
+            input_len: 32,
+            long_horizons: &[8],
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn all_models_build_and_run() {
+        let profile = tiny_profile();
+        let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+        let ds = SplitDataset::new(DatasetKind::EttH1, 500, 1, 32, 8);
+        for kind in ModelKind::paper_models() {
+            let r = run_experiment(kind, &ds, &shared, &profile, 1.0);
+            assert!(r.mse.is_finite() && r.mse > 0.0, "{kind:?}");
+            assert!(r.params > 0, "{kind:?}");
+            assert_eq!(r.model, kind.name());
+        }
+    }
+
+    #[test]
+    fn train_fraction_reduces_training_set() {
+        let profile = tiny_profile();
+        let ds = SplitDataset::new(DatasetKind::EttH1, 500, 1, 32, 8);
+        let full = run_windows(&ds, &profile, 1.0);
+        let few = run_windows(&ds, &profile, 0.1);
+        assert!(few.train.len() < full.train.len());
+        assert_eq!(few.test.len(), full.test.len(), "test set unchanged");
+    }
+
+    #[test]
+    fn zero_shot_runs_between_ett_pairs() {
+        let profile = tiny_profile();
+        let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+        let src = SplitDataset::new(DatasetKind::EttH1, 500, 1, 32, 8);
+        let dst = SplitDataset::new(DatasetKind::EttH2, 500, 1, 32, 8);
+        let (mse, mae) = run_zero_shot(ModelKind::ITransformer, &src, &dst, &shared, &profile);
+        assert!(mse.is_finite() && mae.is_finite());
+    }
+
+    #[test]
+    fn multi_seed_average_runs() {
+        let profile = tiny_profile();
+        let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+        let ds = SplitDataset::new(DatasetKind::EttH1, 500, 1, 32, 8);
+        let avg = run_experiment_seeds(
+            ModelKind::ITransformer,
+            &ds,
+            &shared,
+            &profile,
+            1.0,
+            &[1, 2, 3],
+        );
+        assert!(avg.mse.is_finite() && avg.mse > 0.0);
+        // Averaging over seeds must differ from any single degenerate
+        // value only by being finite; check it sits between per-seed runs.
+        let singles: Vec<f32> = [1u64, 2, 3]
+            .iter()
+            .map(|&s| {
+                run_experiment_seeds(ModelKind::ITransformer, &ds, &shared, &profile, 1.0, &[s]).mse
+            })
+            .collect();
+        let lo = singles.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = singles.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(avg.mse >= lo - 1e-5 && avg.mse <= hi + 1e-5);
+    }
+
+    #[test]
+    fn paper_models_order_matches_tables() {
+        let names: Vec<_> = ModelKind::paper_models().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["TimeKD", "TimeCMA", "Time-LLM", "UniTime", "OFA", "iTransformer", "PatchTST"]
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Aligned console tables, CSV export, and ASCII heatmaps for the
+//! experiment outputs.
+
+use std::path::PathBuf;
+
+use timekd_tensor::Tensor;
+
+/// A printable result table that also knows how to persist itself as CSV.
+pub struct ResultTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> ResultTable {
+        ResultTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n=== {} ===\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as `target/experiments/<name>.csv`.
+    pub fn save_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let path = experiments_dir().join(format!("{name}.csv"));
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        timekd_data::write_csv(&path, &headers, &self.rows)?;
+        Ok(path)
+    }
+}
+
+/// Directory where experiment CSVs are collected:
+/// `<workspace>/target/experiments`.
+///
+/// Bench binaries run with the *crate* directory as cwd, so a relative
+/// `target/` would scatter outputs; anchor at the workspace root via the
+/// compile-time manifest path instead (CARGO_TARGET_DIR still wins when
+/// set).
+pub fn experiments_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    base.join("experiments")
+}
+
+/// Formats a float with 3 decimals (the paper's table precision).
+pub fn f3(x: f32) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats seconds with adaptive precision.
+pub fn secs(x: f64) -> String {
+    if x >= 1.0 {
+        format!("{x:.2}s")
+    } else {
+        format!("{:.2}ms", x * 1e3)
+    }
+}
+
+/// Renders a square matrix as an ASCII heatmap (`.:-=+*#%@` ramp),
+/// normalised to its own min/max — the console stand-in for Figs. 8–9.
+pub fn render_heatmap(m: &Tensor, title: &str) -> String {
+    assert_eq!(m.shape().rank(), 2, "heatmap needs a matrix");
+    let (rows, cols) = (m.dims()[0], m.dims()[1]);
+    let data = m.data();
+    let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let mut out = format!("{title} (min={lo:.3}, max={hi:.3})\n");
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = data[r * cols + c];
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            let idx = ((t * (ramp.len() - 1) as f32).round() as usize).min(ramp.len() - 1);
+            out.push(ramp[idx] as char);
+            out.push(ramp[idx] as char); // double width ≈ square cells
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Marks the best (lowest) value in each metric group: returns the row
+/// index of the minimum of `values`.
+pub fn argmin(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in results"))
+        .map(|(i, _)| i)
+        .expect("empty values")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = ResultTable::new("Demo", &["model", "mse"]);
+        t.push_row(vec!["TimeKD".into(), "0.123".into()]);
+        t.push_row(vec!["iTransformer".into(), "0.456".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("TimeKD"));
+        // Columns aligned: both value cells end at the same offset.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains("0.")).collect();
+        assert_eq!(lines[0].len(), lines[1].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ResultTable::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn heatmap_shape() {
+        let m = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.25], [2, 2]);
+        let s = render_heatmap(&m, "attn");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3); // title + 2 rows
+        assert_eq!(lines[1].len(), 4); // 2 cols x 2 chars
+        assert!(lines[0].contains("attn"));
+    }
+
+    #[test]
+    fn heatmap_extremes_use_ramp_ends() {
+        let m = Tensor::from_vec(vec![0.0, 1.0], [1, 2]);
+        let s = render_heatmap(&m, "t");
+        let row = s.lines().nth(1).unwrap();
+        assert!(row.starts_with("  "), "min renders as spaces: {row:?}");
+        assert!(row.ends_with("@@"), "max renders as @: {row:?}");
+    }
+
+    #[test]
+    fn argmin_finds_best() {
+        assert_eq!(argmin(&[0.3, 0.1, 0.2]), 1);
+    }
+
+    #[test]
+    fn f3_and_secs_formatting() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(secs(1.5), "1.50s");
+        assert_eq!(secs(0.0015), "1.50ms");
+    }
+
+    #[test]
+    fn csv_saves_under_experiments_dir() {
+        let mut t = ResultTable::new("x", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let path = t.save_csv("test_table_save").unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Manual tuning probe (run with `cargo test -p timekd-bench --release
+//! --test probe -- --ignored --nocapture`). Not part of the regular suite.
+
+use timekd::{Forecaster, TimeKd};
+use timekd_bench::{Profile, SharedLm};
+use timekd_data::{DatasetKind, SplitDataset};
+use timekd_lm::LmSize;
+
+#[test]
+#[ignore = "manual tuning probe"]
+fn pkd_weight_sweep() {
+    let profile = Profile::quick();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let ds = SplitDataset::new(DatasetKind::EttM1, profile.num_steps(96), 42, 96, 96);
+    for lambda_pkd in [0.0f32, 0.1, 0.3, 1.0] {
+        let mut cfg = timekd_bench::timekd_config(&profile, &shared, 15);
+        cfg.lambda_pkd = lambda_pkd;
+        let mut model = TimeKd::with_frozen_lm(
+            shared.frozen.clone(),
+            shared.tokenizer.clone(),
+            cfg,
+            96,
+            96,
+            ds.num_vars(),
+        );
+        let windows = timekd_bench::run_windows(&ds, &profile, 1.0);
+        let mut recon = 0.0;
+        for _ in 0..profile.epochs {
+            let s = model.train_epoch_detailed(&windows.train);
+            recon = s.reconstruction;
+        }
+        let (mse, mae) = model.evaluate(&windows.test);
+        println!("lambda_pkd={lambda_pkd}: MSE {mse:.4} MAE {mae:.4} (teacher recon {recon:.4})");
+    }
+}
+
+#[test]
+#[ignore = "manual tuning probe"]
+fn teacher_recon_diagnosis() {
+    use timekd::AblationConfig;
+    let profile = Profile::quick();
+    // Check pretraining value-regression quality first.
+    let tok = timekd_lm::PromptTokenizer::new();
+    let (_, report) = timekd_lm::pretrain_lm(
+        &tok,
+        timekd_lm::LmConfig::for_size(LmSize::Base),
+        timekd_lm::PretrainConfig { steps: 80, ..Default::default() },
+    );
+    println!(
+        "pretrain: lm {:.3}->{:.3}, value mse {:.3}->{:.3}",
+        report.initial_loss, report.final_loss, report.initial_value_mse, report.final_value_mse
+    );
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let ds = SplitDataset::new(DatasetKind::EttM1, profile.num_steps(96), 42, 96, 96);
+    for (label, ablation) in [
+        ("full(CLM)", AblationConfig::full()),
+        ("w/o_CLM(direct values)", AblationConfig::without_clm()),
+    ] {
+        let cfg = {
+            let mut c = timekd_bench::timekd_config(&profile, &shared, 15);
+            c.ablation = ablation;
+            c
+        };
+        let mut model = TimeKd::with_frozen_lm(
+            shared.frozen.clone(),
+            shared.tokenizer.clone(),
+            cfg,
+            96,
+            96,
+            ds.num_vars(),
+        );
+        let windows = timekd_bench::run_windows(&ds, &profile, 1.0);
+        for e in 0..8 {
+            let recon = model.train_teacher_epoch(&windows.train);
+            if e % 2 == 1 {
+                println!("{label}: epoch {e} teacher recon {recon:.4}");
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "manual tuning probe"]
+fn pretrain_value_regression_sweep() {
+    let tok = timekd_lm::PromptTokenizer::new();
+    for (steps, weight, lr) in [
+        (200usize, 1.0f32, 3e-3f32),
+        (400, 1.0, 3e-3),
+        (400, 3.0, 3e-3),
+        (800, 3.0, 3e-3),
+        (400, 3.0, 1e-2),
+    ] {
+        let (_, r) = timekd_lm::pretrain_lm(
+            &tok,
+            timekd_lm::LmConfig::for_size(LmSize::Base),
+            timekd_lm::PretrainConfig {
+                steps,
+                lr,
+                value_regression_weight: weight,
+                ..Default::default()
+            },
+        );
+        println!(
+            "steps={steps} w={weight} lr={lr}: lm {:.3} value_mse {:.3}",
+            r.final_loss, r.final_value_mse
+        );
+    }
+}
+
+#[test]
+#[ignore = "manual tuning probe"]
+fn pkd_few_shot_sweep() {
+    let profile = Profile::quick();
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    let ds = SplitDataset::new(DatasetKind::EttM1, profile.num_steps(96), 42, 96, 96);
+    for fraction in [0.1f32, 1.0] {
+        for lambda_pkd in [0.0f32, 0.1, 0.3, 1.0] {
+            let mut cfg = timekd_bench::timekd_config(&profile, &shared, 15);
+            cfg.lambda_pkd = lambda_pkd;
+            let mut model = TimeKd::with_frozen_lm(
+                shared.frozen.clone(),
+                shared.tokenizer.clone(),
+                cfg,
+                96,
+                96,
+                ds.num_vars(),
+            );
+            let windows = timekd_bench::run_windows(&ds, &profile, fraction);
+            for _ in 0..profile.epochs {
+                model.train_epoch(&windows.train);
+            }
+            let (mse, mae) = model.evaluate(&windows.test);
+            println!(
+                "fraction={fraction} lambda_pkd={lambda_pkd}: {} windows, MSE {mse:.4} MAE {mae:.4}",
+                windows.train.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Privileged knowledge distillation (paper §IV-D, Alg. 2).
+//!
+//! Two complementary losses transfer the teacher's privileged knowledge:
+//! - **correlation distillation** (Eq. 24) aligns the student's attention
+//!   map `A_TSE` with the teacher's `A_PE`, making the student imitate the
+//!   teacher's *behaviour* (which variables attend to which);
+//! - **feature distillation** (Eq. 25) aligns the student's encoder output
+//!   `T̄_H` with the teacher's privileged embedding `E_GT`, minimising the
+//!   output discrepancy.
+//!
+//! Teacher tensors are detached: gradients flow into the student only, so
+//! the student cannot drag the teacher toward itself.
+
+use timekd_nn::smooth_l1_loss;
+use timekd_tensor::Tensor;
+
+use crate::config::TimeKdConfig;
+
+/// The PKD loss terms for one window.
+pub struct PkdLosses {
+    /// `L_cd` (zero tensor when disabled by ablation).
+    pub correlation: Tensor,
+    /// `L_fd` (zero tensor when disabled by ablation).
+    pub feature: Tensor,
+    /// `λ_c · L_cd + λ_e · L_fd` (Eq. 26).
+    pub combined: Tensor,
+}
+
+/// Computes the PKD losses from teacher and student products.
+///
+/// `teacher_attention`/`teacher_embedding` are detached internally.
+pub fn pkd_losses(
+    teacher_attention: &Tensor,
+    teacher_embedding: &Tensor,
+    student_attention: &Tensor,
+    student_embedding: &Tensor,
+    config: &TimeKdConfig,
+) -> PkdLosses {
+    let ab = config.ablation;
+    let correlation = if ab.correlation_distillation {
+        smooth_l1_loss(student_attention, &teacher_attention.detach())
+    } else {
+        Tensor::scalar(0.0)
+    };
+    let feature = if ab.feature_distillation {
+        smooth_l1_loss(student_embedding, &teacher_embedding.detach())
+    } else {
+        Tensor::scalar(0.0)
+    };
+    let combined = correlation
+        .mul_scalar(config.lambda_cd)
+        .add(&feature.mul_scalar(config.lambda_fd));
+    PkdLosses {
+        correlation,
+        feature,
+        combined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AblationConfig;
+    use timekd_tensor::seeded_rng;
+
+    fn setup() -> (Tensor, Tensor, Tensor, Tensor) {
+        let mut rng = seeded_rng(0);
+        let ta = Tensor::randn([4, 4], 0.2, &mut rng).softmax_last();
+        let te = Tensor::randn([4, 8], 1.0, &mut rng);
+        let sa = Tensor::randn_param([4, 4], 0.2, &mut rng).softmax_last();
+        let se = Tensor::randn_param([4, 8], 1.0, &mut rng);
+        (ta, te, sa, se)
+    }
+
+    #[test]
+    fn perfect_student_zero_loss() {
+        let (ta, te, _, _) = setup();
+        let cfg = TimeKdConfig::default();
+        let l = pkd_losses(&ta, &te, &ta, &te, &cfg);
+        assert_eq!(l.correlation.item(), 0.0);
+        assert_eq!(l.feature.item(), 0.0);
+        assert_eq!(l.combined.item(), 0.0);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn combined_respects_lambdas() {
+        let (ta, te, sa, se) = setup();
+        let mut cfg = TimeKdConfig::default();
+        cfg.lambda_cd = 2.0;
+        cfg.lambda_fd = 0.5;
+        let l = pkd_losses(&ta, &te, &sa, &se, &cfg);
+        let expected = 2.0 * l.correlation.item() + 0.5 * l.feature.item();
+        assert!((l.combined.item() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_flows_to_student_not_teacher() {
+        let mut rng = seeded_rng(1);
+        let ta = Tensor::randn_param([3, 3], 0.2, &mut rng); // trainable teacher (should be detached)
+        let te = Tensor::randn_param([3, 8], 1.0, &mut rng);
+        let sa = Tensor::randn_param([3, 3], 0.2, &mut rng);
+        let se = Tensor::randn_param([3, 8], 1.0, &mut rng);
+        let cfg = TimeKdConfig::default();
+        let l = pkd_losses(&ta, &te, &sa, &se, &cfg);
+        l.combined.backward();
+        assert!(sa.grad().is_some() && se.grad().is_some());
+        assert!(ta.grad().is_none(), "teacher attention must be detached");
+        assert!(te.grad().is_none(), "teacher embedding must be detached");
+    }
+
+    #[test]
+    fn ablation_disables_terms() {
+        let (ta, te, sa, se) = setup();
+        let cd_off = TimeKdConfig::with_ablation(AblationConfig::without_correlation_distillation());
+        let l = pkd_losses(&ta, &te, &sa, &se, &cd_off);
+        assert_eq!(l.correlation.item(), 0.0);
+        assert!(l.feature.item() > 0.0);
+
+        let fd_off = TimeKdConfig::with_ablation(AblationConfig::without_feature_distillation());
+        let l = pkd_losses(&ta, &te, &sa, &se, &fd_off);
+        assert!(l.correlation.item() > 0.0);
+        assert_eq!(l.feature.item(), 0.0);
+    }
+
+    #[test]
+    fn minimising_pkd_aligns_student_with_teacher() {
+        let mut rng = seeded_rng(2);
+        let ta = Tensor::randn([3, 3], 0.2, &mut rng).softmax_last();
+        let te = Tensor::randn([3, 4], 1.0, &mut rng);
+        let sa_logits = Tensor::randn_param([3, 3], 0.2, &mut rng);
+        let se = Tensor::randn_param([3, 4], 1.0, &mut rng);
+        let cfg = TimeKdConfig::default();
+        let mut opt = timekd_nn::AdamW::new(
+            0.05,
+            timekd_nn::AdamWConfig { weight_decay: 0.0, ..Default::default() },
+        );
+        let params = vec![sa_logits.clone(), se.clone()];
+        let loss_val = |sa_logits: &Tensor, se: &Tensor| {
+            pkd_losses(&ta, &te, &sa_logits.softmax_last(), se, &cfg)
+                .combined
+                .item()
+        };
+        let before = loss_val(&sa_logits, &se);
+        for _ in 0..150 {
+            for p in &params {
+                p.zero_grad();
+            }
+            let l = pkd_losses(&ta, &te, &sa_logits.softmax_last(), &se, &cfg);
+            l.combined.backward();
+            opt.step(&params);
+        }
+        let after = loss_val(&sa_logits, &se);
+        assert!(after < before * 0.1, "{before} -> {after}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The common interface every forecasting model in this workspace exposes
+//! (TimeKD and all baselines), so the experiment harness can sweep them
+//! uniformly.
+
+use timekd_data::{ForecastWindow, MetricAccumulator};
+use timekd_tensor::Tensor;
+
+/// A trainable multivariate forecaster mapping `[H, N]` histories to
+/// `[M, N]` forecasts.
+pub trait Forecaster {
+    /// Model name as printed in the paper's tables.
+    fn name(&self) -> String;
+
+    /// One pass over the given training windows; returns the mean training
+    /// loss.
+    fn train_epoch(&mut self, windows: &[ForecastWindow]) -> f32;
+
+    /// Forecast for one history window (no gradient).
+    fn predict(&self, x: &Tensor) -> Tensor;
+
+    /// Number of trainable scalar parameters (Table IV's "Trainabl.
+    /// Param.").
+    fn num_trainable_params(&self) -> usize;
+
+    /// MSE/MAE over a window set (Eq. 31–32), one window at a time to
+    /// mirror the paper's batch-size-1 test protocol.
+    fn evaluate(&self, windows: &[ForecastWindow]) -> (f32, f32) {
+        assert!(!windows.is_empty(), "evaluate() called with no windows");
+        let mut acc = MetricAccumulator::new();
+        for w in windows {
+            let pred = self.predict(&w.x);
+            acc.update(&pred, &w.y);
+        }
+        (acc.mse(), acc.mae())
+    }
+
+    /// Autoregressive rolling forecast beyond the trained horizon: predicts
+    /// `total_horizon` steps by repeatedly feeding its own predictions back
+    /// as history (an extension beyond the paper's fixed-horizon protocol).
+    fn predict_rolling(&self, x: &Tensor, total_horizon: usize) -> Tensor {
+        assert!(total_horizon > 0, "rolling horizon must be positive");
+        let (h, n) = (x.dims()[0], x.dims()[1]);
+        let mut history = x.to_vec(); // grows by m rows per round
+        let mut collected: Vec<f32> = Vec::with_capacity(total_horizon * n);
+        while collected.len() < total_horizon * n {
+            let start = history.len() - h * n;
+            let window = Tensor::from_vec(history[start..].to_vec(), [h, n]);
+            let pred = self.predict(&window);
+            assert_eq!(pred.dims()[1], n, "prediction channel mismatch");
+            let pred_data = pred.to_vec();
+            collected.extend_from_slice(&pred_data);
+            history.extend_from_slice(&pred_data);
+        }
+        collected.truncate(total_horizon * n);
+        Tensor::from_vec(collected, [total_horizon, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Predicts the last observed value for every future step (a classic
+    /// naive baseline) — used here to exercise the trait's default eval.
+    struct NaiveLast {
+        horizon: usize,
+    }
+
+    impl Forecaster for NaiveLast {
+        fn name(&self) -> String {
+            "NaiveLast".into()
+        }
+
+        fn train_epoch(&mut self, _windows: &[ForecastWindow]) -> f32 {
+            0.0
+        }
+
+        fn predict(&self, x: &Tensor) -> Tensor {
+            let (h, n) = (x.dims()[0], x.dims()[1]);
+            let last = x.slice(0, h - 1, 1); // [1, N]
+            last.broadcast_to([self.horizon, n])
+        }
+
+        fn num_trainable_params(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn rolling_forecast_shapes_and_consistency() {
+        let model = NaiveLast { horizon: 3 };
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        // NaiveLast repeats the last row forever, so rolling = constant.
+        let out = model.predict_rolling(&x, 7);
+        assert_eq!(out.dims(), &[7, 2]);
+        let v = out.to_vec();
+        for t in 0..7 {
+            assert_eq!(v[t * 2], 3.0);
+            assert_eq!(v[t * 2 + 1], 4.0);
+        }
+    }
+
+    #[test]
+    fn rolling_truncates_to_exact_horizon() {
+        let model = NaiveLast { horizon: 4 };
+        let x = Tensor::zeros([3, 1]);
+        // 4-step model asked for 6 steps: 2 rounds, truncated from 8.
+        assert_eq!(model.predict_rolling(&x, 6).dims(), &[6, 1]);
+    }
+
+    #[test]
+    fn default_evaluate_aggregates() {
+        let model = NaiveLast { horizon: 2 };
+        let x = Tensor::from_vec(vec![0.0, 0.0, 5.0, 7.0], [2, 2]);
+        let y = Tensor::from_vec(vec![5.0, 7.0, 6.0, 8.0], [2, 2]);
+        let w = ForecastWindow { x, y, index: 0 };
+        let (mse, mae) = model.evaluate(&[w]);
+        // Predictions are all [5, 7]; errors only on the second row (1, 1).
+        assert!((mse - 0.5).abs() < 1e-6);
+        assert!((mae - 0.5).abs() < 1e-6);
+    }
+}

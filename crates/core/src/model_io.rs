@@ -1,0 +1,128 @@
+//! Whole-model checkpointing for [`TimeKd`].
+//!
+//! Layout: magic `TKD1`, format version, then the teacher's trainable
+//! parameters followed by the student's, each as a [`timekd_tensor::io`]
+//! blob. The frozen CLM is *not* part of the checkpoint — it is
+//! reconstructed deterministically from its pretraining seed, exactly like
+//! the paper reloads the public GPT-2 weights rather than shipping them.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use timekd_nn::Module;
+use timekd_tensor::io::DecodeError;
+
+use crate::trainer::TimeKd;
+
+const MAGIC: &[u8; 4] = b"TKD1";
+const VERSION: u32 = 1;
+
+/// Serialises the trainable state (teacher heads + student).
+pub fn save_checkpoint(model: &TimeKd) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.extend_from_slice(&model.teacher().save_params());
+    buf.extend_from_slice(&model.student().save_params());
+    buf.freeze()
+}
+
+/// Restores trainable state saved by [`save_checkpoint`] into an
+/// identically configured model.
+pub fn load_checkpoint(model: &TimeKd, blob: &mut Bytes) -> Result<(), DecodeError> {
+    if blob.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    blob.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = blob.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadShape);
+    }
+    model.teacher().load_params(blob)?;
+    model.student().load_params(blob)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TimeKdConfig;
+    use crate::Forecaster;
+    use std::rc::Rc;
+    use timekd_data::{DatasetKind, Split, SplitDataset};
+    use timekd_lm::{pretrain_lm, FrozenLm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
+
+    #[allow(clippy::field_reassign_with_default)]
+    fn setup() -> (TimeKd, SplitDataset) {
+        let ds = SplitDataset::new(DatasetKind::EttH1, 600, 3, 24, 8);
+        let tokenizer = Rc::new(PromptTokenizer::new());
+        let mut cfg = TimeKdConfig::default();
+        cfg.dim = 16;
+        cfg.ffn_hidden = 32;
+        cfg.num_heads = 2;
+        cfg.lm = LmConfig::for_size(LmSize::Small);
+        cfg.teacher_warmup_epochs = 1;
+        let (lm, _) = pretrain_lm(
+            &tokenizer,
+            cfg.lm,
+            PretrainConfig { steps: 3, ..Default::default() },
+        );
+        let model = TimeKd::with_frozen_lm(
+            Rc::new(FrozenLm::new(lm)),
+            tokenizer,
+            cfg,
+            24,
+            8,
+            ds.num_vars(),
+        );
+        (model, ds)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let (mut model, ds) = setup();
+        let train = ds.windows(Split::Train, 16);
+        model.train_epoch(&train[..3.min(train.len())]);
+        let w = &ds.windows(Split::Test, 16)[0];
+        let before = model.predict(&w.x);
+        let mut blob = save_checkpoint(&model);
+
+        let (model2, _) = setup();
+        load_checkpoint(&model2, &mut blob).unwrap();
+        let after = model2.predict(&w.x);
+        assert_eq!(before.to_vec(), after.to_vec());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (model, _) = setup();
+        let mut blob = Bytes::from_static(b"XXXX\x01\x00\x00\x00rest");
+        assert!(matches!(
+            load_checkpoint(&model, &mut blob),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (model, _) = setup();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(999);
+        let mut blob = buf.freeze();
+        assert!(matches!(
+            load_checkpoint(&model, &mut blob),
+            Err(DecodeError::BadShape)
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let (model, _) = setup();
+        let full = save_checkpoint(&model);
+        let mut cut = full.slice(0..full.len() / 2);
+        assert!(load_checkpoint(&model, &mut cut).is_err());
+    }
+}

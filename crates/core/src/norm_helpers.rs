@@ -1,0 +1,40 @@
+//! Small shared numerical helpers for the core models.
+
+use timekd_tensor::Tensor;
+
+/// Parameter-free layer normalisation over the last axis (γ=1, β=0).
+///
+/// Eq. 8 of the paper normalises the SCA projections before the similarity
+/// product; those normalisations carry no learnable affine of their own.
+pub fn layer_norm_const(x: &Tensor) -> Tensor {
+    let rank = x.shape().rank();
+    let mu = x.mean_axis(rank - 1, true);
+    let centered = x.sub(&mu);
+    let var = centered.square().mean_axis(rank - 1, true);
+    centered.mul(&var.add_scalar(1e-5).rsqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd_tensor::seeded_rng;
+
+    #[test]
+    fn rows_standardised() {
+        let mut rng = seeded_rng(0);
+        let x = Tensor::randn([3, 8], 4.0, &mut rng).add_scalar(2.0);
+        let y = layer_norm_const(&x).to_vec();
+        for r in 0..3 {
+            let row = &y[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn differentiable() {
+        let p = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], [1, 4]);
+        layer_norm_const(&p).square().mean().backward();
+        assert!(p.grad().is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! Chronological splits and sliding-window forecasting datasets.
+
+use timekd_tensor::Tensor;
+
+use crate::generators::{generate, DatasetKind, RawSeries};
+use crate::scaler::StandardScaler;
+
+/// Which chronological split to draw windows from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// First 70% of the series.
+    Train,
+    /// Next 10%.
+    Val,
+    /// Final 20%.
+    Test,
+}
+
+/// One supervised forecasting example.
+#[derive(Clone)]
+pub struct ForecastWindow {
+    /// History `[input_len, num_vars]`, standardised.
+    pub x: Tensor,
+    /// Future `[horizon, num_vars]`, standardised.
+    pub y: Tensor,
+    /// Index of the window's first step within its split (stable cache key).
+    pub index: usize,
+}
+
+/// A generated dataset with train/val/test splits, a train-fitted scaler,
+/// and sliding-window access — the "time series data management" substrate
+/// every experiment runs on.
+pub struct SplitDataset {
+    kind: DatasetKind,
+    num_vars: usize,
+    input_len: usize,
+    horizon: usize,
+    scaler: StandardScaler,
+    train: Vec<f32>,
+    val: Vec<f32>,
+    test: Vec<f32>,
+}
+
+impl SplitDataset {
+    /// Generates `num_steps` observations of `kind` (seeded), splits
+    /// 70/10/20 chronologically, and standardises every split with
+    /// statistics fit on the training split only.
+    pub fn new(
+        kind: DatasetKind,
+        num_steps: usize,
+        seed: u64,
+        input_len: usize,
+        horizon: usize,
+    ) -> SplitDataset {
+        let raw = generate(kind, num_steps, seed);
+        Self::from_raw(raw, input_len, horizon)
+    }
+
+    /// Builds splits from an existing raw series (for custom data).
+    pub fn from_raw(raw: RawSeries, input_len: usize, horizon: usize) -> SplitDataset {
+        let n = raw.num_vars;
+        let t = raw.num_steps;
+        let window = input_len + horizon;
+        assert!(
+            t >= window * 4,
+            "series of {t} steps too short for window {window}"
+        );
+        let train_end = (t as f32 * 0.7) as usize;
+        let val_end = (t as f32 * 0.8) as usize;
+        let mut train = raw.values[..train_end * n].to_vec();
+        let mut val = raw.values[train_end * n..val_end * n].to_vec();
+        let mut test = raw.values[val_end * n..].to_vec();
+        let scaler = StandardScaler::fit(&train, n);
+        scaler.transform(&mut train);
+        scaler.transform(&mut val);
+        scaler.transform(&mut test);
+        SplitDataset {
+            kind: raw.kind,
+            num_vars: n,
+            input_len,
+            horizon,
+            scaler,
+            train,
+            val,
+            test,
+        }
+    }
+
+    /// Dataset family.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// History length `H`.
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Forecast horizon `M`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Number of variables `N` — taken from the actual data, which may
+    /// differ from the canonical family width when the series was loaded
+    /// from a custom CSV.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The train-fitted scaler.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    fn split_data(&self, split: Split) -> &[f32] {
+        match split {
+            Split::Train => &self.train,
+            Split::Val => &self.val,
+            Split::Test => &self.test,
+        }
+    }
+
+    /// Number of steps in a split.
+    pub fn split_len(&self, split: Split) -> usize {
+        self.split_data(split).len() / self.num_vars()
+    }
+
+    /// Number of windows available in a split at stride 1.
+    pub fn num_windows(&self, split: Split) -> usize {
+        let steps = self.split_len(split);
+        let window = self.input_len + self.horizon;
+        steps.saturating_sub(window) + usize::from(steps >= window)
+    }
+
+    /// Extracts windows from `split` with the given `stride`, keeping only
+    /// the first `fraction` of them (chronologically) — `fraction = 0.1`
+    /// reproduces the paper's few-shot protocol, `0.2..=1.0` the
+    /// scalability sweep of Fig. 7.
+    pub fn windows_with(&self, split: Split, stride: usize, fraction: f32) -> Vec<ForecastWindow> {
+        assert!(stride >= 1, "stride must be positive");
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let n = self.num_vars();
+        let data = self.split_data(split);
+        let total = self.num_windows(split);
+        let keep = ((total as f32 * fraction).floor() as usize).max(1).min(total);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while start < keep {
+            let x_base = start * n;
+            let y_base = (start + self.input_len) * n;
+            let x = Tensor::from_vec(
+                data[x_base..x_base + self.input_len * n].to_vec(),
+                [self.input_len, n],
+            );
+            let y = Tensor::from_vec(
+                data[y_base..y_base + self.horizon * n].to_vec(),
+                [self.horizon, n],
+            );
+            out.push(ForecastWindow { x, y, index: start });
+            start += stride;
+        }
+        out
+    }
+
+    /// All windows of a split at the given stride.
+    pub fn windows(&self, split: Split, stride: usize) -> Vec<ForecastWindow> {
+        self.windows_with(split, stride, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> SplitDataset {
+        SplitDataset::new(DatasetKind::EttH1, 800, 1, 48, 24)
+    }
+
+    #[test]
+    fn split_sizes_chronological() {
+        let d = ds();
+        assert_eq!(d.split_len(Split::Train), 560);
+        assert_eq!(d.split_len(Split::Val), 80);
+        assert_eq!(d.split_len(Split::Test), 160);
+    }
+
+    #[test]
+    fn window_shapes() {
+        let d = ds();
+        let w = &d.windows(Split::Train, 7)[0];
+        assert_eq!(w.x.dims(), &[48, 7]);
+        assert_eq!(w.y.dims(), &[24, 7]);
+    }
+
+    #[test]
+    fn window_continuity() {
+        // y must start exactly where x ends in the underlying series.
+        let d = ds();
+        let all = d.windows(Split::Test, 1);
+        let (w0, w1) = (&all[0], &all[1]);
+        // Window 1's history is window 0's shifted by one step.
+        let x0 = w0.x.to_vec();
+        let x1 = w1.x.to_vec();
+        assert_eq!(&x0[7..], &x1[..x1.len() - 7]);
+        // And y follows x contiguously: x1 last row == x0 row 47 shifted.
+        let y0 = w0.y.to_vec();
+        assert_eq!(&x1[x1.len() - 7..], &y0[..7]);
+    }
+
+    #[test]
+    fn num_windows_formula() {
+        let d = ds();
+        assert_eq!(d.num_windows(Split::Val), 80 - 72 + 1);
+        assert_eq!(d.windows(Split::Val, 1).len(), d.num_windows(Split::Val));
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let d = ds();
+        let full = d.windows(Split::Train, 1).len();
+        let strided = d.windows(Split::Train, 4).len();
+        assert!(strided <= full / 4 + 1);
+    }
+
+    #[test]
+    fn fraction_keeps_earliest() {
+        let d = ds();
+        let few = d.windows_with(Split::Train, 1, 0.1);
+        let all = d.windows(Split::Train, 1);
+        assert_eq!(few.len(), (all.len() as f32 * 0.1).floor() as usize);
+        assert_eq!(few[0].index, 0);
+        assert!(few.last().unwrap().index < all.len() / 10 + 1);
+    }
+
+    #[test]
+    fn training_split_standardised() {
+        let d = ds();
+        let n = d.num_vars();
+        let train = d.split_data(Split::Train);
+        let steps = train.len() / n;
+        for j in 0..n {
+            let col: Vec<f32> = (0..steps).map(|t| train[t * n + j]).collect();
+            let mean = col.iter().sum::<f32>() / steps as f32;
+            assert!(mean.abs() < 1e-3, "channel {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn too_short_series_panics() {
+        let _ = SplitDataset::new(DatasetKind::EttH1, 100, 1, 96, 96);
+    }
+}

@@ -1,0 +1,457 @@
+//! Seeded synthetic generators for the eight benchmark dataset families.
+//!
+//! The real ETT/Weather/Exchange/PEMS files are not available offline, so
+//! each family is reproduced by a generator matching its documented
+//! signature (see DESIGN.md "Substitutions"):
+//!
+//! | family | sampling | #vars | structure |
+//! |---|---|---|---|
+//! | ETTh1/h2 | hourly | 7 | daily+weekly cycles, trend, coupled OT |
+//! | ETTm1/m2 | 15 min | 7 | same but 4× finer sampling |
+//! | Weather | 10 min | 21 | strong daily cycles, slow drift, mixed noise |
+//! | Exchange | daily | 8 | correlated random walks, non-stationary |
+//! | PEMS04/08 | 5 min | 12/10 | daily periodicity with rush-hour peaks, spatially smoothed |
+//!
+//! Everything is deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use timekd_tensor::{sample_standard_normal, seeded_rng};
+
+/// The eight dataset families evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// ETT hourly, transformer 1.
+    EttH1,
+    /// ETT hourly, transformer 2.
+    EttH2,
+    /// ETT 15-minute, transformer 1.
+    EttM1,
+    /// ETT 15-minute, transformer 2.
+    EttM2,
+    /// German weather indicators, 10-minute sampling.
+    Weather,
+    /// Daily exchange rates of eight countries.
+    Exchange,
+    /// California traffic, district 4.
+    Pems04,
+    /// California traffic, district 8.
+    Pems08,
+}
+
+impl DatasetKind {
+    /// Canonical dataset name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::EttH1 => "ETTh1",
+            DatasetKind::EttH2 => "ETTh2",
+            DatasetKind::EttM1 => "ETTm1",
+            DatasetKind::EttM2 => "ETTm2",
+            DatasetKind::Weather => "Weather",
+            DatasetKind::Exchange => "Exchange",
+            DatasetKind::Pems04 => "PEMS04",
+            DatasetKind::Pems08 => "PEMS08",
+        }
+    }
+
+    /// Number of variables (PEMS scaled down from hundreds of sensors to a
+    /// tractable sensor subset; see DESIGN.md).
+    pub fn num_vars(self) -> usize {
+        match self {
+            DatasetKind::EttH1 | DatasetKind::EttH2 | DatasetKind::EttM1 | DatasetKind::EttM2 => 7,
+            DatasetKind::Weather => 21,
+            DatasetKind::Exchange => 8,
+            DatasetKind::Pems04 => 12,
+            DatasetKind::Pems08 => 10,
+        }
+    }
+
+    /// Sampling period in minutes.
+    pub fn freq_minutes(self) -> usize {
+        match self {
+            DatasetKind::EttH1 | DatasetKind::EttH2 => 60,
+            DatasetKind::EttM1 | DatasetKind::EttM2 => 15,
+            DatasetKind::Weather => 10,
+            DatasetKind::Exchange => 1440,
+            DatasetKind::Pems04 | DatasetKind::Pems08 => 5,
+        }
+    }
+
+    /// Steps per day at this sampling rate.
+    pub fn steps_per_day(self) -> usize {
+        (24 * 60) / self.freq_minutes()
+    }
+
+    /// Variable names for the ETT datasets (used by Fig. 10).
+    pub fn variable_names(self) -> Vec<String> {
+        match self {
+            DatasetKind::EttH1 | DatasetKind::EttH2 | DatasetKind::EttM1 | DatasetKind::EttM2 => {
+                ["HUFL", "HULL", "MUFL", "MULL", "LUFL", "LULL", "OT"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            }
+            _ => (0..self.num_vars()).map(|i| format!("V{i}")).collect(),
+        }
+    }
+
+    fn seed_offset(self) -> u64 {
+        match self {
+            DatasetKind::EttH1 => 0x01,
+            DatasetKind::EttH2 => 0x02,
+            DatasetKind::EttM1 => 0x03,
+            DatasetKind::EttM2 => 0x04,
+            DatasetKind::Weather => 0x05,
+            DatasetKind::Exchange => 0x06,
+            DatasetKind::Pems04 => 0x07,
+            DatasetKind::Pems08 => 0x08,
+        }
+    }
+}
+
+/// A raw generated multivariate series (row-major `[T, N]`).
+#[derive(Clone)]
+pub struct RawSeries {
+    /// Which family this came from.
+    pub kind: DatasetKind,
+    /// Row-major values, `len = num_steps * num_vars`.
+    pub values: Vec<f32>,
+    /// Number of time steps.
+    pub num_steps: usize,
+    /// Number of variables.
+    pub num_vars: usize,
+}
+
+impl RawSeries {
+    /// Value of variable `var` at step `t`.
+    pub fn at(&self, t: usize, var: usize) -> f32 {
+        self.values[t * self.num_vars + var]
+    }
+}
+
+/// Generates `num_steps` observations of the requested family.
+pub fn generate(kind: DatasetKind, num_steps: usize, seed: u64) -> RawSeries {
+    let mut rng = seeded_rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(kind.seed_offset()));
+    let n = kind.num_vars();
+    match kind {
+        DatasetKind::EttH1 | DatasetKind::EttM1 => {
+            ett_like(kind, num_steps, 1.0, 0.35, &mut rng)
+        }
+        DatasetKind::EttH2 | DatasetKind::EttM2 => {
+            // Transformer 2: heavier noise, stronger weekly component.
+            ett_like(kind, num_steps, 1.4, 0.5, &mut rng)
+        }
+        DatasetKind::Weather => weather_like(kind, num_steps, &mut rng),
+        DatasetKind::Exchange => exchange_like(kind, num_steps, &mut rng),
+        DatasetKind::Pems04 | DatasetKind::Pems08 => pems_like(kind, num_steps, &mut rng),
+    }
+    .tap_validate(num_steps, n)
+}
+
+impl RawSeries {
+    fn tap_validate(self, steps: usize, vars: usize) -> RawSeries {
+        debug_assert_eq!(self.num_steps, steps);
+        debug_assert_eq!(self.num_vars, vars);
+        debug_assert_eq!(self.values.len(), steps * vars);
+        debug_assert!(self.values.iter().all(|v| v.is_finite()));
+        self
+    }
+}
+
+/// Electricity-transformer-style: six load channels as mixtures of shared
+/// daily/weekly factors + an oil-temperature channel that integrates the
+/// loads (slow thermal response), giving the strong cross-channel
+/// dependence iTransformer-style models exploit.
+fn ett_like(
+    kind: DatasetKind,
+    num_steps: usize,
+    weekly_strength: f32,
+    noise: f32,
+    rng: &mut StdRng,
+) -> RawSeries {
+    let n = kind.num_vars();
+    let day = kind.steps_per_day() as f32;
+    let week = day * 7.0;
+    // Per-channel mixing of shared factors.
+    let mut mix_day = vec![0.0f32; n];
+    let mut mix_week = vec![0.0f32; n];
+    let mut phase = vec![0.0f32; n];
+    let mut level = vec![0.0f32; n];
+    for j in 0..n {
+        mix_day[j] = rng.gen_range(0.5..1.5);
+        mix_week[j] = rng.gen_range(0.2..0.8) * weekly_strength;
+        phase[j] = rng.gen_range(0.0..std::f32::consts::TAU);
+        level[j] = rng.gen_range(-2.0..6.0);
+    }
+    let mut ar = vec![0.0f32; n];
+    let trend_slope = rng.gen_range(-0.4..0.4) / num_steps as f32;
+    let mut values = vec![0.0f32; num_steps * n];
+    let mut oil = 0.0f32;
+    for t in 0..num_steps {
+        let tt = t as f32;
+        let mut load_sum = 0.0f32;
+        for j in 0..n - 1 {
+            ar[j] = 0.8 * ar[j] + noise * sample_standard_normal(rng);
+            let v = level[j]
+                + mix_day[j] * (std::f32::consts::TAU * tt / day + phase[j]).sin()
+                + mix_week[j] * (std::f32::consts::TAU * tt / week + 0.5 * phase[j]).sin()
+                + trend_slope * tt * (1.0 + j as f32 * 0.2)
+                + ar[j];
+            values[t * n + j] = v;
+            load_sum += v;
+        }
+        // OT: exponential smoothing of total load + its own noise.
+        oil = 0.97 * oil + 0.03 * (load_sum / (n - 1) as f32);
+        values[t * n + (n - 1)] = oil + 0.1 * noise * sample_standard_normal(rng);
+    }
+    RawSeries { kind, values, num_steps, num_vars: n }
+}
+
+/// Weather-style: 21 indicators with shared daily cycle, slow synoptic
+/// drift (integrated noise low-pass), and per-channel noise levels spanning
+/// an order of magnitude (temperature is smooth, wind gusts are not).
+fn weather_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries {
+    let n = kind.num_vars();
+    let day = kind.steps_per_day() as f32;
+    let mut values = vec![0.0f32; num_steps * n];
+    let mut synoptic = 0.0f32; // shared slow weather front
+    let mut channel_ar = vec![0.0f32; n];
+    let gains: Vec<f32> = (0..n).map(|_| rng.gen_range(0.3..1.8)).collect();
+    let phases: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
+    let noises: Vec<f32> = (0..n).map(|_| rng.gen_range(0.05..0.6)).collect();
+    let levels: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..10.0)).collect();
+    for t in 0..num_steps {
+        let tt = t as f32;
+        synoptic = 0.999 * synoptic + 0.02 * sample_standard_normal(rng);
+        let daily = (std::f32::consts::TAU * tt / day).sin();
+        for j in 0..n {
+            channel_ar[j] = 0.9 * channel_ar[j] + noises[j] * sample_standard_normal(rng);
+            values[t * n + j] = levels[j]
+                + gains[j] * (daily * phases[j].cos() + (std::f32::consts::TAU * tt / day + phases[j]).sin() * 0.5)
+                + 2.0 * synoptic * gains[j]
+                + channel_ar[j];
+        }
+    }
+    RawSeries { kind, values, num_steps, num_vars: n }
+}
+
+/// Exchange-style: eight correlated geometric-ish random walks — no
+/// seasonality, dominated by non-stationary drift, the regime where simple
+/// models are near-optimal and errors are small in normalised units.
+fn exchange_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries {
+    let n = kind.num_vars();
+    let mut values = vec![0.0f32; num_steps * n];
+    let mut level: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..2.0)).collect();
+    let vol: Vec<f32> = (0..n).map(|_| rng.gen_range(0.002..0.01)).collect();
+    for t in 0..num_steps {
+        // One global macro shock + idiosyncratic innovations.
+        let global = sample_standard_normal(rng);
+        for j in 0..n {
+            let shock = 0.6 * global + 0.8 * sample_standard_normal(rng);
+            level[j] += vol[j] * shock;
+            values[t * n + j] = level[j];
+        }
+    }
+    RawSeries { kind, values, num_steps, num_vars: n }
+}
+
+/// PEMS-style: sensor flows with a strong daily profile including morning
+/// and evening rush-hour peaks, plus spatial smoothing so adjacent sensors
+/// co-vary (the dependence that channel-dependent models exploit,
+/// cf. Table II's discussion).
+fn pems_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries {
+    let n = kind.num_vars();
+    let day = kind.steps_per_day() as f32;
+    let mut raw = vec![0.0f32; num_steps * n];
+    let capacities: Vec<f32> = (0..n).map(|_| rng.gen_range(3.0..8.0)).collect();
+    let mut ar = vec![0.0f32; n];
+    for t in 0..num_steps {
+        let frac = (t as f32 % day) / day; // time of day in [0, 1)
+        // Two rush-hour bumps at ~8:00 and ~17:30 plus a broad daytime base.
+        let rush = gaussian_bump(frac, 8.0 / 24.0, 0.04)
+            + gaussian_bump(frac, 17.5 / 24.0, 0.05)
+            + 0.5 * gaussian_bump(frac, 13.0 / 24.0, 0.15);
+        for j in 0..n {
+            ar[j] = 0.85 * ar[j] + 0.3 * sample_standard_normal(rng);
+            raw[t * n + j] = capacities[j] * rush + 0.3 * capacities[j] + ar[j];
+        }
+    }
+    // Spatial smoothing: each sensor mixes with its neighbours on a line
+    // graph (a cheap stand-in for the freeway adjacency).
+    let mut values = vec![0.0f32; num_steps * n];
+    for t in 0..num_steps {
+        for j in 0..n {
+            let left = raw[t * n + j.saturating_sub(1)];
+            let right = raw[t * n + (j + 1).min(n - 1)];
+            values[t * n + j] = 0.6 * raw[t * n + j] + 0.2 * left + 0.2 * right;
+        }
+    }
+    RawSeries { kind, values, num_steps, num_vars: n }
+}
+
+fn gaussian_bump(x: f32, center: f32, width: f32) -> f32 {
+    let d = x - center;
+    (-0.5 * (d / width) * (d / width)).exp()
+}
+
+/// All eight dataset kinds in the paper's table order.
+pub fn all_kinds() -> [DatasetKind; 8] {
+    [
+        DatasetKind::EttM1,
+        DatasetKind::EttM2,
+        DatasetKind::EttH1,
+        DatasetKind::EttH2,
+        DatasetKind::Weather,
+        DatasetKind::Exchange,
+        DatasetKind::Pems04,
+        DatasetKind::Pems08,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(DatasetKind::EttH1, 200, 1);
+        let b = generate(DatasetKind::EttH1, 200, 1);
+        assert_eq!(a.values, b.values);
+        let c = generate(DatasetKind::EttH1, 200, 2);
+        assert_ne!(a.values, c.values);
+    }
+
+    #[test]
+    fn kinds_have_distinct_streams() {
+        let a = generate(DatasetKind::EttH1, 100, 1);
+        let b = generate(DatasetKind::EttH2, 100, 1);
+        assert_ne!(a.values, b.values);
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        for kind in all_kinds() {
+            let s = generate(kind, 150, 3);
+            assert_eq!(s.num_vars, kind.num_vars());
+            assert_eq!(s.num_steps, 150);
+            assert_eq!(s.values.len(), 150 * kind.num_vars());
+            assert!(s.values.iter().all(|v| v.is_finite()), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ett_oil_temperature_tracks_load() {
+        // OT is a smoothed integral of the loads: its lag-1 autocorrelation
+        // must be much higher than the loads'.
+        let s = generate(DatasetKind::EttH1, 2000, 7);
+        let n = s.num_vars;
+        let autocorr = |j: usize| {
+            let col: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, j)).collect();
+            lag1_autocorr(&col)
+        };
+        let ot = autocorr(n - 1);
+        let load = autocorr(0);
+        assert!(ot > load, "OT autocorr {ot} should exceed load {load}");
+        assert!(ot > 0.95, "OT should be very smooth, got {ot}");
+    }
+
+    #[test]
+    fn ett_daily_seasonality_present() {
+        let kind = DatasetKind::EttH1;
+        let s = generate(kind, 24 * 40, 5);
+        let day = kind.steps_per_day();
+        let col: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, 0)).collect();
+        let seasonal = autocorr_at_lag(&col, day);
+        assert!(seasonal > 0.3, "daily autocorrelation too weak: {seasonal}");
+    }
+
+    #[test]
+    fn exchange_is_nonstationary_walk() {
+        let s = generate(DatasetKind::Exchange, 3000, 11);
+        // A random walk's variance grows with time: compare first and last
+        // thirds around their own means.
+        let col: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, 0)).collect();
+        let d1: Vec<f32> = col.windows(2).map(|w| w[1] - w[0]).collect();
+        // Increments should be near-white: lag-1 autocorr of diffs ~ 0.
+        let white = lag1_autocorr(&d1).abs();
+        assert!(white < 0.15, "walk increments autocorrelated: {white}");
+        // And the level should wander far relative to increment scale.
+        let range = col.iter().cloned().fold(f32::MIN, f32::max)
+            - col.iter().cloned().fold(f32::MAX, f32::min);
+        let step_scale = d1.iter().map(|x| x.abs()).sum::<f32>() / d1.len() as f32;
+        assert!(range > 10.0 * step_scale);
+    }
+
+    #[test]
+    fn pems_has_rush_hour_peaks() {
+        let kind = DatasetKind::Pems04;
+        let s = generate(kind, kind.steps_per_day() * 10, 9);
+        let day = kind.steps_per_day();
+        // Average the daily profile of sensor 0 and check morning peak
+        // (~8:00) well above the 3:00 trough.
+        let mut profile = vec![0.0f32; day];
+        let mut counts = vec![0usize; day];
+        for t in 0..s.num_steps {
+            profile[t % day] += s.at(t, 0);
+            counts[t % day] += 1;
+        }
+        for (p, c) in profile.iter_mut().zip(counts) {
+            *p /= c as f32;
+        }
+        let at_8 = profile[day * 8 / 24];
+        let at_3 = profile[day * 3 / 24];
+        assert!(at_8 > at_3 + 1.0, "rush peak missing: 8h={at_8} 3h={at_3}");
+    }
+
+    #[test]
+    fn pems_neighbours_correlated() {
+        let s = generate(DatasetKind::Pems08, 2000, 13);
+        let a: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, 4)).collect();
+        let b: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, 5)).collect();
+        let far: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, 9)).collect();
+        let near_corr = pearson(&a, &b);
+        let far_corr = pearson(&a, &far);
+        assert!(near_corr > 0.5, "adjacent sensors uncorrelated: {near_corr}");
+        assert!(near_corr > far_corr, "{near_corr} vs {far_corr}");
+    }
+
+    #[test]
+    fn weather_channels_have_varied_noise() {
+        let s = generate(DatasetKind::Weather, 2000, 17);
+        let mut stds = Vec::new();
+        for j in 0..s.num_vars {
+            let col: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, j)).collect();
+            let diffs: Vec<f32> = col.windows(2).map(|w| w[1] - w[0]).collect();
+            let m = diffs.iter().sum::<f32>() / diffs.len() as f32;
+            let v = diffs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / diffs.len() as f32;
+            stds.push(v.sqrt());
+        }
+        let max = stds.iter().cloned().fold(f32::MIN, f32::max);
+        let min = stds.iter().cloned().fold(f32::MAX, f32::min);
+        assert!(max / min > 2.0, "noise levels too uniform: {min}..{max}");
+    }
+
+    fn lag1_autocorr(x: &[f32]) -> f32 {
+        autocorr_at_lag(x, 1)
+    }
+
+    fn autocorr_at_lag(x: &[f32], lag: usize) -> f32 {
+        let n = x.len();
+        let mean = x.iter().sum::<f32>() / n as f32;
+        let var: f32 = x.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let cov: f32 = (0..n - lag)
+            .map(|i| (x[i] - mean) * (x[i + lag] - mean))
+            .sum();
+        cov / var
+    }
+
+    fn pearson(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len() as f32;
+        let ma = a.iter().sum::<f32>() / n;
+        let mb = b.iter().sum::<f32>() / n;
+        let cov: f32 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f32 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f32 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}

@@ -1,0 +1,38 @@
+//! # timekd-data
+//!
+//! Data substrate for the TimeKD reproduction: seeded synthetic generators
+//! for the eight benchmark dataset families (ETTh1/h2/m1/m2, Weather,
+//! Exchange, PEMS04/08), chronological train/val/test splits with
+//! train-fitted standardisation, sliding-window forecasting datasets,
+//! prompt templating per the paper's Fig. 2, and the MSE/MAE evaluation
+//! metrics (Eq. 31–32).
+//!
+//! ## Example
+//!
+//! ```
+//! use timekd_data::{DatasetKind, Split, SplitDataset};
+//!
+//! let ds = SplitDataset::new(DatasetKind::EttH1, 800, 42, 96, 24);
+//! let windows = ds.windows(Split::Test, 4);
+//! assert_eq!(windows[0].x.dims(), &[96, 7]);
+//! assert_eq!(windows[0].y.dims(), &[24, 7]);
+//! ```
+
+mod csv;
+mod dataset;
+mod generators;
+mod loader;
+mod metrics;
+mod prompts;
+mod scaler;
+
+pub use csv::write_csv;
+pub use dataset::{ForecastWindow, Split, SplitDataset};
+pub use generators::{all_kinds, generate, DatasetKind, RawSeries};
+pub use loader::{load_csv_series, parse_csv_series, LoadError};
+pub use metrics::{mae, mse, MetricAccumulator};
+pub use prompts::{
+    column, ground_truth_prompt, historical_prompt, window_prompts, PromptConfig,
+    WindowPrompts,
+};
+pub use scaler::StandardScaler;

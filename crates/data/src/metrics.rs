@@ -1,0 +1,131 @@
+//! Evaluation metrics (paper Eq. 31–32) and streaming accumulation across
+//! test windows.
+
+use timekd_tensor::Tensor;
+
+/// Mean squared error between equal-shape tensors.
+pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.dims(), target.dims(), "mse: shape mismatch");
+    let p = pred.data();
+    let t = target.data();
+    let n = p.len();
+    assert!(n > 0);
+    p.iter().zip(t.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / n as f32
+}
+
+/// Mean absolute error between equal-shape tensors.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
+    assert_eq!(pred.dims(), target.dims(), "mae: shape mismatch");
+    let p = pred.data();
+    let t = target.data();
+    let n = p.len();
+    assert!(n > 0);
+    p.iter().zip(t.iter()).map(|(a, b)| (a - b).abs()).sum::<f32>() / n as f32
+}
+
+/// Streaming accumulator over per-window errors, weighted by element count
+/// so windows of different sizes average correctly.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MetricAccumulator {
+    sq_sum: f64,
+    abs_sum: f64,
+    count: u64,
+}
+
+impl MetricAccumulator {
+    /// Fresh accumulator.
+    pub fn new() -> MetricAccumulator {
+        MetricAccumulator::default()
+    }
+
+    /// Adds one prediction/target pair.
+    pub fn update(&mut self, pred: &Tensor, target: &Tensor) {
+        assert_eq!(pred.dims(), target.dims(), "accumulator: shape mismatch");
+        let p = pred.data();
+        let t = target.data();
+        for (a, b) in p.iter().zip(t.iter()) {
+            let d = (a - b) as f64;
+            self.sq_sum += d * d;
+            self.abs_sum += d.abs();
+        }
+        self.count += p.len() as u64;
+    }
+
+    /// Aggregate MSE.
+    pub fn mse(&self) -> f32 {
+        assert!(self.count > 0, "no samples accumulated");
+        (self.sq_sum / self.count as f64) as f32
+    }
+
+    /// Aggregate MAE.
+    pub fn mae(&self) -> f32 {
+        assert!(self.count > 0, "no samples accumulated");
+        (self.abs_sum / self.count as f64) as f32
+    }
+
+    /// Number of scalar values accumulated.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        self.sq_sum += other.sq_sum;
+        self.abs_sum += other.abs_sum;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_mae_known_values() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let t = Tensor::from_vec(vec![0.0, 4.0], [2]);
+        assert_eq!(mse(&p, &t), (1.0 + 4.0) / 2.0);
+        assert_eq!(mae(&p, &t), (1.0 + 2.0) / 2.0);
+    }
+
+    #[test]
+    fn perfect_prediction_zero() {
+        let t = Tensor::from_vec(vec![1.0, -1.0], [2]);
+        assert_eq!(mse(&t, &t), 0.0);
+        assert_eq!(mae(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn accumulator_matches_batch_computation() {
+        let p1 = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let t1 = Tensor::zeros([2]);
+        let p2 = Tensor::from_vec(vec![3.0], [1]);
+        let t2 = Tensor::zeros([1]);
+        let mut acc = MetricAccumulator::new();
+        acc.update(&p1, &t1);
+        acc.update(&p2, &t2);
+        // Joint MSE over all 3 values.
+        assert!((acc.mse() - (1.0 + 4.0 + 9.0) / 3.0).abs() < 1e-6);
+        assert!((acc.mae() - (1.0 + 2.0 + 3.0) / 3.0).abs() < 1e-6);
+        assert_eq!(acc.count(), 3);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let p = Tensor::from_vec(vec![2.0], [1]);
+        let t = Tensor::zeros([1]);
+        let mut a = MetricAccumulator::new();
+        a.update(&p, &t);
+        let mut b = MetricAccumulator::new();
+        b.update(&p, &t);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mse() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_accumulator_panics() {
+        let _ = MetricAccumulator::new().mse();
+    }
+}

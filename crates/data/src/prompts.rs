@@ -1,0 +1,243 @@
+//! Prompt templating (paper Fig. 2 and Definition 2).
+//!
+//! Each variable of a window is rendered into:
+//! - a **historical prompt** — "From ⟨t−H+1⟩ to ⟨t⟩, values were ⟨h…⟩ every
+//!   ⟨f⟩ minutes. Forecast the next ⟨M⟩ minutes" (Fig. 2b), and
+//! - a **ground-truth prompt** — the same prefix followed by "Next ⟨M⟩
+//!   minutes: ⟨g…⟩" (Fig. 2a), which exists only at training time and is
+//!   the privileged information of the LUPI teacher.
+
+use timekd_lm::{PromptPiece, PromptTokenizer, Token};
+use timekd_tensor::Tensor;
+
+/// Controls prompt rendering.
+#[derive(Clone, Copy, Debug)]
+pub struct PromptConfig {
+    /// Maximum number of history values embedded per prompt. Real prompts
+    /// carry all `H` values; at CPU scale the most recent `max_history`
+    /// values preserve the prompt structure at tractable token counts.
+    pub max_history: usize,
+    /// Maximum number of future values in a ground-truth prompt.
+    pub max_future: usize,
+    /// Sampling period in minutes (the ⟨f⟩ slot).
+    pub freq_minutes: usize,
+}
+
+impl Default for PromptConfig {
+    fn default() -> Self {
+        PromptConfig {
+            max_history: 16,
+            max_future: 16,
+            freq_minutes: 60,
+        }
+    }
+}
+
+/// At most `cap` values, evenly spaced across the whole slice and always
+/// including the first and last elements.
+///
+/// Evenly-spaced subsampling preserves the *global* shape of the series —
+/// trend and the position within the daily cycle — which is what the
+/// teacher needs to reconstruct the full horizon; a contiguous head/tail
+/// of the same budget would only describe one corner of the window.
+fn subsample(values: &[f32], cap: usize) -> Vec<f32> {
+    assert!(cap > 0, "subsample cap must be positive");
+    if values.len() <= cap {
+        return values.to_vec();
+    }
+    let n = values.len();
+    (0..cap)
+        .map(|i| {
+            let idx = (i as f32 * (n - 1) as f32 / (cap - 1) as f32).round() as usize;
+            values[idx.min(n - 1)]
+        })
+        .collect()
+}
+
+fn shared_prefix(history: &[f32], horizon: usize, config: &PromptConfig) -> Vec<PromptPiece> {
+    let mut pieces = vec![
+        PromptPiece::Word("from"),
+        PromptPiece::Number(1.0),
+        PromptPiece::Word("to"),
+        PromptPiece::Number(history.len() as f32),
+        PromptPiece::Word(","),
+        PromptPiece::Word("values"),
+        PromptPiece::Word("were"),
+    ];
+    for &v in &subsample(history, config.max_history) {
+        pieces.push(PromptPiece::Number(v));
+        pieces.push(PromptPiece::Word(","));
+    }
+    pieces.push(PromptPiece::Word("every"));
+    pieces.push(PromptPiece::Number(config.freq_minutes as f32));
+    pieces.push(PromptPiece::Word("minutes"));
+    pieces.push(PromptPiece::Word("."));
+    let _ = horizon;
+    pieces
+}
+
+/// Historical prompt for one variable (Fig. 2b).
+pub fn historical_prompt(
+    tokenizer: &PromptTokenizer,
+    history: &[f32],
+    horizon: usize,
+    config: &PromptConfig,
+) -> Vec<Token> {
+    let mut pieces = shared_prefix(history, horizon, config);
+    pieces.push(PromptPiece::Word("forecast"));
+    pieces.push(PromptPiece::Word("the"));
+    pieces.push(PromptPiece::Word("next"));
+    pieces.push(PromptPiece::Number(horizon as f32));
+    pieces.push(PromptPiece::Word("steps"));
+    tokenizer.encode(&pieces)
+}
+
+/// Ground-truth prompt for one variable (Fig. 2a) — privileged information,
+/// only legal during training.
+pub fn ground_truth_prompt(
+    tokenizer: &PromptTokenizer,
+    history: &[f32],
+    future: &[f32],
+    config: &PromptConfig,
+) -> Vec<Token> {
+    let mut pieces = shared_prefix(history, future.len(), config);
+    pieces.push(PromptPiece::Word("next"));
+    pieces.push(PromptPiece::Number(future.len() as f32));
+    pieces.push(PromptPiece::Word("steps"));
+    pieces.push(PromptPiece::Word(":"));
+    let future_vals = subsample(future, config.max_future);
+    for (i, &v) in future_vals.iter().enumerate() {
+        pieces.push(PromptPiece::Number(v));
+        if i + 1 < future_vals.len() {
+            pieces.push(PromptPiece::Word(","));
+        }
+    }
+    // The prompt deliberately ends on the last *value* token (paper
+    // Fig. 2a): under calibrated attention the extracted last token must be
+    // numeric-modality, otherwise the -Δ bias suppresses exactly the
+    // value-routing the teacher depends on.
+    tokenizer.encode(&pieces)
+}
+
+/// Extracts column `var` of a `[T, N]` tensor as a plain vector.
+pub fn column(x: &Tensor, var: usize) -> Vec<f32> {
+    assert_eq!(x.shape().rank(), 2, "column expects [T, N]");
+    let (t, n) = (x.dims()[0], x.dims()[1]);
+    assert!(var < n, "variable {var} out of range {n}");
+    let data = x.data();
+    (0..t).map(|i| data[i * n + var]).collect()
+}
+
+/// Per-variable prompt pair for a whole window.
+pub struct WindowPrompts {
+    /// Historical prompts, one per variable.
+    pub historical: Vec<Vec<Token>>,
+    /// Ground-truth prompts, one per variable.
+    pub ground_truth: Vec<Vec<Token>>,
+}
+
+/// Renders historical and ground-truth prompts for every variable of a
+/// window (`x: [H, N]`, `y: [M, N]`).
+pub fn window_prompts(
+    tokenizer: &PromptTokenizer,
+    x: &Tensor,
+    y: &Tensor,
+    config: &PromptConfig,
+) -> WindowPrompts {
+    let n = x.dims()[1];
+    assert_eq!(y.dims()[1], n, "x and y variable counts differ");
+    let horizon = y.dims()[0];
+    let mut historical = Vec::with_capacity(n);
+    let mut ground_truth = Vec::with_capacity(n);
+    for var in 0..n {
+        let h = column(x, var);
+        let g = column(y, var);
+        historical.push(historical_prompt(tokenizer, &h, horizon, config));
+        ground_truth.push(ground_truth_prompt(tokenizer, &h, &g, config));
+    }
+    WindowPrompts { historical, ground_truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd_lm::Modality;
+
+    fn cfg() -> PromptConfig {
+        PromptConfig { max_history: 4, max_future: 4, freq_minutes: 15 }
+    }
+
+    #[test]
+    fn historical_prompt_is_mixed_modality() {
+        let tok = PromptTokenizer::new();
+        let p = historical_prompt(&tok, &[1.0, 2.0, 3.0], 24, &cfg());
+        assert!(p.iter().any(|t| t.modality == Modality::Text));
+        assert!(p.iter().any(|t| t.modality == Modality::Numeric));
+    }
+
+    #[test]
+    fn ground_truth_prompt_longer_than_historical() {
+        // W_HD < W_GT, as stated in §IV-B1.
+        let tok = PromptTokenizer::new();
+        let h = vec![1.0; 8];
+        let g = vec![2.0; 8];
+        let hp = historical_prompt(&tok, &h, 8, &cfg());
+        let gp = ground_truth_prompt(&tok, &h, &g, &cfg());
+        assert!(gp.len() > hp.len(), "{} vs {}", hp.len(), gp.len());
+    }
+
+    #[test]
+    fn ground_truth_prompt_contains_future_values() {
+        let tok = PromptTokenizer::new();
+        let gp = ground_truth_prompt(&tok, &[0.0], &[2.0], &cfg());
+        let text = tok.decode(&gp);
+        assert!(text.contains("2.0"), "{text}");
+    }
+
+    #[test]
+    fn history_subsampled_covers_both_ends() {
+        let tok = PromptTokenizer::new();
+        // Linear ramp from -3 to 3 over 100 points.
+        let h: Vec<f32> = (0..100).map(|x| -3.0 + 6.0 * x as f32 / 99.0).collect();
+        let p = historical_prompt(&tok, &h, 4, &cfg());
+        let text = tok.decode(&p);
+        assert!(text.contains("-3.0"), "first value present: {text}");
+        assert!(text.contains("3.0"), "last value present: {text}");
+        assert!(text.contains("-1.0"), "interior sample present: {text}");
+    }
+
+    #[test]
+    fn subsample_short_series_verbatim() {
+        assert_eq!(subsample(&[1.0, 2.0], 8), vec![1.0, 2.0]);
+        assert_eq!(subsample(&[1.0, 2.0, 3.0], 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn subsample_monotone_indices() {
+        let v: Vec<f32> = (0..50).map(|x| x as f32).collect();
+        let s = subsample(&v, 7);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(*s.last().unwrap(), 49.0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn window_prompts_per_variable() {
+        let tok = PromptTokenizer::new();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), [4, 3]);
+        let y = Tensor::from_vec((0..6).map(|v| v as f32).collect(), [2, 3]);
+        let wp = window_prompts(&tok, &x, &y, &cfg());
+        assert_eq!(wp.historical.len(), 3);
+        assert_eq!(wp.ground_truth.len(), 3);
+        // Different variables produce different prompts.
+        assert_ne!(wp.historical[0], wp.historical[1]);
+    }
+
+    #[test]
+    fn column_extracts_strided_values() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [3, 2]);
+        assert_eq!(column(&x, 0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(column(&x, 1), vec![2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-channel standardisation fit on the training split only.
+
+/// Per-channel mean/std scaler (z-score), the preprocessing every baseline
+//  in the paper shares.
+#[derive(Clone, Debug)]
+pub struct StandardScaler {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fits channel-wise statistics on `data` (`[num_steps, num_vars]`
+    /// row-major). Channels with zero variance get std 1 so transform stays
+    /// finite.
+    pub fn fit(data: &[f32], num_vars: usize) -> StandardScaler {
+        assert!(num_vars > 0 && data.len().is_multiple_of(num_vars), "bad data layout");
+        let steps = data.len() / num_vars;
+        assert!(steps > 0, "cannot fit scaler on empty data");
+        let mut mean = vec![0.0f32; num_vars];
+        for t in 0..steps {
+            for j in 0..num_vars {
+                mean[j] += data[t * num_vars + j];
+            }
+        }
+        for m in &mut mean {
+            *m /= steps as f32;
+        }
+        let mut var = vec![0.0f32; num_vars];
+        for t in 0..steps {
+            for j in 0..num_vars {
+                let d = data[t * num_vars + j] - mean[j];
+                var[j] += d * d;
+            }
+        }
+        let std = var
+            .iter()
+            .map(|v| {
+                let s = (v / steps as f32).sqrt();
+                if s > 1e-8 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Number of channels.
+    pub fn num_vars(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardises in place.
+    pub fn transform(&self, data: &mut [f32]) {
+        let n = self.num_vars();
+        assert_eq!(data.len() % n, 0);
+        for (i, v) in data.iter_mut().enumerate() {
+            let j = i % n;
+            *v = (*v - self.mean[j]) / self.std[j];
+        }
+    }
+
+    /// Inverts [`StandardScaler::transform`] in place.
+    pub fn inverse_transform(&self, data: &mut [f32]) {
+        let n = self.num_vars();
+        assert_eq!(data.len() % n, 0);
+        for (i, v) in data.iter_mut().enumerate() {
+            let j = i % n;
+            *v = *v * self.std[j] + self.mean[j];
+        }
+    }
+
+    /// Channel means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Channel standard deviations.
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transform_standardises() {
+        let data: Vec<f32> = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        let scaler = StandardScaler::fit(&data, 2);
+        let mut d = data.clone();
+        scaler.transform(&mut d);
+        // Channel 0: mean 2, channel 1: mean 20.
+        let m0 = (d[0] + d[2] + d[4]) / 3.0;
+        let m1 = (d[1] + d[3] + d[5]) / 3.0;
+        assert!(m0.abs() < 1e-6 && m1.abs() < 1e-6);
+    }
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<f32> = (0..20).map(|x| x as f32 * 1.3 - 4.0).collect();
+        let scaler = StandardScaler::fit(&data, 4);
+        let mut d = data.clone();
+        scaler.transform(&mut d);
+        scaler.inverse_transform(&mut d);
+        for (a, b) in d.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_channel_survives() {
+        let data = vec![5.0, 1.0, 5.0, 2.0, 5.0, 3.0];
+        let scaler = StandardScaler::fit(&data, 2);
+        let mut d = data.clone();
+        scaler.transform(&mut d);
+        assert!(d.iter().all(|v| v.is_finite()));
+        assert_eq!(d[0], 0.0);
+    }
+
+    #[test]
+    fn transform_uses_train_stats_not_test() {
+        // Fit on one distribution, apply to a shifted one: output should be
+        // offset, not re-centred (that's what makes it a train-split fit).
+        let train = vec![0.0f32; 10];
+        let scaler = StandardScaler::fit(&train, 1);
+        let mut test = vec![3.0f32; 5];
+        scaler.transform(&mut test);
+        assert!(test.iter().all(|&v| v == 3.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Frozen-LM feature extraction with an embedding cache.
+//!
+//! TimeKD keeps the CLM frozen and, to avoid "repetitive processing with
+//! the frozen CLMs", stores the extracted embeddings for reuse (§IV-B2).
+//! [`FrozenLm`] wraps a pretrained [`CausalLm`], runs it under `no_grad`,
+//! and memoises last-token embeddings keyed by the exact token sequence and
+//! calibration flag.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+use timekd_tensor::{no_grad, Tensor};
+
+use crate::model::CausalLm;
+use crate::tokenizer::Token;
+
+/// A frozen language model with embedding memoisation.
+pub struct FrozenLm {
+    lm: CausalLm,
+    cache: Mutex<HashMap<u64, Vec<f32>>>,
+    caching_enabled: std::sync::atomic::AtomicBool,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+fn cache_key(tokens: &[Token], calibrated: bool) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for t in tokens {
+        t.id.hash(&mut h);
+        t.modality.hash(&mut h);
+    }
+    calibrated.hash(&mut h);
+    h.finish()
+}
+
+impl FrozenLm {
+    /// Freezes `lm`.
+    pub fn new(lm: CausalLm) -> FrozenLm {
+        FrozenLm {
+            lm,
+            cache: Mutex::new(HashMap::new()),
+            caching_enabled: std::sync::atomic::AtomicBool::new(true),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// The wrapped model (read-only use).
+    pub fn model(&self) -> &CausalLm {
+        &self.lm
+    }
+
+    /// Last-token embedding `[D]` as a constant tensor, served from the
+    /// cache when this exact prompt has been embedded before.
+    pub fn embed(&self, tokens: &[Token], calibrated: bool) -> Tensor {
+        let caching = self
+            .caching_enabled
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let key = cache_key(tokens, calibrated);
+        if caching {
+            if let Some(data) = self.cache.lock().get(&key) {
+                *self.hits.lock() += 1;
+                return Tensor::from_vec(data.clone(), [self.lm.config().dim]);
+            }
+        }
+        *self.misses.lock() += 1;
+        let emb = no_grad(|| self.lm.last_token_embedding(tokens, calibrated));
+        let data = emb.to_vec();
+        if caching {
+            self.cache.lock().insert(key, data.clone());
+        }
+        Tensor::from_vec(data, [self.lm.config().dim])
+    }
+
+    /// Enables or disables the embedding cache (the design-choice ablation
+    /// measured by the `ablation_cache` bench — §IV-B2's "we store the
+    /// subtracted embeddings").
+    pub fn set_caching(&self, enabled: bool) {
+        self.caching_enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Number of distinct prompts embedded.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drops all cached embeddings.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LmConfig;
+    use crate::tokenizer::{PromptPiece, PromptTokenizer};
+    use timekd_tensor::seeded_rng;
+
+    fn setup() -> (PromptTokenizer, FrozenLm) {
+        let tok = PromptTokenizer::new();
+        let mut rng = seeded_rng(0);
+        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        (tok, FrozenLm::new(lm))
+    }
+
+    #[test]
+    fn embeddings_are_constant_tensors() {
+        let (tok, frozen) = setup();
+        let toks = tok.encode(&[PromptPiece::Word("forecast"), PromptPiece::Number(3.0)]);
+        let e = frozen.embed(&toks, true);
+        assert!(!e.requires_grad(), "frozen LM output must not join the graph");
+        assert_eq!(e.dims(), &[frozen.model().config().dim]);
+    }
+
+    #[test]
+    fn cache_hit_on_repeat() {
+        let (tok, frozen) = setup();
+        let toks = tok.encode(&[PromptPiece::Word("forecast")]);
+        let a = frozen.embed(&toks, true);
+        let b = frozen.embed(&toks, true);
+        assert_eq!(a.to_vec(), b.to_vec());
+        let (hits, misses) = frozen.cache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn calibration_flag_is_part_of_key() {
+        let (tok, frozen) = setup();
+        let toks = tok.encode(&[PromptPiece::Word("forecast"), PromptPiece::Number(1.0)]);
+        let a = frozen.embed(&toks, true);
+        let b = frozen.embed(&toks, false);
+        assert_ne!(a.to_vec(), b.to_vec());
+        assert_eq!(frozen.cache_len(), 2);
+    }
+
+    #[test]
+    fn different_prompts_different_entries() {
+        let (tok, frozen) = setup();
+        let a = tok.encode(&[PromptPiece::Number(1.0)]);
+        let b = tok.encode(&[PromptPiece::Number(2.0)]);
+        let _ = frozen.embed(&a, true);
+        let _ = frozen.embed(&b, true);
+        assert_eq!(frozen.cache_len(), 2);
+    }
+
+    #[test]
+    fn caching_can_be_disabled() {
+        let (tok, frozen) = setup();
+        frozen.set_caching(false);
+        let toks = tok.encode(&[PromptPiece::Word("forecast")]);
+        let a = frozen.embed(&toks, true);
+        let b = frozen.embed(&toks, true);
+        assert_eq!(a.to_vec(), b.to_vec(), "results identical either way");
+        let (hits, misses) = frozen.cache_stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2, "every call recomputes with caching off");
+        assert_eq!(frozen.cache_len(), 0);
+    }
+
+    #[test]
+    fn clear_cache_resets() {
+        let (tok, frozen) = setup();
+        let toks = tok.encode(&[PromptPiece::Word("forecast")]);
+        let _ = frozen.embed(&toks, true);
+        frozen.clear_cache();
+        assert_eq!(frozen.cache_len(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-head scaled dot-product attention with arbitrary additive masks
+//! and differentiable attention-map export.
+//!
+//! The export matters for TimeKD: correlation distillation (paper Eq. 24)
+//! aligns the head-averaged attention matrices of the teacher's privileged
+//! Transformer with the student's time-series Transformer, so the student's
+//! map must stay in the autograd graph.
+
+use rand::rngs::StdRng;
+use timekd_tensor::Tensor;
+
+use crate::linear::Linear;
+use crate::module::Module;
+
+/// Output of an attention call.
+pub struct AttentionOutput {
+    /// Attended values, `[T_q, D]`.
+    pub output: Tensor,
+    /// Head-averaged attention weights, `[T_q, T_k]`, differentiable.
+    pub attention: Tensor,
+}
+
+/// Multi-head attention (self- or cross-) over rank-2 `[T, D]` inputs.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    num_heads: usize,
+    head_dim: usize,
+    dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention block with `num_heads` heads over width `dim`.
+    ///
+    /// Panics unless `dim % num_heads == 0`.
+    pub fn new(dim: usize, num_heads: usize, rng: &mut StdRng) -> MultiHeadAttention {
+        assert!(num_heads > 0 && dim.is_multiple_of(num_heads), "dim {dim} not divisible by heads {num_heads}");
+        MultiHeadAttention {
+            wq: Linear::new_no_bias(dim, dim, rng),
+            wk: Linear::new_no_bias(dim, dim, rng),
+            wv: Linear::new_no_bias(dim, dim, rng),
+            wo: Linear::new_no_bias(dim, dim, rng),
+            num_heads,
+            head_dim: dim / num_heads,
+            dim,
+        }
+    }
+
+    /// Splits `[T, D]` into `[H, T, dh]`.
+    fn split_heads(&self, x: &Tensor) -> Tensor {
+        let t = x.dims()[0];
+        x.reshape([t, self.num_heads, self.head_dim])
+            .permute(&[1, 0, 2])
+    }
+
+    /// Merges `[H, T, dh]` back to `[T, D]`.
+    fn merge_heads(&self, x: &Tensor) -> Tensor {
+        let t = x.dims()[1];
+        x.permute(&[1, 0, 2]).reshape([t, self.dim])
+    }
+
+    /// Attention with query from `q_in` `[T_q, D]` and key/value from
+    /// `kv_in` `[T_k, D]`. `mask` is an optional additive bias `[T_q, T_k]`
+    /// applied to the pre-softmax scores (use large negatives to forbid
+    /// positions, per the paper's Eq. 4–5).
+    pub fn attend(&self, q_in: &Tensor, kv_in: &Tensor, mask: Option<&Tensor>) -> AttentionOutput {
+        assert_eq!(q_in.shape().rank(), 2, "attention expects [T, D] inputs");
+        assert_eq!(kv_in.shape().rank(), 2, "attention expects [T, D] inputs");
+        let tq = q_in.dims()[0];
+        let tk = kv_in.dims()[0];
+        if let Some(m) = mask {
+            assert_eq!(m.dims(), &[tq, tk], "mask shape mismatch");
+        }
+        let q = self.split_heads(&self.wq.forward(q_in)); // [H, Tq, dh]
+        let k = self.split_heads(&self.wk.forward(kv_in)); // [H, Tk, dh]
+        let v = self.split_heads(&self.wv.forward(kv_in)); // [H, Tk, dh]
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut scores = q.matmul(&k.transpose_last()).mul_scalar(scale); // [H, Tq, Tk]
+        if let Some(m) = mask {
+            scores = scores.add(m);
+        }
+        let attn = scores.softmax_last(); // [H, Tq, Tk]
+        let ctx = attn.matmul(&v); // [H, Tq, dh]
+        let output = self.wo.forward(&self.merge_heads(&ctx));
+        let attention = attn.mean_axis(0, false); // [Tq, Tk]
+        AttentionOutput { output, attention }
+    }
+
+    /// Self-attention shorthand.
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> AttentionOutput {
+        self.attend(x, x, mask)
+    }
+
+    /// Number of heads.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn params(&self) -> Vec<Tensor> {
+        let mut v = self.wq.params();
+        v.extend(self.wk.params());
+        v.extend(self.wv.params());
+        v.extend(self.wo.params());
+        v
+    }
+}
+
+/// Builds a causal (lower-triangular) additive mask of size `[t, t]` with
+/// `-1e9` above the diagonal.
+pub fn causal_mask(t: usize) -> Tensor {
+    let mut data = vec![0.0f32; t * t];
+    for i in 0..t {
+        for j in (i + 1)..t {
+            data[i * t + j] = -1e9;
+        }
+    }
+    Tensor::from_vec(data, [t, t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd_tensor::seeded_rng;
+
+    #[test]
+    fn output_shapes() {
+        let mut rng = seeded_rng(0);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::randn([5, 8], 1.0, &mut rng);
+        let out = mha.forward(&x, None);
+        assert_eq!(out.output.dims(), &[5, 8]);
+        assert_eq!(out.attention.dims(), &[5, 5]);
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one() {
+        let mut rng = seeded_rng(1);
+        let mha = MultiHeadAttention::new(8, 4, &mut rng);
+        let x = Tensor::randn([6, 8], 1.0, &mut rng);
+        let out = mha.forward(&x, None);
+        let a = out.attention.to_vec();
+        for r in 0..6 {
+            let s: f32 = a[r * 6..(r + 1) * 6].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let mut rng = seeded_rng(2);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::randn([4, 8], 1.0, &mut rng);
+        let mask = causal_mask(4);
+        let out = mha.forward(&x, Some(&mask));
+        let a = out.attention.to_vec();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(a[i * 4 + j] < 1e-6, "future position attended: {}", a[i * 4 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn causal_first_token_unaffected_by_later_tokens() {
+        let mut rng = seeded_rng(3);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x1 = Tensor::randn([4, 8], 1.0, &mut rng);
+        // Perturb only the last token.
+        let mut data = x1.to_vec();
+        for v in data[24..32].iter_mut() {
+            *v += 5.0;
+        }
+        let x2 = Tensor::from_vec(data, [4, 8]);
+        let m = causal_mask(4);
+        let y1 = mha.forward(&x1, Some(&m)).output.to_vec();
+        let y2 = mha.forward(&x2, Some(&m)).output.to_vec();
+        // Tokens 0..3 outputs identical; token 3 differs.
+        assert_eq!(&y1[0..24], &y2[0..24]);
+        assert_ne!(&y1[24..32], &y2[24..32]);
+    }
+
+    #[test]
+    fn cross_attention_shapes() {
+        let mut rng = seeded_rng(4);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let q = Tensor::randn([3, 8], 1.0, &mut rng);
+        let kv = Tensor::randn([7, 8], 1.0, &mut rng);
+        let out = mha.attend(&q, &kv, None);
+        assert_eq!(out.output.dims(), &[3, 8]);
+        assert_eq!(out.attention.dims(), &[3, 7]);
+    }
+
+    #[test]
+    fn attention_map_is_differentiable() {
+        let mut rng = seeded_rng(5);
+        let mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        let out = mha.forward(&x, None);
+        // A loss on the attention map must reach the projections — this is
+        // exactly what correlation distillation does.
+        out.attention.square().mean().backward();
+        assert!(mha.params()[0].grad().is_some(), "wq got no gradient");
+        assert!(mha.params()[1].grad().is_some(), "wk got no gradient");
+    }
+
+    #[test]
+    fn grad_check_through_attention() {
+        let mut rng = seeded_rng(6);
+        let mha = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        let wq = mha.params()[0].clone();
+        timekd_tensor::assert_gradients_close(
+            &wq,
+            || mha.forward(&x, None).output.square().mean(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_heads_panic() {
+        let mut rng = seeded_rng(0);
+        let _ = MultiHeadAttention::new(6, 4, &mut rng);
+    }
+}

@@ -1,0 +1,111 @@
+//! Inverted dropout with an owned, seedable RNG.
+
+use std::cell::RefCell;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use timekd_tensor::{seeded_rng, Tensor};
+
+/// Inverted dropout: at train time zeroes each element with probability `p`
+/// and scales survivors by `1/(1−p)`; at eval time it is the identity.
+pub struct Dropout {
+    p: f32,
+    rng: RefCell<StdRng>,
+    training: std::cell::Cell<bool>,
+}
+
+impl Dropout {
+    /// Creates dropout with rate `p ∈ [0, 1)` and a dedicated RNG seed.
+    pub fn new(p: f32, seed: u64) -> Dropout {
+        assert!((0.0..1.0).contains(&p), "dropout rate must be in [0, 1)");
+        Dropout {
+            p,
+            rng: RefCell::new(seeded_rng(seed)),
+            training: std::cell::Cell::new(true),
+        }
+    }
+
+    /// Switches between train (mask active) and eval (identity) modes.
+    pub fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+
+    /// Applies dropout.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        if !self.training.get() || self.p == 0.0 {
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut rng = self.rng.borrow_mut();
+        let mask: Vec<f32> = (0..x.num_elements())
+            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, x.shape().clone());
+        x.mul(&mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5, 0);
+        d.set_training(false);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3]);
+        assert_eq!(d.forward(&x).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_in_training() {
+        let d = Dropout::new(0.0, 0);
+        let x = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        assert_eq!(d.forward(&x).to_vec(), x.to_vec());
+    }
+
+    #[test]
+    fn training_mode_zeroes_and_scales() {
+        let d = Dropout::new(0.5, 42);
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x).to_vec();
+        let zeros = y.iter().filter(|&&v| v == 0.0).count();
+        let kept: Vec<f32> = y.iter().copied().filter(|&v| v != 0.0).collect();
+        // Survivors are scaled to 2.0; roughly half are dropped.
+        assert!(kept.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn expectation_approximately_preserved() {
+        let d = Dropout::new(0.3, 7);
+        let x = Tensor::ones([20_000]);
+        let y = d.forward(&x).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gradient_masked_like_forward() {
+        let d = Dropout::new(0.5, 3);
+        let p = Tensor::param(vec![1.0; 8], [8]);
+        let y = d.forward(&p);
+        let y_vals = y.to_vec();
+        y.sum().backward();
+        let g = p.grad().unwrap();
+        for (gi, yi) in g.iter().zip(&y_vals) {
+            if *yi == 0.0 {
+                assert_eq!(*gi, 0.0);
+            } else {
+                assert!((gi - 2.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout rate")]
+    fn invalid_rate_panics() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

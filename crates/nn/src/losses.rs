@@ -1,0 +1,94 @@
+//! Loss functions used across the TimeKD pipeline.
+//!
+//! Every TimeKD objective — reconstruction (Eq. 16), correlation
+//! distillation (Eq. 24), feature distillation (Eq. 25) and forecasting
+//! (Eq. 29) — is a mean Smooth-L1; MSE/MAE are the paper's evaluation
+//! metrics (Eq. 31–32).
+
+use timekd_tensor::Tensor;
+
+/// Mean Smooth-L1 (Huber, δ=1) between `pred` and `target` (Eq. 16/17).
+pub fn smooth_l1_loss(pred: &Tensor, target: &Tensor) -> Tensor {
+    assert_eq!(
+        pred.dims(),
+        target.dims(),
+        "smooth_l1_loss: shape mismatch {} vs {}",
+        pred.shape(),
+        target.shape()
+    );
+    pred.smooth_l1(target).mean()
+}
+
+/// Mean squared error (Eq. 31).
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Tensor {
+    assert_eq!(pred.dims(), target.dims(), "mse_loss: shape mismatch");
+    pred.sub(target).square().mean()
+}
+
+/// Mean absolute error (Eq. 32).
+pub fn mae_loss(pred: &Tensor, target: &Tensor) -> Tensor {
+    assert_eq!(pred.dims(), target.dims(), "mae_loss: shape mismatch");
+    pred.sub(target).abs().mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_l1_below_mse_for_outliers() {
+        let pred = Tensor::from_vec(vec![10.0], [1]);
+        let target = Tensor::zeros([1]);
+        let huber = smooth_l1_loss(&pred, &target).item();
+        let mse = mse_loss(&pred, &target).item();
+        assert!(huber < mse);
+        assert!((huber - 9.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smooth_l1_equals_half_mse_in_small_regime() {
+        let pred = Tensor::from_vec(vec![0.2, -0.4], [2]);
+        let target = Tensor::zeros([2]);
+        let huber = smooth_l1_loss(&pred, &target).item();
+        let mse = mse_loss(&pred, &target).item();
+        assert!((huber - 0.5 * mse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_at_perfect_prediction() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], [3]);
+        assert_eq!(smooth_l1_loss(&t, &t).item(), 0.0);
+        assert_eq!(mse_loss(&t, &t).item(), 0.0);
+        assert_eq!(mae_loss(&t, &t).item(), 0.0);
+    }
+
+    #[test]
+    fn mae_is_l1() {
+        let pred = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.0], [4]);
+        let target = Tensor::zeros([4]);
+        assert_eq!(mae_loss(&pred, &target).item(), 1.0);
+    }
+
+    #[test]
+    fn gradients_flow_from_all_losses() {
+        let p = Tensor::param(vec![0.5, 2.0], [2]);
+        let t = Tensor::zeros([2]);
+        for loss in [
+            smooth_l1_loss(&p, &t),
+            mse_loss(&p, &t),
+            mae_loss(&p, &t),
+        ] {
+            p.zero_grad();
+            loss.backward();
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        let _ = smooth_l1_loss(&a, &b);
+    }
+}

@@ -1,0 +1,143 @@
+//! Numerical gradient checking.
+//!
+//! Used by the test suites of every crate in the workspace to validate the
+//! analytic backward passes against central finite differences.
+
+use crate::tensor::Tensor;
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Largest relative difference (normalised by magnitude, floored at 1).
+    pub max_rel_err: f32,
+}
+
+/// Compares the analytic gradient of `loss_fn` w.r.t. `param` against a
+/// central finite-difference estimate.
+///
+/// `loss_fn` must be a pure function of the parameter values: it is invoked
+/// `2 * param.num_elements() + 1` times. Keep parameters small in tests.
+pub fn check_gradient(
+    param: &Tensor,
+    loss_fn: impl Fn() -> Tensor,
+    epsilon: f32,
+) -> GradCheckReport {
+    assert!(param.requires_grad(), "grad check needs a trainable param");
+    param.zero_grad();
+    let loss = loss_fn();
+    loss.backward();
+    let analytic = param
+        .grad()
+        .expect("loss did not reach the parameter — no gradient recorded");
+    param.zero_grad();
+
+    let n = param.num_elements();
+    let original = param.to_vec();
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for i in 0..n {
+        let mut plus = original.clone();
+        plus[i] += epsilon;
+        param.copy_from_slice(&plus);
+        let lp = crate::tensor::no_grad(&loss_fn).item();
+
+        let mut minus = original.clone();
+        minus[i] -= epsilon;
+        param.copy_from_slice(&minus);
+        let lm = crate::tensor::no_grad(&loss_fn).item();
+
+        let numeric = (lp - lm) / (2.0 * epsilon);
+        let abs = (analytic[i] - numeric).abs();
+        let rel = abs / analytic[i].abs().max(numeric.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    param.copy_from_slice(&original);
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+/// Asserts the analytic gradient matches finite differences within `tol`.
+pub fn assert_gradients_close(param: &Tensor, loss_fn: impl Fn() -> Tensor, tol: f32) {
+    let report = check_gradient(param, loss_fn, 1e-2);
+    assert!(
+        report.max_rel_err < tol,
+        "gradient check failed: max_rel_err={} max_abs_err={} (tol {tol})",
+        report.max_rel_err,
+        report.max_abs_err
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn grad_check_matmul_chain() {
+        let mut rng = seeded_rng(1);
+        let w = Tensor::xavier_uniform([3, 3], &mut rng);
+        let x = Tensor::randn([2, 3], 1.0, &mut rng);
+        assert_gradients_close(&w, || x.matmul(&w).square().mean(), 1e-2);
+    }
+
+    #[test]
+    fn grad_check_softmax() {
+        let mut rng = seeded_rng(2);
+        let w = Tensor::randn_param([2, 4], 0.5, &mut rng);
+        let target = Tensor::randn([2, 4], 1.0, &mut rng);
+        assert_gradients_close(
+            &w,
+            || w.softmax_last().sub(&target).square().mean(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_gelu() {
+        let mut rng = seeded_rng(3);
+        let w = Tensor::randn_param([6], 1.0, &mut rng);
+        assert_gradients_close(&w, || w.gelu().sum(), 1e-2);
+    }
+
+    #[test]
+    fn grad_check_composite_expression() {
+        let mut rng = seeded_rng(4);
+        let w = Tensor::randn_param([4], 0.5, &mut rng);
+        // tanh(w)² + exp(w)/10 summed
+        assert_gradients_close(
+            &w,
+            || w.tanh().square().add(&w.exp().mul_scalar(0.1)).sum(),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_smooth_l1() {
+        let rng = seeded_rng(5);
+        // Keep away from the |d| = 1 kink where finite differences disagree.
+        let w = Tensor::param(vec![0.3, -0.4, 2.0, -3.0], [4]);
+        let t = Tensor::zeros([4]);
+        let _ = rng;
+        assert_gradients_close(&w, || w.smooth_l1(&t).mean(), 1e-2);
+    }
+
+    #[test]
+    fn grad_check_var_axis() {
+        let mut rng = seeded_rng(6);
+        let w = Tensor::randn_param([2, 5], 1.0, &mut rng);
+        assert_gradients_close(&w, || w.var_axis(1, false).sum(), 1e-2);
+    }
+
+    #[test]
+    fn restores_parameter_values() {
+        let w = Tensor::param(vec![1.0, 2.0], [2]);
+        let before = w.to_vec();
+        let _ = check_gradient(&w, || w.square().sum(), 1e-3);
+        assert_eq!(w.to_vec(), before);
+    }
+}

@@ -1,0 +1,178 @@
+//! Random tensor initialisation with explicit, seedable RNGs.
+//!
+//! Every experiment in the workspace threads a seeded [`StdRng`] through its
+//! model constructors so that runs are reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Creates a seeded RNG for deterministic experiments.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples one standard normal value via Box–Muller.
+///
+/// `rand` 0.8 ships no Gaussian distribution without `rand_distr`, which is
+/// not in the approved dependency set, so we roll the two-line transform.
+pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        if u1 <= f32::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f32 = rng.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f32::consts::PI * u2).cos();
+    }
+}
+
+impl Tensor {
+    /// Constant tensor of i.i.d. `N(0, std²)` samples.
+    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut StdRng) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data = (0..n)
+            .map(|_| sample_standard_normal(rng) * std)
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Constant tensor of i.i.d. `U(lo, hi)` samples.
+    pub fn rand_uniform(
+        shape: impl Into<Shape>,
+        lo: f32,
+        hi: f32,
+        rng: &mut StdRng,
+    ) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Trainable parameter with Xavier/Glorot-uniform init for a weight of
+    /// shape `[fan_in, fan_out]` (rank-2) or any shape where the last two
+    /// axes are the fans.
+    pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+        let shape = shape.into();
+        let rank = shape.rank();
+        assert!(rank >= 2, "xavier init needs rank >= 2");
+        let fan_in = shape.dim(rank - 2);
+        let fan_out = shape.dim(rank - 1);
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let n = shape.num_elements();
+        let data = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();
+        Tensor::param(data, shape)
+    }
+
+    /// Trainable parameter with Kaiming-normal init (for ReLU fan-in).
+    pub fn kaiming_normal(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+        let shape = shape.into();
+        let rank = shape.rank();
+        assert!(rank >= 2, "kaiming init needs rank >= 2");
+        let fan_in = shape.dim(rank - 2);
+        let std = (2.0 / fan_in as f32).sqrt();
+        let n = shape.num_elements();
+        let data = (0..n)
+            .map(|_| sample_standard_normal(rng) * std)
+            .collect();
+        Tensor::param(data, shape)
+    }
+
+    /// Trainable zero-initialised parameter (bias vectors).
+    pub fn zeros_param(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor::param(vec![0.0; n], shape)
+    }
+
+    /// Trainable one-initialised parameter (layer-norm gains).
+    pub fn ones_param(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        Tensor::param(vec![1.0; n], shape)
+    }
+
+    /// Trainable parameter of i.i.d. `N(0, std²)` samples (embeddings).
+    pub fn randn_param(shape: impl Into<Shape>, std: f32, rng: &mut StdRng) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data = (0..n)
+            .map(|_| sample_standard_normal(rng) * std)
+            .collect();
+        Tensor::param(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_reproducible() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let ta = Tensor::randn([4, 4], 1.0, &mut a);
+        let tb = Tensor::randn([4, 4], 1.0, &mut b);
+        assert_eq!(ta.to_vec(), tb.to_vec());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let ta = Tensor::randn([8], 1.0, &mut a);
+        let tb = Tensor::randn([8], 1.0, &mut b);
+        assert_ne!(ta.to_vec(), tb.to_vec());
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = seeded_rng(3);
+        let t = Tensor::rand_uniform([100], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_limits() {
+        let mut rng = seeded_rng(9);
+        let t = Tensor::xavier_uniform([64, 64], &mut rng);
+        let limit = (6.0 / 128.0f32).sqrt();
+        assert!(t.requires_grad());
+        assert!(t.data().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn kaiming_std_scale() {
+        let mut rng = seeded_rng(11);
+        let t = Tensor::kaiming_normal([512, 4], &mut rng);
+        let expected_std = (2.0 / 512.0f32).sqrt();
+        let v = t.to_vec();
+        let var = v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32;
+        assert!((var.sqrt() - expected_std).abs() / expected_std < 0.2);
+    }
+
+    #[test]
+    fn bias_and_gain_params() {
+        let b = Tensor::zeros_param([4]);
+        let g = Tensor::ones_param([4]);
+        assert!(b.requires_grad() && g.requires_grad());
+        assert_eq!(b.to_vec(), vec![0.0; 4]);
+        assert_eq!(g.to_vec(), vec![1.0; 4]);
+    }
+}

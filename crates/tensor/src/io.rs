@@ -1,0 +1,149 @@
+//! Binary (de)serialization of tensors.
+//!
+//! Format (little-endian): magic `TKT1`, rank `u32`, dims `u64` each, then
+//! raw f32 data. Used by model checkpointing in `timekd-nn`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"TKT1";
+
+/// Errors that can occur while decoding a tensor blob.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic prefix was wrong.
+    BadMagic,
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// A dimension did not fit in usize or the element count overflowed.
+    BadShape,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad tensor magic"),
+            DecodeError::Truncated => write!(f, "truncated tensor blob"),
+            DecodeError::BadShape => write!(f, "invalid tensor shape"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialises a tensor (shape + data; graph and grad state are not saved).
+pub fn encode_tensor(t: &Tensor) -> Bytes {
+    let dims = t.dims();
+    let data = t.data();
+    let mut buf =
+        BytesMut::with_capacity(4 + 4 + dims.len() * 8 + data.len() * 4);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(dims.len() as u32);
+    for &d in dims {
+        buf.put_u64_le(d as u64);
+    }
+    for &x in data.iter() {
+        buf.put_f32_le(x);
+    }
+    buf.freeze()
+}
+
+/// Decodes one tensor from the front of `buf`, advancing it.
+///
+/// The result is a constant tensor; wrap with [`Tensor::param`]-style
+/// reconstruction in the layer loaders if it should be trainable.
+pub fn decode_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let rank = buf.get_u32_le() as usize;
+    if buf.remaining() < rank * 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut elems: usize = 1;
+    for _ in 0..rank {
+        let d = buf.get_u64_le();
+        let d = usize::try_from(d).map_err(|_| DecodeError::BadShape)?;
+        elems = elems.checked_mul(d).ok_or(DecodeError::BadShape)?;
+        dims.push(d);
+    }
+    if buf.remaining() < elems * 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut data = Vec::with_capacity(elems);
+    for _ in 0..elems {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(data, Shape::new(dims)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = Tensor::from_vec(vec![1.5, -2.5, 3.25, 0.0], [2, 2]);
+        let mut blob = encode_tensor(&t);
+        let back = decode_tensor(&mut blob).unwrap();
+        assert_eq!(back.dims(), t.dims());
+        assert_eq!(back.to_vec(), t.to_vec());
+        assert_eq!(blob.remaining(), 0);
+    }
+
+    #[test]
+    fn round_trip_scalar() {
+        let t = Tensor::scalar(7.0);
+        let mut blob = encode_tensor(&t);
+        let back = decode_tensor(&mut blob).unwrap();
+        assert_eq!(back.dims(), &[] as &[usize]);
+        assert_eq!(back.item(), 7.0);
+    }
+
+    #[test]
+    fn multiple_tensors_stream() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let b = Tensor::from_vec(vec![3.0], [1, 1]);
+        let mut buf = BytesMut::new();
+        buf.put_slice(&encode_tensor(&a));
+        buf.put_slice(&encode_tensor(&b));
+        let mut stream = buf.freeze();
+        let a2 = decode_tensor(&mut stream).unwrap();
+        let b2 = decode_tensor(&mut stream).unwrap();
+        assert_eq!(a2.to_vec(), vec![1.0, 2.0]);
+        assert_eq!(b2.to_vec(), vec![3.0]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = Bytes::from_static(b"XXXX\x00\x00\x00\x00");
+        assert_eq!(decode_tensor(&mut blob).unwrap_err(), DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let t = Tensor::from_vec(vec![1.0; 16], [4, 4]);
+        let full = encode_tensor(&t);
+        let mut cut = full.slice(0..full.len() - 5);
+        assert_eq!(decode_tensor(&mut cut).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn preserves_special_values() {
+        let t = Tensor::from_vec(vec![f32::MAX, f32::MIN_POSITIVE, -0.0], [3]);
+        let mut blob = encode_tensor(&t);
+        let back = decode_tensor(&mut blob).unwrap();
+        let v = back.to_vec();
+        assert_eq!(v[0], f32::MAX);
+        assert_eq!(v[1], f32::MIN_POSITIVE);
+        assert_eq!(v[2].to_bits(), (-0.0f32).to_bits());
+    }
+}

@@ -1,0 +1,43 @@
+//! # timekd-tensor
+//!
+//! A small, dependency-light CPU tensor library with reverse-mode autograd,
+//! built as the numerical substrate of the TimeKD reproduction.
+//!
+//! Features:
+//! - dense row-major f32 tensors of arbitrary rank ([`Tensor`], [`Shape`]);
+//! - NumPy-style broadcasting for all element-wise ops;
+//! - 2-D, batched 3-D, and `[B, M, K] @ [K, N]` matrix products;
+//! - reductions, numerically stable softmax / log-softmax / cross-entropy,
+//!   the Smooth-L1 loss of the TimeKD paper (Eq. 17), and the activations
+//!   its models use (ReLU, GELU, tanh, sigmoid);
+//! - shape surgery (reshape, permute, slice, concat, gather) with exact
+//!   gradient scatter;
+//! - reverse-mode autodiff over the recorded DAG with a [`no_grad`]
+//!   inference scope;
+//! - seedable initialisers and finite-difference gradient-check utilities;
+//! - a compact binary tensor format for model checkpoints ([`io`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use timekd_tensor::{seeded_rng, Tensor};
+//!
+//! let mut rng = seeded_rng(0);
+//! let w = Tensor::xavier_uniform([3, 2], &mut rng);
+//! let x = Tensor::randn([4, 3], 1.0, &mut rng);
+//! let loss = x.matmul(&w).square().mean();
+//! loss.backward();
+//! assert_eq!(w.grad().unwrap().len(), 6);
+//! ```
+
+mod grad_check;
+mod init;
+pub mod io;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use grad_check::{assert_gradients_close, check_gradient, GradCheckReport};
+pub use init::{sample_standard_normal, seeded_rng};
+pub use shape::{IndexIter, Shape};
+pub use tensor::{is_grad_disabled, no_grad, Tensor};

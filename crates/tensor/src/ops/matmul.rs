@@ -1,0 +1,348 @@
+//! Matrix multiplication: 2-D, batched 3-D, and the `[..., K] @ [K, N]`
+//! contraction used by linear layers.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `out[m, n] += a[m, k] * b[k, n]` over dense row-major buffers.
+///
+/// Loop order i-k-j keeps the inner loop streaming over contiguous rows of
+/// `b` and `out`, which is the cache-friendly order for row-major data.
+pub(crate) fn mm_accumulate(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b_kj;
+            }
+        }
+    }
+}
+
+/// `out[m, n] += a[k, m]ᵀ * b[k, n]` (contract over the first axis of both).
+pub(crate) fn mm_tn_accumulate(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let a_ki = a_row[i];
+            if a_ki == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ki * b_kj;
+            }
+        }
+    }
+}
+
+/// `out[m, n] += a[m, k] * b[n, k]ᵀ` (contract over the last axis of both).
+pub(crate) fn mm_nt_accumulate(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            *o += acc;
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product.
+    ///
+    /// Supported shapes:
+    /// - `[M, K] @ [K, N] -> [M, N]`
+    /// - `[B, M, K] @ [B, K, N] -> [B, M, N]` (batched)
+    /// - `[B, M, K] @ [K, N] -> [B, M, N]` (shared right operand, e.g. a
+    ///   linear layer applied per batch)
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (ar, br) = (self.shape().rank(), other.shape().rank());
+        match (ar, br) {
+            (2, 2) => self.matmul_2d(other),
+            (3, 3) => self.matmul_batched(other),
+            (3, 2) => self.matmul_3d_2d(other),
+            _ => panic!(
+                "matmul: unsupported ranks {} x {} (shapes {} and {})",
+                ar,
+                br,
+                self.shape(),
+                other.shape()
+            ),
+        }
+    }
+
+    fn matmul_2d(&self, other: &Tensor) -> Tensor {
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(
+            k, k2,
+            "matmul: inner dims differ: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        let mut out = vec![0.0f32; m * n];
+        mm_accumulate(&self.data(), &other.data(), &mut out, m, k, n);
+        Tensor::from_op(
+            out,
+            Shape::new([m, n]),
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                let (a, b) = (&parents[0], &parents[1]);
+                if a.requires_grad() {
+                    // gA = gC @ Bᵀ
+                    let mut ga = vec![0.0f32; m * k];
+                    mm_nt_accumulate(grad, &b.data(), &mut ga, m, n, k);
+                    a.accumulate_grad(&ga);
+                }
+                if b.requires_grad() {
+                    // gB = Aᵀ @ gC
+                    let mut gb = vec![0.0f32; k * n];
+                    mm_tn_accumulate(&a.data(), grad, &mut gb, k, m, n);
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+
+    fn matmul_batched(&self, other: &Tensor) -> Tensor {
+        let (ba, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (bb, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        assert_eq!(ba, bb, "batched matmul: batch dims differ");
+        assert_eq!(k, k2, "batched matmul: inner dims differ");
+        let mut out = vec![0.0f32; ba * m * n];
+        {
+            let a = self.data();
+            let b = other.data();
+            for t in 0..ba {
+                mm_accumulate(
+                    &a[t * m * k..(t + 1) * m * k],
+                    &b[t * k * n..(t + 1) * k * n],
+                    &mut out[t * m * n..(t + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        }
+        Tensor::from_op(
+            out,
+            Shape::new([ba, m, n]),
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                let (a, b) = (&parents[0], &parents[1]);
+                if a.requires_grad() {
+                    let b_data = b.data();
+                    let mut ga = vec![0.0f32; ba * m * k];
+                    for t in 0..ba {
+                        mm_nt_accumulate(
+                            &grad[t * m * n..(t + 1) * m * n],
+                            &b_data[t * k * n..(t + 1) * k * n],
+                            &mut ga[t * m * k..(t + 1) * m * k],
+                            m,
+                            n,
+                            k,
+                        );
+                    }
+                    drop(b_data);
+                    a.accumulate_grad(&ga);
+                }
+                if b.requires_grad() {
+                    let a_data = a.data();
+                    let mut gb = vec![0.0f32; ba * k * n];
+                    for t in 0..ba {
+                        mm_tn_accumulate(
+                            &a_data[t * m * k..(t + 1) * m * k],
+                            &grad[t * m * n..(t + 1) * m * n],
+                            &mut gb[t * k * n..(t + 1) * k * n],
+                            k,
+                            m,
+                            n,
+                        );
+                    }
+                    drop(a_data);
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+
+    fn matmul_3d_2d(&self, other: &Tensor) -> Tensor {
+        let (ba, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul 3dx2d: inner dims differ");
+        // Treat as a single [B*M, K] @ [K, N].
+        let mut out = vec![0.0f32; ba * m * n];
+        mm_accumulate(&self.data(), &other.data(), &mut out, ba * m, k, n);
+        Tensor::from_op(
+            out,
+            Shape::new([ba, m, n]),
+            vec![self.clone(), other.clone()],
+            Box::new(move |grad, parents| {
+                let (a, b) = (&parents[0], &parents[1]);
+                if a.requires_grad() {
+                    let mut ga = vec![0.0f32; ba * m * k];
+                    mm_nt_accumulate(grad, &b.data(), &mut ga, ba * m, n, k);
+                    a.accumulate_grad(&ga);
+                }
+                if b.requires_grad() {
+                    let mut gb = vec![0.0f32; k * n];
+                    mm_tn_accumulate(&a.data(), grad, &mut gb, k, ba * m, n);
+                    b.accumulate_grad(&gb);
+                }
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm_2d_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        // [[1,2],[3,4]] @ [[5,6],[7,8]] = [[19,22],[43,50]]
+        assert_eq!(a.matmul(&b).to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn mm_rectangular() {
+        let a = Tensor::from_vec((1..=6).map(|x| x as f32).collect(), [2, 3]);
+        let b = Tensor::from_vec((1..=12).map(|x| x as f32).collect(), [3, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 4]);
+        assert_eq!(c.at(&[0, 0]), 1.0 * 1.0 + 2.0 * 5.0 + 3.0 * 9.0);
+        assert_eq!(c.at(&[1, 3]), 4.0 * 4.0 + 5.0 * 8.0 + 6.0 * 12.0);
+    }
+
+    #[test]
+    fn mm_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+        assert_eq!(a.matmul(&i).to_vec(), a.to_vec());
+        assert_eq!(i.matmul(&a).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn mm_grad() {
+        // L = sum(A @ B): gA = rowsum over B's columns, gB likewise.
+        let a = Tensor::param(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::param(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        a.matmul(&b).sum().backward();
+        // gA = 1s @ Bᵀ = [[11, 15], [11, 15]]
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        // gB = Aᵀ @ 1s = [[4, 4], [6, 6]]
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn batched_matches_per_batch() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [2, 2, 3]);
+        let b = Tensor::from_vec((0..18).map(|x| x as f32 * 0.5).collect(), [2, 3, 3]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2, 3]);
+        // Check batch 1 manually against 2-D matmul.
+        let a1 = Tensor::from_vec(a.to_vec()[6..12].to_vec(), [2, 3]);
+        let b1 = Tensor::from_vec(b.to_vec()[9..18].to_vec(), [3, 3]);
+        let c1 = a1.matmul(&b1);
+        assert_eq!(&c.to_vec()[6..12], c1.to_vec().as_slice());
+    }
+
+    #[test]
+    fn batched_grad_flows() {
+        let a = Tensor::param(vec![1.0; 12], [2, 2, 3]);
+        let b = Tensor::param(vec![1.0; 18], [2, 3, 3]);
+        a.matmul(&b).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![3.0; 12]);
+        assert_eq!(b.grad().unwrap(), vec![2.0; 18]);
+    }
+
+    #[test]
+    fn mm_3d_2d_like_linear() {
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), [2, 2, 3]);
+        let w = Tensor::from_vec(vec![1.0; 12], [3, 4]);
+        let y = x.matmul(&w);
+        assert_eq!(y.dims(), &[2, 2, 4]);
+        // Every output = sum of the 3 inputs in that row.
+        assert_eq!(y.at(&[0, 0, 0]), 0.0 + 1.0 + 2.0);
+        assert_eq!(y.at(&[1, 1, 3]), 9.0 + 10.0 + 11.0);
+    }
+
+    #[test]
+    fn mm_3d_2d_grad() {
+        let x = Tensor::param(vec![1.0; 6], [1, 2, 3]);
+        let w = Tensor::param(vec![2.0; 6], [3, 2]);
+        x.matmul(&w).sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![4.0; 6]);
+        assert_eq!(w.grad().unwrap(), vec![2.0; 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn mm_dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn kernel_tn_nt_consistency() {
+        // (AᵀB)ᵀ == Bᵀ A — check kernels against each other.
+        let a: Vec<f32> = (0..6).map(|x| x as f32 + 1.0).collect(); // [3,2] as k=3,m=2
+        let b: Vec<f32> = (0..9).map(|x| x as f32 * 0.5).collect(); // [3,3]
+        let mut tn = vec![0.0; 2 * 3];
+        mm_tn_accumulate(&a, &b, &mut tn, 2, 3, 3);
+        // Build Aᵀ explicitly and use plain mm.
+        let mut at = vec![0.0; 6];
+        for k in 0..3 {
+            for m in 0..2 {
+                at[m * 3 + k] = a[k * 2 + m];
+            }
+        }
+        let mut plain = vec![0.0; 6];
+        mm_accumulate(&at, &b, &mut plain, 2, 3, 3);
+        assert_eq!(tn, plain);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the tensor substrate: algebraic identities,
+//! broadcasting consistency, and gradient invariants over random inputs.
+
+use proptest::prelude::*;
+use timekd_tensor::{Shape, Tensor};
+
+/// Strategy: a small shape (rank 1–3, axes 1–4).
+fn small_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..=4, 1..=3)
+}
+
+/// Strategy: finite f32 data of the given length, bounded to avoid
+/// overflow in squared terms.
+fn data_for(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+fn shaped_tensor() -> impl Strategy<Value = Tensor> {
+    small_shape().prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        data_for(len).prop_map(move |data| Tensor::from_vec(data, dims.clone()))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(t in shaped_tensor()) {
+        let u = t.mul_scalar(0.5).add_scalar(1.0);
+        let ab = t.add(&u).to_vec();
+        let ba = u.add(&t).to_vec();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn sub_self_is_zero(t in shaped_tensor()) {
+        prop_assert!(t.sub(&t).to_vec().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mul_by_one_identity(t in shaped_tensor()) {
+        let one = Tensor::ones(Shape::new(t.dims().to_vec()));
+        prop_assert_eq!(t.mul(&one).to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn double_negation(t in shaped_tensor()) {
+        prop_assert_eq!(t.neg().neg().to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn relu_idempotent_and_nonnegative(t in shaped_tensor()) {
+        let r = t.relu();
+        prop_assert!(r.to_vec().iter().all(|&x| x >= 0.0));
+        prop_assert_eq!(r.relu().to_vec(), r.to_vec());
+    }
+
+    #[test]
+    fn abs_matches_relu_decomposition(t in shaped_tensor()) {
+        // |x| = relu(x) + relu(-x)
+        let lhs = t.abs().to_vec();
+        let rhs = t.relu().add(&t.neg().relu()).to_vec();
+        for (a, b) in lhs.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn smooth_l1_nonnegative_and_zero_at_equal(t in shaped_tensor()) {
+        let l = t.smooth_l1(&t);
+        prop_assert!(l.to_vec().iter().all(|&x| x == 0.0));
+        let shifted = t.add_scalar(0.5);
+        prop_assert!(t.smooth_l1(&shifted).to_vec().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn smooth_l1_bounded_by_mse_half(t in shaped_tensor()) {
+        // Huber(d) <= 0.5 d² always.
+        let target = t.mul_scalar(0.3);
+        let huber = t.smooth_l1(&target).to_vec();
+        let half_sq = t.sub(&target).square().mul_scalar(0.5).to_vec();
+        for (h, m) in huber.iter().zip(&half_sq) {
+            prop_assert!(*h <= m + 1e-4);
+        }
+    }
+
+    #[test]
+    fn sum_matches_axis_decomposition(t in shaped_tensor()) {
+        let direct = t.sum().item();
+        let mut via_axis = t.clone();
+        while via_axis.shape().rank() > 0 {
+            via_axis = via_axis.sum_axis(0, false);
+            if via_axis.shape().rank() == 0 {
+                break;
+            }
+        }
+        let chained = via_axis.item();
+        let scale = direct.abs().max(1.0);
+        prop_assert!((direct - chained).abs() / scale < 1e-3,
+            "direct {direct} vs chained {chained}");
+    }
+
+    #[test]
+    fn reshape_preserves_sum(t in shaped_tensor()) {
+        let n = t.num_elements();
+        let r = t.reshape([n]);
+        prop_assert_eq!(r.sum().item(), t.sum().item());
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let t = Tensor::randn([rows, cols], 1.0, &mut rng);
+        prop_assert_eq!(t.transpose_last().transpose_last().to_vec(), t.to_vec());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let t = Tensor::randn([rows, cols], 5.0, &mut rng);
+        let s = t.softmax_last().to_vec();
+        for r in 0..rows {
+            let row = &s[r * cols..(r + 1) * cols];
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            let total: f32 = row.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_equivalent_to_materialised(seed in 0u64..1000, rows in 1usize..4, cols in 1usize..4) {
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let a = Tensor::randn([rows, cols], 1.0, &mut rng);
+        let b = Tensor::randn([cols], 1.0, &mut rng);
+        let fast = a.mul(&b).to_vec();
+        let slow = a.mul(&b.broadcast_to([rows, cols])).to_vec();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..500) {
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let a = Tensor::randn([3, 4], 1.0, &mut rng);
+        let b = Tensor::randn([4, 2], 1.0, &mut rng);
+        let c = Tensor::randn([4, 2], 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c)).to_vec();
+        let rhs = a.matmul(&b).add(&a.matmul(&c)).to_vec();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gradient_of_linear_map_is_input_independent_scale(seed in 0u64..200, scale in -3.0f32..3.0) {
+        // d/dp sum(scale * p) = scale everywhere.
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let p = Tensor::randn_param([6], 1.0, &mut rng);
+        p.mul_scalar(scale).sum().backward();
+        for g in p.grad().unwrap() {
+            prop_assert!((g - scale).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_accumulates_linearly(seed in 0u64..200) {
+        // Backward through (a+a) gives exactly twice the gradient of a.
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let p = Tensor::randn_param([4], 1.0, &mut rng);
+        p.add(&p).sum().backward();
+        let doubled = p.grad().unwrap();
+        p.zero_grad();
+        p.sum().backward();
+        let single = p.grad().unwrap();
+        for (d, s) in doubled.iter().zip(&single) {
+            prop_assert!((d - 2.0 * s).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn concat_then_slice_recovers_parts(seed in 0u64..500, left in 1usize..4, right in 1usize..4) {
+        let mut rng = timekd_tensor::seeded_rng(seed);
+        let a = Tensor::randn([2, left], 1.0, &mut rng);
+        let b = Tensor::randn([2, right], 1.0, &mut rng);
+        let joined = Tensor::concat(&[a.clone(), b.clone()], 1);
+        prop_assert_eq!(joined.slice(1, 0, left).to_vec(), a.to_vec());
+        prop_assert_eq!(joined.slice(1, left, right).to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn io_round_trip_any_tensor(t in shaped_tensor()) {
+        let mut blob = timekd_tensor::io::encode_tensor(&t);
+        let back = timekd_tensor::io::decode_tensor(&mut blob).unwrap();
+        prop_assert_eq!(back.dims(), t.dims());
+        prop_assert_eq!(back.to_vec(), t.to_vec());
+    }
+}

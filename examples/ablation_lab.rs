@@ -1,0 +1,74 @@
+//! Ablation lab: flip TimeKD's components on and off and watch the effect
+//! — a miniature of the paper's Figure 6, runnable in seconds.
+//!
+//! Shares one pretrained calibrated LM across all variants (the expensive
+//! part), exactly like the experiment harness.
+//!
+//! ```bash
+//! cargo run --release --example ablation_lab
+//! ```
+
+use std::rc::Rc;
+
+use timekd::{AblationConfig, Forecaster, TimeKd, TimeKdConfig};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+use timekd_lm::{pretrain_lm, FrozenLm, PretrainConfig, PromptTokenizer};
+
+fn main() {
+    let ds = SplitDataset::new(DatasetKind::EttH2, 1200, 21, 96, 24);
+    let train = ds.windows(Split::Train, 12);
+    let test = ds.windows(Split::Test, 8);
+
+    // One frozen LM for every variant.
+    let tokenizer = Rc::new(PromptTokenizer::new());
+    let base_config = TimeKdConfig::default();
+    println!("pretraining the calibrated language model once…");
+    let (lm, report) = pretrain_lm(
+        &tokenizer,
+        base_config.lm,
+        PretrainConfig { steps: 60, ..Default::default() },
+    );
+    println!(
+        "  corpus LM loss {:.3} -> {:.3} over {} steps\n",
+        report.initial_loss, report.final_loss, report.steps
+    );
+    let frozen = Rc::new(FrozenLm::new(lm));
+
+    let variants = [
+        AblationConfig::full(),
+        AblationConfig::without_privileged_info(),
+        AblationConfig::without_calibrated_attention(),
+        AblationConfig::without_clm(),
+        AblationConfig::without_sca(),
+        AblationConfig::without_correlation_distillation(),
+        AblationConfig::without_feature_distillation(),
+    ];
+
+    println!("variant   MSE      MAE      (ETTh2, FH 24, 2 epochs)");
+    let mut results = Vec::new();
+    for ablation in variants {
+        let mut config = TimeKdConfig::with_ablation(ablation);
+        config.prompt.freq_minutes = ds.kind().freq_minutes();
+        let mut model = TimeKd::with_frozen_lm(
+            frozen.clone(),
+            tokenizer.clone(),
+            config,
+            ds.input_len(),
+            ds.horizon(),
+            ds.num_vars(),
+        );
+        for _ in 0..2 {
+            model.train_epoch(&train);
+        }
+        let (mse, mae) = model.evaluate(&test);
+        println!("{:<9} {mse:.4}   {mae:.4}", ablation.label());
+        results.push((ablation.label(), mse));
+    }
+
+    let (best, _) = results
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!("\nlowest MSE this run: {best}");
+    println!("(run the fig6_ablation bench for the averaged, multi-dataset version)");
+}

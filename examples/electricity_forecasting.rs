@@ -1,0 +1,72 @@
+//! Electricity-transformer scenario (the paper's flagship domain).
+//!
+//! Trains TimeKD on an ETTm1-style 15-minute feed, then demonstrates the
+//! full production loop: forecast in normalised space, invert the scaler
+//! back to physical units, and inspect per-variable errors — including the
+//! oil temperature (OT) channel, whose slow thermal dynamics are exactly
+//! what the cross-variable attention should capture.
+//!
+//! ```bash
+//! cargo run --release --example electricity_forecasting
+//! ```
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_data::{column, DatasetKind, Split, SplitDataset};
+
+fn main() {
+    let ds = SplitDataset::new(DatasetKind::EttM1, 1600, 7, 96, 48);
+    let names = ds.kind().variable_names();
+    println!("ETTm1-style feed, 15-minute sampling, variables: {names:?}");
+
+    let mut config = TimeKdConfig::default();
+    config.prompt.freq_minutes = ds.kind().freq_minutes();
+    let mut model = TimeKd::new(config, ds.input_len(), ds.horizon(), ds.num_vars());
+
+    let train = ds.windows(Split::Train, 10);
+    println!("training on {} windows…", train.len());
+    for epoch in 1..=3 {
+        let loss = model.train_epoch(&train);
+        println!("epoch {epoch}: loss {loss:.4}");
+    }
+
+    // Forecast the latest test window and convert back to physical units.
+    let test = ds.windows(Split::Test, 8);
+    let w = test.last().expect("test windows");
+    let forecast = model.predict(&w.x);
+
+    let scaler = ds.scaler();
+    let mut pred_phys = forecast.to_vec();
+    scaler.inverse_transform(&mut pred_phys);
+    let mut truth_phys = w.y.to_vec();
+    scaler.inverse_transform(&mut truth_phys);
+
+    println!("\nper-variable forecast quality over the next 48 steps (physical units):");
+    let n = ds.num_vars();
+    for (v, name) in names.iter().enumerate() {
+        let pred = column(&forecast, v);
+        let truth = column(&w.y, v);
+        let mse: f32 = pred
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / pred.len() as f32;
+        let first_pred = pred_phys[v];
+        let first_truth = truth_phys[v];
+        println!(
+            "  {name:>5}: normalised MSE {mse:.4} | t+1 forecast {first_pred:8.2} vs actual {first_truth:8.2}"
+        );
+    }
+
+    // The OT channel should be the easiest: it is a low-pass filter of the
+    // loads, which the student's cross-variable attention can read off.
+    let ot_pred = column(&forecast, n - 1);
+    let ot_truth = column(&w.y, n - 1);
+    let ot_mse: f32 = ot_pred
+        .iter()
+        .zip(&ot_truth)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / ot_pred.len() as f32;
+    println!("\noil-temperature MSE: {ot_mse:.4} (smooth channel — expect below average)");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: train TimeKD on a synthetic ETTh1-style dataset and
+//! forecast.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+
+fn main() {
+    // 1. Build a dataset: 1200 steps of ETTh1-style electricity data,
+    //    96-step history, 24-step horizon, chronological 70/10/20 splits.
+    let ds = SplitDataset::new(DatasetKind::EttH1, 1200, 42, 96, 24);
+    println!(
+        "dataset: {} ({} variables, {} train steps)",
+        ds.kind().name(),
+        ds.num_vars(),
+        ds.split_len(Split::Train)
+    );
+
+    // 2. Build TimeKD. `TimeKd::new` pretrains a small calibrated language
+    //    model on the prompt grammar, freezes it, and wires up the
+    //    cross-modality teacher + student + privileged distillation.
+    let mut config = TimeKdConfig::default();
+    config.prompt.freq_minutes = ds.kind().freq_minutes();
+    let mut model = TimeKd::new(config, ds.input_len(), ds.horizon(), ds.num_vars());
+    println!("trainable parameters: {}", model.num_trainable_params());
+
+    // 3. Train jointly (teacher reconstruction + PKD + forecasting loss).
+    let train = ds.windows(Split::Train, 8);
+    let val = ds.windows(Split::Val, 4);
+    for epoch in 1..=3 {
+        let stats = model.train_epoch_detailed(&train);
+        let (val_mse, val_mae) = model.evaluate(&val);
+        println!(
+            "epoch {epoch}: loss {:.4} (recon {:.4}, cd {:.4}, fd {:.4}, fcst {:.4}) | val MSE {val_mse:.4} MAE {val_mae:.4}",
+            stats.total, stats.reconstruction, stats.correlation, stats.feature, stats.forecast
+        );
+    }
+
+    // 4. Test-set evaluation — only the lightweight student runs here.
+    let test = ds.windows(Split::Test, 4);
+    let (mse, mae) = model.evaluate(&test);
+    println!("test: MSE {mse:.4}  MAE {mae:.4}");
+
+    // 5. Forecast one window.
+    let w = &test[0];
+    let forecast = model.predict(&w.x);
+    println!(
+        "first window: forecast[0] = {:?} vs truth[0] = {:?}",
+        &forecast.to_vec()[..ds.num_vars()],
+        &w.y.to_vec()[..ds.num_vars()]
+    );
+}

@@ -1,0 +1,85 @@
+//! Traffic-sensor scenario: short-term forecasting on a PEMS04-style
+//! freeway feed (5-minute sampling, rush-hour peaks, spatially coupled
+//! sensors), comparing TimeKD against iTransformer and PatchTST.
+//!
+//! This reproduces the Table II story in miniature: channel-dependent
+//! models (TimeKD, iTransformer) exploit the sensor coupling that
+//! channel-independent PatchTST cannot see.
+//!
+//! ```bash
+//! cargo run --release --example traffic_monitoring
+//! ```
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_baselines::{ITransformer, ITransformerConfig, PatchTst, PatchTstConfig};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+
+fn main() {
+    let ds = SplitDataset::new(DatasetKind::Pems04, 1600, 11, 96, 12);
+    println!(
+        "PEMS04-style feed: {} sensors, 5-minute sampling, horizon 12 (1 hour)",
+        ds.num_vars()
+    );
+
+    let train = ds.windows(Split::Train, 12);
+    let test = ds.windows(Split::Test, 8);
+    println!("{} train windows, {} test windows\n", train.len(), test.len());
+
+    // TimeKD.
+    let mut config = TimeKdConfig::default();
+    config.prompt.freq_minutes = ds.kind().freq_minutes();
+    let mut timekd = TimeKd::new(config, ds.input_len(), ds.horizon(), ds.num_vars());
+    for _ in 0..2 {
+        timekd.train_epoch(&train);
+    }
+    let (kd_mse, kd_mae) = timekd.evaluate(&test);
+
+    // iTransformer (channel-dependent, no LLM).
+    let mut itr = ITransformer::new(
+        ITransformerConfig::default(),
+        ds.input_len(),
+        ds.horizon(),
+        ds.num_vars(),
+    );
+    for _ in 0..2 {
+        itr.train_epoch(&train);
+    }
+    let (it_mse, it_mae) = itr.evaluate(&test);
+
+    // PatchTST (channel-independent).
+    let mut ptst = PatchTst::new(
+        PatchTstConfig::default(),
+        ds.input_len(),
+        ds.horizon(),
+        ds.num_vars(),
+    );
+    for _ in 0..2 {
+        ptst.train_epoch(&train);
+    }
+    let (pt_mse, pt_mae) = ptst.evaluate(&test);
+
+    println!("model         MSE      MAE");
+    println!("TimeKD        {kd_mse:.4}   {kd_mae:.4}");
+    println!("iTransformer  {it_mse:.4}   {it_mae:.4}");
+    println!("PatchTST      {pt_mse:.4}   {pt_mae:.4}");
+
+    let best = [("TimeKD", kd_mse), ("iTransformer", it_mse), ("PatchTST", pt_mse)]
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!(
+        "\nbest on this run: {} — channel-dependent models should lead on coupled sensors",
+        best.0
+    );
+
+    // Inspect what the student learned about sensor topology: adjacent
+    // sensors (coupled by the generator) should attend to each other.
+    let (_, student_attn) = timekd.attention_maps(&test[0]);
+    let n = ds.num_vars();
+    let a = student_attn.to_vec();
+    let adjacent: f32 = (0..n - 1).map(|i| a[i * n + i + 1]).sum::<f32>() / (n - 1) as f32;
+    let distant: f32 = (0..n).map(|i| a[i * n + (i + n / 2) % n]).sum::<f32>() / n as f32;
+    println!(
+        "student attention — adjacent sensors {adjacent:.3} vs distant {distant:.3}"
+    );
+}

@@ -1,0 +1,291 @@
+//! `timekd-cli` — train, evaluate and compare forecasters from the command
+//! line.
+//!
+//! ```bash
+//! timekd-cli train   --dataset etth1 --horizon 24 --epochs 3
+//! timekd-cli compare --dataset pems04 --horizon 12 --models timekd,itransformer,patchtst
+//! timekd-cli generate --dataset weather --steps 2000 --out weather.csv
+//! timekd-cli forecast --dataset etth1 --horizon 24 --roll 72
+//! ```
+//!
+//! Flags use `--key value` pairs; run with `help` for the full list.
+
+use std::process::ExitCode;
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_bench::{ModelKind, Profile, SharedLm};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+use timekd_lm::LmSize;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Default)]
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                out.flags.push((key.to_string(), value.clone()));
+            } else {
+                out.positional.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer, got '{v}'")),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer, got '{v}'")),
+        }
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    timekd_data::all_kinds()
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = timekd_data::all_kinds().iter().map(|k| k.name()).collect();
+            format!("unknown dataset '{name}' (expected one of {names:?})")
+        })
+}
+
+fn parse_model(name: &str) -> Result<ModelKind, String> {
+    let mut all = ModelKind::paper_models().to_vec();
+    all.push(ModelKind::Dlinear);
+    all.into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name) || m.name().replace('-', "").eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown model '{name}'"))
+}
+
+fn usage() -> &'static str {
+    "timekd-cli — TimeKD forecasting from the command line
+
+USAGE:
+  timekd-cli train    [--dataset etth1] [--horizon 24] [--input 96]
+                      [--steps 1500] [--epochs 3] [--seed 42]
+  timekd-cli compare  [--dataset etth1] [--horizon 24] [--models timekd,itransformer]
+                      [--steps 1500] [--seed 42]
+  timekd-cli generate [--dataset weather] [--steps 2000] [--seed 42] --out file.csv
+  timekd-cli forecast [--dataset etth1] [--horizon 24] [--roll 0] [--epochs 2]
+  timekd-cli help
+
+Datasets: ETTm1 ETTm2 ETTh1 ETTh2 Weather Exchange PEMS04 PEMS08
+Models:   TimeKD TimeCMA Time-LLM UniTime OFA iTransformer PatchTST DLinear"
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let kind = parse_dataset(args.get("dataset").unwrap_or("etth1"))?;
+    let horizon = args.get_usize("horizon", 24)?;
+    let input_len = args.get_usize("input", 96)?;
+    let steps = args.get_usize("steps", 1500)?;
+    let epochs = args.get_usize("epochs", 3)?;
+    let seed = args.get_u64("seed", 42)?;
+    let ds = SplitDataset::new(kind, steps, seed, input_len, horizon);
+    println!(
+        "training TimeKD on {} ({} vars, input {input_len}, horizon {horizon})",
+        kind.name(),
+        ds.num_vars()
+    );
+    if ds.num_windows(Split::Val) == 0 || ds.num_windows(Split::Test) == 0 {
+        return Err(format!(
+            "--steps {steps} leaves the validation/test splits shorter than one              window ({} steps); raise --steps to at least {}",
+            input_len + horizon,
+            (input_len + horizon) * 10
+        ));
+    }
+    let mut cfg = TimeKdConfig { seed, ..Default::default() };
+    cfg.prompt.freq_minutes = kind.freq_minutes();
+    let mut model = TimeKd::new(cfg, input_len, horizon, ds.num_vars());
+    let train = ds.windows(Split::Train, 8);
+    let val = ds.windows(Split::Val, 4);
+    for epoch in 1..=epochs {
+        let stats = model.train_epoch_detailed(&train);
+        let (vm, va) = model.evaluate(&val);
+        println!(
+            "epoch {epoch}/{epochs}: loss {:.4} | val MSE {vm:.4} MAE {va:.4}",
+            stats.total
+        );
+    }
+    let (mse, mae) = model.evaluate(&ds.windows(Split::Test, 4));
+    println!("test: MSE {mse:.4} MAE {mae:.4}");
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let kind = parse_dataset(args.get("dataset").unwrap_or("etth1"))?;
+    let horizon = args.get_usize("horizon", 24)?;
+    let steps = args.get_usize("steps", 1500)?;
+    let seed = args.get_u64("seed", 42)?;
+    let models: Vec<ModelKind> = match args.get("models") {
+        None => vec![ModelKind::TimeKd, ModelKind::ITransformer, ModelKind::PatchTst],
+        Some(list) => list
+            .split(',')
+            .map(parse_model)
+            .collect::<Result<_, _>>()?,
+    };
+    let profile = Profile::quick();
+    let ds = SplitDataset::new(kind, steps, seed, profile.input_len, horizon);
+    let needs_lm = models.iter().any(|m| m.is_llm_based());
+    println!(
+        "comparing {} model(s) on {} (horizon {horizon}){}",
+        models.len(),
+        kind.name(),
+        if needs_lm { ", pretraining shared LM…" } else { "" }
+    );
+    let shared = SharedLm::pretrain(LmSize::Base, &profile);
+    println!("{:<14} {:>8} {:>8} {:>12}", "model", "MSE", "MAE", "params");
+    for m in models {
+        let r = timekd_bench::run_experiment(m, &ds, &shared, &profile, 1.0);
+        println!("{:<14} {:>8.4} {:>8.4} {:>12}", r.model, r.mse, r.mae, r.params);
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = parse_dataset(args.get("dataset").unwrap_or("weather"))?;
+    let steps = args.get_usize("steps", 2000)?;
+    let seed = args.get_u64("seed", 42)?;
+    let out = args.get("out").ok_or("generate needs --out <file.csv>")?;
+    let raw = timekd_data::generate(kind, steps, seed);
+    let names = kind.variable_names();
+    let headers: Vec<&str> = names.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..raw.num_steps)
+        .map(|t| (0..raw.num_vars).map(|j| format!("{:.6}", raw.at(t, j))).collect())
+        .collect();
+    timekd_data::write_csv(out, &headers, &rows).map_err(|e| e.to_string())?;
+    println!("wrote {} steps x {} vars of {} to {out}", raw.num_steps, raw.num_vars, kind.name());
+    Ok(())
+}
+
+fn cmd_forecast(args: &Args) -> Result<(), String> {
+    let kind = parse_dataset(args.get("dataset").unwrap_or("etth1"))?;
+    let horizon = args.get_usize("horizon", 24)?;
+    let roll = args.get_usize("roll", 0)?;
+    let epochs = args.get_usize("epochs", 2)?;
+    let seed = args.get_u64("seed", 42)?;
+    let ds = SplitDataset::new(kind, 1500, seed, 96, horizon);
+    let mut cfg = TimeKdConfig { seed, ..Default::default() };
+    cfg.prompt.freq_minutes = kind.freq_minutes();
+    let mut model = TimeKd::new(cfg, 96, horizon, ds.num_vars());
+    let train = ds.windows(Split::Train, 8);
+    for _ in 0..epochs {
+        model.train_epoch(&train);
+    }
+    let w = ds
+        .windows(Split::Test, 4)
+        .pop()
+        .ok_or("test split has no full window; raise --steps")?;
+    let total = if roll > horizon { roll } else { horizon };
+    let pred = model.predict_rolling(&w.x, total);
+    println!("forecast for the next {total} steps ({} vars):", ds.num_vars());
+    let names = kind.variable_names();
+    println!("step,{}", names.join(","));
+    let data = pred.to_vec();
+    let n = ds.num_vars();
+    for t in 0..total {
+        let row: Vec<String> = (0..n).map(|j| format!("{:.4}", data[t * n + j])).collect();
+        println!("{t},{}", row.join(","));
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&argv)?;
+    match args.positional.first().map(String::as_str) {
+        Some("train") => cmd_train(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("generate") => cmd_generate(&args),
+        Some("forecast") => cmd_forecast(&args),
+        Some("help") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_positionals() {
+        let a = Args::parse(&argv("train --dataset etth1 --horizon 24")).unwrap();
+        assert_eq!(a.positional, vec!["train"]);
+        assert_eq!(a.get("dataset"), Some("etth1"));
+        assert_eq!(a.get_usize("horizon", 0).unwrap(), 24);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let a = Args::parse(&argv("x --seed 1 --seed 2")).unwrap();
+        assert_eq!(a.get_u64("seed", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(&argv("train --dataset")).is_err());
+    }
+
+    #[test]
+    fn dataset_names_parse_case_insensitively() {
+        assert_eq!(parse_dataset("etth1").unwrap(), DatasetKind::EttH1);
+        assert_eq!(parse_dataset("PEMS04").unwrap(), DatasetKind::Pems04);
+        assert!(parse_dataset("nope").is_err());
+    }
+
+    #[test]
+    fn model_names_parse() {
+        assert_eq!(parse_model("timekd").unwrap(), ModelKind::TimeKd);
+        assert_eq!(parse_model("time-llm").unwrap(), ModelKind::TimeLlm);
+        assert_eq!(parse_model("timellm").unwrap(), ModelKind::TimeLlm);
+        assert!(parse_model("gpt5").is_err());
+    }
+
+    #[test]
+    fn bad_integer_is_error() {
+        let a = Args::parse(&argv("x --horizon abc")).unwrap();
+        assert!(a.get_usize("horizon", 0).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the TimeKD reproduction workspace.
+//!
+//! Re-exports the member crates so that examples and integration tests can
+//! depend on a single package. See the individual crates for the actual
+//! implementation:
+//! - [`timekd_tensor`]: tensor + autograd substrate
+//! - [`timekd_nn`]: layers, optimizers, losses
+//! - [`timekd_lm`]: calibrated causal language model
+//! - [`timekd_data`]: datasets, prompts, metrics
+//! - [`timekd`]: the TimeKD teacher/student/PKD pipeline
+//! - [`timekd_baselines`]: comparison forecasters
+//! - [`timekd_bench`]: experiment harness
+
+pub use timekd;
+pub use timekd_baselines;
+pub use timekd_bench;
+pub use timekd_data;
+pub use timekd_lm;
+pub use timekd_nn;
+pub use timekd_tensor;

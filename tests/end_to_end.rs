@@ -1,0 +1,184 @@
+//! Integration tests spanning every crate: dataset generation → prompt
+//! rendering → teacher/student training → forecasting → metrics.
+
+use std::rc::Rc;
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+use timekd_lm::{pretrain_lm, FrozenLm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
+use timekd_nn::Module;
+use timekd_tensor::Tensor;
+
+#[allow(clippy::field_reassign_with_default)]
+fn tiny_config() -> TimeKdConfig {
+    let mut cfg = TimeKdConfig::default();
+    cfg.dim = 16;
+    cfg.ffn_hidden = 32;
+    cfg.num_heads = 2;
+    cfg.lm = LmConfig::for_size(LmSize::Small);
+    cfg.prompt.max_history = 4;
+    cfg.prompt.max_future = 4;
+    cfg.lr = 3e-3;
+    cfg
+}
+
+fn tiny_timekd(ds: &SplitDataset) -> TimeKd {
+    let tokenizer = Rc::new(PromptTokenizer::new());
+    let cfg = tiny_config();
+    let (lm, _) = pretrain_lm(
+        &tokenizer,
+        cfg.lm,
+        PretrainConfig { steps: 5, ..Default::default() },
+    );
+    TimeKd::with_frozen_lm(
+        Rc::new(FrozenLm::new(lm)),
+        tokenizer,
+        cfg,
+        ds.input_len(),
+        ds.horizon(),
+        ds.num_vars(),
+    )
+}
+
+/// Naive last-value forecast MSE as an absolute quality bar.
+fn naive_mse(ds: &SplitDataset, windows: &[timekd_data::ForecastWindow]) -> f32 {
+    let n = ds.num_vars();
+    let mut acc = timekd_data::MetricAccumulator::new();
+    for w in windows {
+        let h = w.x.dims()[0];
+        let last = w.x.slice(0, h - 1, 1);
+        let pred = last.broadcast_to([ds.horizon(), n]);
+        acc.update(&pred, &w.y);
+    }
+    acc.mse()
+}
+
+#[test]
+fn timekd_beats_naive_forecast_after_training() {
+    let ds = SplitDataset::new(DatasetKind::EttM1, 900, 11, 48, 12);
+    let mut model = tiny_timekd(&ds);
+    let train = ds.windows(Split::Train, 6);
+    let test = ds.windows(Split::Test, 8);
+    for _ in 0..4 {
+        model.train_epoch(&train);
+    }
+    let (mse, _) = model.evaluate(&test);
+    let naive = naive_mse(&ds, &test);
+    assert!(
+        mse < naive,
+        "trained TimeKD ({mse:.4}) must beat naive last-value ({naive:.4}) on periodic data"
+    );
+}
+
+#[test]
+fn student_checkpoint_round_trip_preserves_predictions() {
+    let ds = SplitDataset::new(DatasetKind::EttH1, 700, 3, 48, 12);
+    let mut model = tiny_timekd(&ds);
+    let train = ds.windows(Split::Train, 10);
+    model.train_epoch(&train);
+    let w = &ds.windows(Split::Test, 8)[0];
+    let pred_before = model.predict(&w.x);
+
+    // Save the student, scramble it, restore, and compare predictions.
+    let mut blob = model.student().save_params();
+    for p in model.student().params() {
+        p.update_data(|d| d.iter_mut().for_each(|v| *v = 0.0));
+    }
+    let scrambled = model.predict(&w.x);
+    assert_ne!(pred_before.to_vec(), scrambled.to_vec());
+    model.student().load_params(&mut blob).unwrap();
+    let pred_after = model.predict(&w.x);
+    assert_eq!(pred_before.to_vec(), pred_after.to_vec());
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let ds = SplitDataset::new(DatasetKind::EttH2, 700, 5, 48, 12);
+        let mut model = tiny_timekd(&ds);
+        let train = ds.windows(Split::Train, 10);
+        model.train_epoch(&train);
+        let (mse, mae) = model.evaluate(&ds.windows(Split::Test, 10));
+        (mse, mae)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn distillation_narrows_teacher_student_gap() {
+    let ds = SplitDataset::new(DatasetKind::EttM2, 800, 9, 48, 12);
+    let mut model = tiny_timekd(&ds);
+    let train = ds.windows(Split::Train, 8);
+    let probe = &ds.windows(Split::Test, 16)[0];
+
+    let gap = |model: &TimeKd| {
+        let (t, s) = model.feature_maps(probe);
+        t.sub(&s).square().mean().item()
+    };
+    let before = gap(&model);
+    for _ in 0..4 {
+        model.train_epoch(&train);
+    }
+    let after = gap(&model);
+    assert!(
+        after < before,
+        "feature distillation must shrink the embedding gap: {before:.4} -> {after:.4}"
+    );
+}
+
+#[test]
+fn forecasts_are_finite_on_every_dataset_family() {
+    for kind in timekd_data::all_kinds() {
+        let ds = SplitDataset::new(kind, 700, 17, 48, 12);
+        let mut model = tiny_timekd(&ds);
+        let train = ds.windows(Split::Train, 24);
+        model.train_epoch(&train[..4.min(train.len())]);
+        let w = &ds.windows(Split::Test, 24)[0];
+        let pred = model.predict(&w.x);
+        assert_eq!(pred.dims(), &[12, ds.num_vars()], "{kind:?}");
+        assert!(
+            pred.to_vec().iter().all(|v| v.is_finite()),
+            "non-finite forecast on {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn scaled_forecasts_invert_to_physical_units() {
+    let ds = SplitDataset::new(DatasetKind::Weather, 700, 5, 48, 12);
+    let model = tiny_timekd(&ds);
+    let w = &ds.windows(Split::Test, 16)[0];
+    let pred = model.predict(&w.x);
+    let mut phys = pred.to_vec();
+    ds.scaler().inverse_transform(&mut phys);
+    let mut back = phys.clone();
+    ds.scaler().transform(&mut back);
+    for (a, b) in back.iter().zip(pred.to_vec()) {
+        assert!((a - b).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn tensor_graph_survives_cross_crate_composition() {
+    // A loss composed of data-crate metrics inputs, core-model outputs and
+    // nn-crate losses must backprop into every student parameter group.
+    let ds = SplitDataset::new(DatasetKind::EttH1, 700, 3, 48, 12);
+    let model = tiny_timekd(&ds);
+    let w = &ds.windows(Split::Train, 16)[0];
+    let out = model.student().forward(&w.x);
+    let loss = timekd_nn::smooth_l1_loss(&out.forecast, &w.y)
+        .add(&out.attention.square().mean());
+    loss.backward();
+    let with_grad = model
+        .student()
+        .params()
+        .iter()
+        .filter(|p| p.grad().is_some())
+        .count();
+    let total = model.student().params().len();
+    assert!(
+        with_grad >= total - 2,
+        "only {with_grad}/{total} student params received gradients"
+    );
+    let _ = Tensor::zeros([1]);
+}

@@ -1,0 +1,139 @@
+//! Contract tests: every model in the zoo — TimeKD and all baselines —
+//! honours the `Forecaster` interface on multiple dataset geometries.
+
+use timekd_bench::{build_model, ModelKind, Profile, SharedLm};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+use timekd_lm::LmSize;
+use timekd_tensor::Tensor;
+
+fn tiny_profile() -> Profile {
+    Profile {
+        base_steps: 500,
+        epochs: 1,
+        max_train_windows: 4,
+        max_eval_windows: 4,
+        input_len: 32,
+        long_horizons: &[8],
+        quick: true,
+    }
+}
+
+fn all_kinds() -> Vec<ModelKind> {
+    let mut v = ModelKind::paper_models().to_vec();
+    v.push(ModelKind::Dlinear);
+    v
+}
+
+#[test]
+fn every_model_produces_correct_shapes() {
+    let profile = tiny_profile();
+    let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+    for (dataset, horizon) in [(DatasetKind::EttH1, 8), (DatasetKind::Exchange, 16)] {
+        let ds = SplitDataset::new(dataset, 600, 1, 32, horizon);
+        for kind in all_kinds() {
+            let model = build_model(
+                kind,
+                &shared,
+                &profile,
+                32,
+                horizon,
+                ds.num_vars(),
+                ds.kind().freq_minutes(),
+            );
+            let w = &ds.windows(Split::Test, 16)[0];
+            let pred = model.predict(&w.x);
+            assert_eq!(
+                pred.dims(),
+                &[horizon, ds.num_vars()],
+                "{kind:?} on {dataset:?}"
+            );
+            assert!(pred.to_vec().iter().all(|v| v.is_finite()), "{kind:?}");
+        }
+    }
+}
+
+#[test]
+fn predict_is_pure_no_graph_no_state_change() {
+    let profile = tiny_profile();
+    let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+    let ds = SplitDataset::new(DatasetKind::EttH2, 600, 2, 32, 8);
+    let w = &ds.windows(Split::Test, 16)[0];
+    for kind in all_kinds() {
+        let model = build_model(kind, &shared, &profile, 32, 8, ds.num_vars(), 60);
+        let a = model.predict(&w.x);
+        let b = model.predict(&w.x);
+        assert!(!a.requires_grad(), "{kind:?} predict built a graph");
+        assert_eq!(a.to_vec(), b.to_vec(), "{kind:?} predict not idempotent");
+    }
+}
+
+#[test]
+fn train_epoch_returns_finite_loss_and_changes_params() {
+    let profile = tiny_profile();
+    let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+    let ds = SplitDataset::new(DatasetKind::Pems08, 600, 3, 32, 8);
+    let windows = ds.windows(Split::Train, 32);
+    let subset = &windows[..2.min(windows.len())];
+    for kind in all_kinds() {
+        let mut model = build_model(kind, &shared, &profile, 32, 8, ds.num_vars(), 5);
+        let w = &ds.windows(Split::Test, 32)[0];
+        let before = model.predict(&w.x).to_vec();
+        let loss = model.train_epoch(subset);
+        assert!(loss.is_finite() && loss > 0.0, "{kind:?} loss {loss}");
+        let after = model.predict(&w.x).to_vec();
+        assert_ne!(before, after, "{kind:?} did not learn anything");
+    }
+}
+
+#[test]
+fn evaluate_agrees_with_manual_accumulation() {
+    let profile = tiny_profile();
+    let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+    let ds = SplitDataset::new(DatasetKind::EttM1, 600, 4, 32, 8);
+    let model = build_model(ModelKind::ITransformer, &shared, &profile, 32, 8, ds.num_vars(), 15);
+    let windows = ds.windows(Split::Test, 16);
+    let (mse, mae) = model.evaluate(&windows);
+    let mut acc = timekd_data::MetricAccumulator::new();
+    for w in &windows {
+        acc.update(&model.predict(&w.x), &w.y);
+    }
+    assert!((mse - acc.mse()).abs() < 1e-6);
+    assert!((mae - acc.mae()).abs() < 1e-6);
+}
+
+#[test]
+fn param_counts_are_stable_across_calls() {
+    let profile = tiny_profile();
+    let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+    for kind in all_kinds() {
+        let model = build_model(kind, &shared, &profile, 32, 8, 7, 60);
+        assert_eq!(
+            model.num_trainable_params(),
+            model.num_trainable_params(),
+            "{kind:?}"
+        );
+        assert!(model.num_trainable_params() > 0, "{kind:?}");
+    }
+}
+
+#[test]
+fn llm_models_share_one_frozen_backbone() {
+    // Building several LLM-based models must not duplicate the LM: the
+    // cache of the shared FrozenLm is visible across models.
+    let profile = tiny_profile();
+    let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
+    let ds = SplitDataset::new(DatasetKind::EttH1, 600, 5, 32, 8);
+    let w = &ds.windows(Split::Test, 16)[0];
+    let kd = build_model(ModelKind::TimeKd, &shared, &profile, 32, 8, ds.num_vars(), 60);
+    let cma = build_model(ModelKind::TimeCma, &shared, &profile, 32, 8, ds.num_vars(), 60);
+    let _ = cma.predict(&w.x);
+    let misses_after_cma = shared.frozen.cache_stats().1;
+    assert!(misses_after_cma > 0, "TimeCMA must hit the shared LM");
+    let _ = kd.predict(&w.x); // TimeKD inference must NOT touch the LM
+    assert_eq!(
+        shared.frozen.cache_stats().1,
+        misses_after_cma,
+        "TimeKD student inference went through the LM"
+    );
+    let _ = Tensor::zeros([1]);
+}
