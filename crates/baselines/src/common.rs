@@ -152,7 +152,9 @@ mod tests {
     #[test]
     fn moving_average_reduces_variance() {
         let x = Tensor::from_vec(
-            (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(),
+            (0..20)
+                .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
             [20, 1],
         );
         let ma = moving_average(&x, 5);

@@ -3,9 +3,9 @@
 //! single linear map shared across channels. Included as the "are
 //! Transformers even needed?" sanity baseline.
 
-use rand::rngs::StdRng;
 use timekd_data::ForecastWindow;
 use timekd_nn::{mse_loss, AdamW, AdamWConfig, Linear, Module};
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -25,7 +25,11 @@ pub struct DlinearConfig {
 
 impl Default for DlinearConfig {
     fn default() -> Self {
-        DlinearConfig { ma_window: 25, lr: 3e-3, seed: 13 }
+        DlinearConfig {
+            ma_window: 25,
+            lr: 3e-3,
+            seed: 13,
+        }
     }
 }
 
@@ -48,7 +52,7 @@ impl Dlinear {
         horizon: usize,
         num_vars: usize,
     ) -> Dlinear {
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         Dlinear {
             trend: Linear::new(input_len, horizon, &mut rng),
             seasonal: Linear::new(input_len, horizon, &mut rng),
@@ -58,7 +62,10 @@ impl Dlinear {
             num_vars,
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
         }
     }

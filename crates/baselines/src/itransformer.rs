@@ -6,12 +6,11 @@
 //! simplest structure (no language model, no decomposition), which is also
 //! why it trails on the small-N ETT datasets (Table I discussion).
 
-use rand::rngs::StdRng;
 use timekd_data::ForecastWindow;
 use timekd_nn::{
-    clip_grad_norm, mse_loss, Activation, AdamW, AdamWConfig, Linear, Module,
-    TransformerEncoder,
+    clip_grad_norm, mse_loss, Activation, AdamW, AdamWConfig, Linear, Module, TransformerEncoder,
 };
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -67,7 +66,7 @@ impl ITransformer {
         horizon: usize,
         num_vars: usize,
     ) -> ITransformer {
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         ITransformer {
             embedding: Linear::new(input_len, config.dim, &mut rng),
             encoder: TransformerEncoder::new(
@@ -81,7 +80,10 @@ impl ITransformer {
             head: Linear::new(config.dim, horizon, &mut rng),
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
             input_len,
             horizon,

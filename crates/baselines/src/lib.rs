@@ -26,8 +26,7 @@ mod timellm;
 mod unitime;
 
 pub use common::{
-    instance_denormalize, instance_normalize, moving_average, num_patches, patchify,
-    InstanceStats,
+    instance_denormalize, instance_normalize, moving_average, num_patches, patchify, InstanceStats,
 };
 pub use dlinear::{Dlinear, DlinearConfig};
 pub use itransformer::{ITransformer, ITransformerConfig};

@@ -10,10 +10,10 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
 use timekd_data::{column, ForecastWindow};
 use timekd_lm::FrozenLm;
 use timekd_nn::{clip_grad_norm, mse_loss, AdamW, AdamWConfig, Linear, Module};
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -35,7 +35,12 @@ pub struct OfaConfig {
 
 impl Default for OfaConfig {
     fn default() -> Self {
-        OfaConfig { patch_len: 8, stride: 4, lr: 2e-3, seed: 14 }
+        OfaConfig {
+            patch_len: 8,
+            stride: 4,
+            lr: 2e-3,
+            seed: 14,
+        }
     }
 }
 
@@ -63,7 +68,7 @@ impl Ofa {
     ) -> Ofa {
         let lm_dim = lm.model().config().dim;
         let n_patches = num_patches(input_len, config.patch_len, config.stride);
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         Ofa {
             lm,
             patch_embed: Linear::new(config.patch_len, lm_dim, &mut rng),
@@ -75,7 +80,10 @@ impl Ofa {
             n_patches,
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
         }
     }
@@ -149,7 +157,10 @@ mod tests {
         let (lm, _) = pretrain_lm(
             &tok,
             LmConfig::for_size(LmSize::Small),
-            PretrainConfig { steps: 2, ..Default::default() },
+            PretrainConfig {
+                steps: 2,
+                ..Default::default()
+            },
         );
         Rc::new(FrozenLm::new(lm))
     }

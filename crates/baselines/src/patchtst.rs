@@ -3,12 +3,11 @@
 //! by a Transformer shared across channels, flattened, and projected to the
 //! horizon.
 
-use rand::rngs::StdRng;
 use timekd_data::{column, ForecastWindow};
 use timekd_nn::{
-    clip_grad_norm, mse_loss, Activation, AdamW, AdamWConfig, Linear, Module,
-    TransformerEncoder,
+    clip_grad_norm, mse_loss, Activation, AdamW, AdamWConfig, Linear, Module, TransformerEncoder,
 };
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -74,7 +73,7 @@ impl PatchTst {
     ) -> PatchTst {
         assert!(input_len >= config.patch_len, "input shorter than a patch");
         let n_patches = num_patches(input_len, config.patch_len, config.stride);
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         PatchTst {
             patch_embed: Linear::new(config.patch_len, config.dim, &mut rng),
             encoder: TransformerEncoder::new(
@@ -93,7 +92,10 @@ impl PatchTst {
             n_patches,
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
         }
     }

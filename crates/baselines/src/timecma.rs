@@ -10,13 +10,13 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
 use timekd_data::{column, ForecastWindow, PromptConfig};
 use timekd_lm::{FrozenLm, PromptTokenizer};
 use timekd_nn::{
-    clip_grad_norm, mse_loss, Activation, AdamW, AdamWConfig, Linear, Module,
-    MultiHeadAttention, TransformerEncoder,
+    clip_grad_norm, mse_loss, Activation, AdamW, AdamWConfig, Linear, Module, MultiHeadAttention,
+    TransformerEncoder,
 };
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -83,7 +83,7 @@ impl TimeCma {
         num_vars: usize,
     ) -> TimeCma {
         let lm_dim = lm.model().config().dim;
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         TimeCma {
             tokenizer: PromptTokenizer::new(),
             ts_embed: Linear::new(input_len, config.dim, &mut rng),
@@ -113,7 +113,10 @@ impl TimeCma {
             num_vars,
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
         }
     }
@@ -144,8 +147,8 @@ impl TimeCma {
         let ts_tokens = self.ts_embed.forward(&xn.transpose_last()); // [N, D]
         let ts_enc = self.ts_encoder.forward(&ts_tokens, None).output;
         let prompt_tokens = self.prompt_tokens(&xn); // [N, D]
-        // Cross-modality alignment: TS queries retrieve from the prompt
-        // modality; residual keeps the TS pathway primary.
+                                                     // Cross-modality alignment: TS queries retrieve from the prompt
+                                                     // modality; residual keeps the TS pathway primary.
         let aligned = self
             .alignment
             .attend(&ts_enc, &prompt_tokens, None)
@@ -208,14 +211,21 @@ mod tests {
         let (lm, _) = pretrain_lm(
             &tok,
             LmConfig::for_size(LmSize::Small),
-            PretrainConfig { steps: 2, ..Default::default() },
+            PretrainConfig {
+                steps: 2,
+                ..Default::default()
+            },
         );
         Rc::new(FrozenLm::new(lm))
     }
 
     fn small_config() -> TimeCmaConfig {
         TimeCmaConfig {
-            prompt: PromptConfig { max_history: 4, max_future: 4, freq_minutes: 60 },
+            prompt: PromptConfig {
+                max_history: 4,
+                max_future: 4,
+                freq_minutes: 60,
+            },
             ..Default::default()
         }
     }

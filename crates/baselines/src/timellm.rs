@@ -10,12 +10,10 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
 use timekd_data::{column, ForecastWindow};
 use timekd_lm::FrozenLm;
-use timekd_nn::{
-    clip_grad_norm, mse_loss, AdamW, AdamWConfig, Linear, Module, MultiHeadAttention,
-};
+use timekd_nn::{clip_grad_norm, mse_loss, AdamW, AdamWConfig, Linear, Module, MultiHeadAttention};
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -80,7 +78,7 @@ impl TimeLlm {
     ) -> TimeLlm {
         let lm_dim = lm.model().config().dim;
         let n_patches = num_patches(input_len, config.patch_len, config.stride);
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         // Prototypes: a trainable copy of the first rows of the token table.
         let table = lm.model().token_embedding_table();
         let rows = config.num_prototypes.min(table.dims()[0]);
@@ -99,7 +97,10 @@ impl TimeLlm {
             n_patches,
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
         }
     }
@@ -114,7 +115,7 @@ impl TimeLlm {
             let series = column(&xn, v);
             let patches = patchify(&series, self.config.patch_len, self.config.stride);
             let embedded = self.patch_embed.forward(&patches); // [P, lm_dim]
-            // Reprogramming: patches query the text prototype bank.
+                                                               // Reprogramming: patches query the text prototype bank.
             let reprogrammed = self
                 .reprogram
                 .attend(&embedded, &self.prototypes, None)
@@ -179,7 +180,10 @@ mod tests {
         let (lm, _) = pretrain_lm(
             &tok,
             LmConfig::for_size(LmSize::Small),
-            PretrainConfig { steps: 2, ..Default::default() },
+            PretrainConfig {
+                steps: 2,
+                ..Default::default()
+            },
         );
         Rc::new(FrozenLm::new(lm))
     }

@@ -7,10 +7,10 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
 use timekd_data::{column, ForecastWindow};
 use timekd_lm::{FrozenLm, PromptPiece, PromptTokenizer};
 use timekd_nn::{clip_grad_norm, mse_loss, AdamW, AdamWConfig, Linear, Module};
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 use timekd::Forecaster;
@@ -32,7 +32,12 @@ pub struct UniTimeConfig {
 
 impl Default for UniTimeConfig {
     fn default() -> Self {
-        UniTimeConfig { patch_len: 8, stride: 4, lr: 2e-3, seed: 16 }
+        UniTimeConfig {
+            patch_len: 8,
+            stride: 4,
+            lr: 2e-3,
+            seed: 16,
+        }
     }
 }
 
@@ -74,7 +79,7 @@ impl UniTime {
         let instruction_ids: Vec<usize> = instruction.iter().map(|t| t.id).collect();
         let lm_dim = lm.model().config().dim;
         let n_patches = num_patches(input_len, config.patch_len, config.stride);
-        let mut rng: StdRng = seeded_rng(config.seed);
+        let mut rng: SeededRng = seeded_rng(config.seed);
         UniTime {
             patch_embed: Linear::new(config.patch_len, lm_dim, &mut rng),
             head: Linear::new(n_patches * lm_dim, horizon, &mut rng),
@@ -87,7 +92,10 @@ impl UniTime {
             n_patches,
             optimizer: AdamW::new(
                 config.lr,
-                AdamWConfig { weight_decay: 0.0, ..Default::default() },
+                AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                },
             ),
         }
     }
@@ -174,7 +182,10 @@ mod tests {
         let (lm, _) = pretrain_lm(
             &tok,
             LmConfig::for_size(LmSize::Small),
-            PretrainConfig { steps: 2, ..Default::default() },
+            PretrainConfig {
+                steps: 2,
+                ..Default::default()
+            },
         );
         Rc::new(FrozenLm::new(lm))
     }

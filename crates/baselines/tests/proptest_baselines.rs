@@ -1,42 +1,45 @@
-//! Property-based tests for the baseline substrate: patching coverage and
-//! instance-normalisation invariants over random inputs.
+//! Randomised property tests for the baseline substrate: patching coverage
+//! and instance-normalisation invariants over random inputs.
 
-use proptest::prelude::*;
 use timekd_baselines::{
     instance_denormalize, instance_normalize, moving_average, num_patches, patchify,
 };
 use timekd_tensor::{seeded_rng, Tensor};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn patchify_always_covers_both_ends(
-        len in 8usize..64,
-        patch_len in 2usize..8,
-        stride in 1usize..6,
-    ) {
-        prop_assume!(len >= patch_len);
+#[test]
+fn patchify_always_covers_both_ends() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let patch_len = rng.gen_range(2usize..8);
+        let len = rng.gen_range(patch_len.max(8)..64);
+        let stride = rng.gen_range(1usize..6);
         let series: Vec<f32> = (0..len).map(|x| x as f32).collect();
         let p = patchify(&series, patch_len, stride);
         let v = p.to_vec();
-        prop_assert_eq!(v[0], 0.0, "first element covered");
-        prop_assert_eq!(
+        assert_eq!(v[0], 0.0, "seed {seed}: first element covered");
+        assert_eq!(
             v[v.len() - 1],
             (len - 1) as f32,
-            "last element covered"
+            "seed {seed}: last element covered"
         );
-        prop_assert_eq!(p.dims()[0], num_patches(len, patch_len, stride));
-        prop_assert_eq!(p.dims()[1], patch_len);
+        assert_eq!(
+            p.dims()[0],
+            num_patches(len, patch_len, stride),
+            "seed {seed}"
+        );
+        assert_eq!(p.dims()[1], patch_len, "seed {seed}");
     }
+}
 
-    #[test]
-    fn patchify_rows_are_contiguous_slices(
-        len in 8usize..40,
-        patch_len in 2usize..6,
-        stride in 1usize..5,
-    ) {
-        prop_assume!(len >= patch_len);
+#[test]
+fn patchify_rows_are_contiguous_slices() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let patch_len = rng.gen_range(2usize..6);
+        let len = rng.gen_range(patch_len.max(8)..40);
+        let stride = rng.gen_range(1usize..5);
         let series: Vec<f32> = (0..len).map(|x| x as f32 * 0.5).collect();
         let p = patchify(&series, patch_len, stride);
         let v = p.to_vec();
@@ -44,54 +47,67 @@ proptest! {
             let row = &v[r * patch_len..(r + 1) * patch_len];
             // Consecutive entries differ by exactly one source step.
             for w in row.windows(2) {
-                prop_assert!((w[1] - w[0] - 0.5).abs() < 1e-6);
+                assert!((w[1] - w[0] - 0.5).abs() < 1e-6, "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn instance_norm_round_trip(seed in 0u64..500, t in 4usize..20, scale in 0.5f32..30.0) {
+#[test]
+fn instance_norm_round_trip() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let t = rng.gen_range(4usize..20);
+        let scale = rng.gen_range(0.5f32..30.0);
         let x = Tensor::randn([t, 3], scale, &mut rng).add_scalar(scale);
         let (normed, stats) = instance_normalize(&x);
         let back = instance_denormalize(&normed, &stats);
         for (a, b) in back.to_vec().iter().zip(x.to_vec()) {
             let tol = b.abs().max(1.0) * 1e-3;
-            prop_assert!((a - b).abs() < tol, "{a} vs {b}");
+            assert!((a - b).abs() < tol, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn instance_norm_output_standardised(seed in 0u64..500, t in 8usize..30) {
+#[test]
+fn instance_norm_output_standardised() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let t = rng.gen_range(8usize..30);
         let x = Tensor::randn([t, 2], 5.0, &mut rng).add_scalar(-7.0);
         let (normed, _) = instance_normalize(&x);
         let v = normed.to_vec();
         for j in 0..2 {
             let col: Vec<f32> = (0..t).map(|i| v[i * 2 + j]).collect();
             let mean: f32 = col.iter().sum::<f32>() / t as f32;
-            prop_assert!(mean.abs() < 1e-3, "channel {j} mean {mean}");
+            assert!(mean.abs() < 1e-3, "seed {seed} channel {j} mean {mean}");
         }
     }
+}
 
-    #[test]
-    fn instance_norm_shift_invariant(seed in 0u64..300, shift in -50.0f32..50.0) {
+#[test]
+fn instance_norm_shift_invariant() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let shift = rng.gen_range(-50.0f32..50.0);
         let x = Tensor::randn([12, 2], 1.0, &mut rng);
         let (a, _) = instance_normalize(&x);
         let (b, _) = instance_normalize(&x.add_scalar(shift));
         for (p, q) in a.to_vec().iter().zip(b.to_vec()) {
-            prop_assert!((p - q).abs() < 1e-3);
+            assert!((p - q).abs() < 1e-3, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn moving_average_preserves_mean(seed in 0u64..300, window in 1usize..9) {
+#[test]
+fn moving_average_preserves_mean() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let window = rng.gen_range(1usize..9);
         let x = Tensor::randn([30, 2], 1.0, &mut rng);
         let ma = moving_average(&x, window);
         let mean = |t: &Tensor| t.to_vec().iter().sum::<f32>() / t.num_elements() as f32;
         // Edge effects allow small deviation only.
-        prop_assert!((mean(&x) - mean(&ma)).abs() < 0.2);
+        assert!((mean(&x) - mean(&ma)).abs() < 0.2, "seed {seed}");
     }
 }

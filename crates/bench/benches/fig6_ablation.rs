@@ -28,7 +28,11 @@ fn variants() -> Vec<AblationConfig> {
 fn main() {
     let profile = Profile::from_env();
     let shared = SharedLm::pretrain(LmSize::Base, &profile);
-    let horizons: Vec<usize> = if profile.quick { vec![24, 48] } else { vec![24, 36, 48, 96, 192] };
+    let horizons: Vec<usize> = if profile.quick {
+        vec![24, 48]
+    } else {
+        vec![24, 36, 48, 96, 192]
+    };
 
     let mut headers = vec!["dataset".to_string()];
     for v in variants() {
@@ -36,10 +40,7 @@ fn main() {
         headers.push(format!("{} MAE", v.label()));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = ResultTable::new(
-        "Figure 6: ablations (avg over horizons)",
-        &header_refs,
-    );
+    let mut table = ResultTable::new("Figure 6: ablations (avg over horizons)", &header_refs);
 
     for kind in [
         DatasetKind::EttM1,
@@ -59,8 +60,7 @@ fn main() {
                     profile.input_len,
                     horizon,
                 );
-                let mut cfg =
-                    timekd_bench::timekd_config(&profile, &shared, kind.freq_minutes());
+                let mut cfg = timekd_bench::timekd_config(&profile, &shared, kind.freq_minutes());
                 cfg.ablation = ablation;
                 if !ablation.calibrated_attention {
                     cfg.lm.calibration_delta = 0.0;
@@ -83,7 +83,11 @@ fn main() {
             }
             let mse = (mse_sum / horizons.len() as f64) as f32;
             let mae = (mae_sum / horizons.len() as f64) as f32;
-            eprintln!("[fig6] {} {}: MSE {mse:.3} MAE {mae:.3}", kind.name(), ablation.label());
+            eprintln!(
+                "[fig6] {} {}: MSE {mse:.3} MAE {mae:.3}",
+                kind.name(),
+                ablation.label()
+            );
             row.push(f3(mse));
             row.push(f3(mae));
         }

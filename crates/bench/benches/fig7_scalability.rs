@@ -36,7 +36,8 @@ fn main() {
             horizon,
         );
         for &fraction in &fractions {
-            let r = timekd_bench::run_experiment(ModelKind::TimeKd, &ds, &shared, &profile, fraction);
+            let r =
+                timekd_bench::run_experiment(ModelKind::TimeKd, &ds, &shared, &profile, fraction);
             eprintln!(
                 "[fig7] {} {:.0}%: MSE {:.3} MAE {:.3}",
                 kind.name(),

@@ -57,8 +57,17 @@ fn main() {
     let (teacher, student) = model.attention_maps(probe);
     let after = frobenius_distance(&teacher, &student);
 
-    println!("{}", render_heatmap(&teacher, "Fig 8a: privileged Transformer attention (A_PE)"));
-    println!("{}", render_heatmap(&student, "Fig 8b: time-series Transformer attention (A_TSE)"));
+    println!(
+        "{}",
+        render_heatmap(&teacher, "Fig 8a: privileged Transformer attention (A_PE)")
+    );
+    println!(
+        "{}",
+        render_heatmap(
+            &student,
+            "Fig 8b: time-series Transformer attention (A_TSE)"
+        )
+    );
     println!("teacher-student attention distance: {before:.4} (init) -> {after:.4} (trained)");
     if after < before {
         println!("correlation distillation pulled the maps together ✔");
@@ -69,7 +78,17 @@ fn main() {
     let var_names: Vec<String> = ds.kind().variable_names();
     let headers: Vec<&str> = var_names.iter().map(String::as_str).collect();
     let dir = timekd_bench::experiments_dir();
-    write_csv(dir.join("fig8_teacher_attention.csv"), &headers, &matrix_rows(&teacher)).unwrap();
-    write_csv(dir.join("fig8_student_attention.csv"), &headers, &matrix_rows(&student)).unwrap();
+    write_csv(
+        dir.join("fig8_teacher_attention.csv"),
+        &headers,
+        &matrix_rows(&teacher),
+    )
+    .unwrap();
+    write_csv(
+        dir.join("fig8_student_attention.csv"),
+        &headers,
+        &matrix_rows(&student),
+    )
+    .unwrap();
     println!("saved {}", dir.join("fig8_*.csv").display());
 }

@@ -66,8 +66,20 @@ fn main() {
     let probe = &windows.test[0];
     let (teacher, student) = model.feature_maps(probe);
 
-    println!("{}", render_heatmap(&teacher, "Fig 9a: privileged feature self-relations (E_GT·E_GTᵀ)"));
-    println!("{}", render_heatmap(&student, "Fig 9b: time-series feature self-relations (T̄_H·T̄_Hᵀ)"));
+    println!(
+        "{}",
+        render_heatmap(
+            &teacher,
+            "Fig 9a: privileged feature self-relations (E_GT·E_GTᵀ)"
+        )
+    );
+    println!(
+        "{}",
+        render_heatmap(
+            &student,
+            "Fig 9b: time-series feature self-relations (T̄_H·T̄_Hᵀ)"
+        )
+    );
     println!(
         "off-diagonal energy: teacher {:.3}, student {:.3}",
         offdiag_fraction(&teacher),
@@ -77,7 +89,17 @@ fn main() {
     let var_names: Vec<String> = ds.kind().variable_names();
     let headers: Vec<&str> = var_names.iter().map(String::as_str).collect();
     let dir = timekd_bench::experiments_dir();
-    write_csv(dir.join("fig9_teacher_features.csv"), &headers, &matrix_rows(&teacher)).unwrap();
-    write_csv(dir.join("fig9_student_features.csv"), &headers, &matrix_rows(&student)).unwrap();
+    write_csv(
+        dir.join("fig9_teacher_features.csv"),
+        &headers,
+        &matrix_rows(&teacher),
+    )
+    .unwrap();
+    write_csv(
+        dir.join("fig9_student_features.csv"),
+        &headers,
+        &matrix_rows(&student),
+    )
+    .unwrap();
     println!("saved {}", dir.join("fig9_*.csv").display());
 }

@@ -45,10 +45,7 @@ fn main() {
         headers.push(format!("{} MAE", m.name()));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = ResultTable::new(
-        "Table I: long-term forecasting (input 96)",
-        &header_refs,
-    );
+    let mut table = ResultTable::new("Table I: long-term forecasting (input 96)", &header_refs);
 
     for &kind in &datasets {
         let mut avg: Vec<(f64, f64)> = vec![(0.0, 0.0); ModelKind::paper_models().len()];

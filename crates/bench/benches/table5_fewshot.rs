@@ -21,10 +21,7 @@ fn main() {
         headers.push(format!("{} MAE", m.name()));
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut table = ResultTable::new(
-        "Table V: few-shot (10% training data, FH 96)",
-        &header_refs,
-    );
+    let mut table = ResultTable::new("Table V: few-shot (10% training data, FH 96)", &header_refs);
 
     for kind in [
         DatasetKind::EttM1,

@@ -53,7 +53,10 @@ fn main() {
         let mut row = vec![label.clone()];
         for model in ModelKind::paper_models() {
             let (mse, mae) = timekd_bench::run_zero_shot(model, &src, &dst, &shared, &profile);
-            eprintln!("[table6] {label} {}: MSE {mse:.3} MAE {mae:.3}", model.name());
+            eprintln!(
+                "[table6] {label} {}: MSE {mse:.3} MAE {mae:.3}",
+                model.name()
+            );
             row.push(f3(mse));
             row.push(f3(mae));
         }

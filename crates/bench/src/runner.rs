@@ -270,8 +270,7 @@ pub fn run_model(
     for w in &windows.test {
         let _ = model.predict(&w.x);
     }
-    let infer_secs_per_window =
-        infer_t0.elapsed().as_secs_f64() / windows.test.len().max(1) as f64;
+    let infer_secs_per_window = infer_t0.elapsed().as_secs_f64() / windows.test.len().max(1) as f64;
 
     RunResult {
         model: model.name(),
@@ -391,39 +390,57 @@ pub fn build_model_seeded(
         )),
         ModelKind::TimeLlm => Box::new(TimeLlm::new(
             shared.frozen.clone(),
-            TimeLlmConfig { seed, ..Default::default() },
+            TimeLlmConfig {
+                seed,
+                ..Default::default()
+            },
             input_len,
             horizon,
             num_vars,
         )),
         ModelKind::UniTime => Box::new(UniTime::new(
             shared.frozen.clone(),
-            UniTimeConfig { seed, ..Default::default() },
+            UniTimeConfig {
+                seed,
+                ..Default::default()
+            },
             input_len,
             horizon,
             num_vars,
         )),
         ModelKind::Ofa => Box::new(Ofa::new(
             shared.frozen.clone(),
-            OfaConfig { seed, ..Default::default() },
+            OfaConfig {
+                seed,
+                ..Default::default()
+            },
             input_len,
             horizon,
             num_vars,
         )),
         ModelKind::ITransformer => Box::new(ITransformer::new(
-            ITransformerConfig { seed, ..Default::default() },
+            ITransformerConfig {
+                seed,
+                ..Default::default()
+            },
             input_len,
             horizon,
             num_vars,
         )),
         ModelKind::PatchTst => Box::new(PatchTst::new(
-            PatchTstConfig { seed, ..Default::default() },
+            PatchTstConfig {
+                seed,
+                ..Default::default()
+            },
             input_len,
             horizon,
             num_vars,
         )),
         ModelKind::Dlinear => Box::new(Dlinear::new(
-            DlinearConfig { seed, ..Default::default() },
+            DlinearConfig {
+                seed,
+                ..Default::default()
+            },
             input_len,
             horizon,
             num_vars,
@@ -440,7 +457,11 @@ pub fn run_zero_shot(
     shared: &SharedLm,
     profile: &Profile,
 ) -> (f32, f32) {
-    assert_eq!(source.num_vars(), target.num_vars(), "zero-shot needs matching N");
+    assert_eq!(
+        source.num_vars(),
+        target.num_vars(),
+        "zero-shot needs matching N"
+    );
     assert_eq!(source.horizon(), target.horizon());
     assert_eq!(source.input_len(), target.input_len());
     let mut model = build_model(
@@ -542,7 +563,15 @@ mod tests {
         let names: Vec<_> = ModelKind::paper_models().iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["TimeKD", "TimeCMA", "Time-LLM", "UniTime", "OFA", "iTransformer", "PatchTST"]
+            vec![
+                "TimeKD",
+                "TimeCMA",
+                "Time-LLM",
+                "UniTime",
+                "OFA",
+                "iTransformer",
+                "PatchTST"
+            ]
         );
     }
 }

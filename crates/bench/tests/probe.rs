@@ -44,7 +44,10 @@ fn teacher_recon_diagnosis() {
     let (_, report) = timekd_lm::pretrain_lm(
         &tok,
         timekd_lm::LmConfig::for_size(LmSize::Base),
-        timekd_lm::PretrainConfig { steps: 80, ..Default::default() },
+        timekd_lm::PretrainConfig {
+            steps: 80,
+            ..Default::default()
+        },
     );
     println!(
         "pretrain: lm {:.3}->{:.3}, value mse {:.3}->{:.3}",

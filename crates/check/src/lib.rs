@@ -1,0 +1,448 @@
+//! # timekd-check
+//!
+//! Dependency-free source linter for the TimeKD workspace, plus the
+//! entrypoint that runs the autograd-graph sanity checks (see `main.rs`).
+//!
+//! The linter is a hand-rolled line scanner — no `syn`, no regex crate —
+//! that tracks just enough structure (brace depth, current function,
+//! `#[cfg(test)]` regions, strings and comments) to enforce a small set of
+//! repo rules over `crates/*/src`:
+//!
+//! | rule | scope | requirement |
+//! |------|-------|-------------|
+//! | `no-unwrap-in-kernels` | `tensor/src/ops/*` | no `.unwrap()` / `.expect(` in hot kernels |
+//! | `no-instant-in-kernels` | `tensor/src/ops/*` | no `Instant::now` timing inside kernels |
+//! | `no-clone-in-forward` | all crates | no tensor-data copies (`.to_vec()`, `.data().clone()`) inside `forward*` fns |
+//! | `no-grad-in-inference` | all crates | `predict` / `evaluate` fns must run under `no_grad` (directly or by delegating to `predict`) |
+//!
+//! Test modules are exempt from every rule. Justified exceptions go in the
+//! repo-root `lint-allow.txt` allowlist (see [`Allowlist`]).
+
+#![deny(
+    unused_must_use,
+    unused_imports,
+    unused_variables,
+    dead_code,
+    unreachable_patterns,
+    missing_debug_implementations
+)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Rule identifier (kebab-case, stable — used in the allowlist).
+    pub rule: &'static str,
+    /// Path of the offending file as scanned.
+    pub path: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.text
+        )
+    }
+}
+
+/// Allowlist for justified rule exceptions.
+///
+/// Format, one entry per line: `rule path-fragment line-fragment`, where
+/// `rule` is a rule id or `*`, `path-fragment` must be contained in the
+/// violation's path, and the rest of the line must be contained in the
+/// offending source line. `#` starts a comment.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String, String)>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text. Malformed lines (fewer than 3 fields) are
+    /// ignored rather than fatal so a stale allowlist cannot break CI.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, char::is_whitespace);
+            if let (Some(rule), Some(path), Some(frag)) = (parts.next(), parts.next(), parts.next())
+            {
+                entries.push((rule.to_string(), path.to_string(), frag.trim().to_string()));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads the allowlist from `path`; a missing file means no exceptions.
+    pub fn load(path: &Path) -> Allowlist {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// True if `v` matches an entry and should be suppressed.
+    pub fn allows(&self, v: &Violation) -> bool {
+        self.entries.iter().any(|(rule, path, frag)| {
+            (rule == "*" || rule == v.rule)
+                && v.path.contains(path.as_str())
+                && v.text.contains(frag.as_str())
+        })
+    }
+
+    /// Number of entries (for reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Strips comments and string/char literal *contents* from one line,
+/// carrying block-comment state across lines. Literal delimiters are kept
+/// so brace counting still sees code structure, but braces and rule
+/// keywords inside strings or comments are ignored.
+fn code_only(line: &str, in_block_comment: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // Skip string contents (with escapes).
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str("\"\"");
+            }
+            b'\'' => {
+                // Char literal like '{' or '\n'; lifetimes ('a) have no
+                // closing quote within a few bytes — treat those as code.
+                let close = if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
+                    (bytes[i + 3] == b'\'').then_some(i + 3)
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(end) = close {
+                    out.push_str("' '");
+                    i = end + 1;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b as char);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the name following a `fn ` keyword, if the line declares one.
+fn fn_name(code: &str) -> Option<String> {
+    let idx = code.find("fn ")?;
+    // Require a word boundary before `fn` (start, space, or punctuation).
+    if idx > 0 {
+        let prev = code.as_bytes()[idx - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    let rest = &code[idx + 3..];
+    let name: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+struct OpenFn {
+    name: String,
+    start_line: usize,
+    depth: usize,
+    body: String,
+}
+
+/// Scans one file's source text and returns every rule violation,
+/// un-filtered by any allowlist. `path_label` is used for reporting and
+/// for path-scoped rules, so pass a repo-relative path.
+pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
+    let in_kernels = path_label.contains("tensor/src/ops/");
+    let mut violations = Vec::new();
+    let mut depth = 0usize;
+    let mut in_block_comment = false;
+    // `Some(d)` = inside a `#[cfg(test)]` item whose brace opened at depth d.
+    let mut test_region: Option<usize> = None;
+    let mut test_pending = false;
+    let mut pending_fn: Option<(String, usize)> = None;
+    let mut open_fns: Vec<OpenFn> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let code = code_only(raw, &mut in_block_comment);
+        let trimmed = raw.trim();
+        if trimmed.starts_with("#[cfg(test)]") && test_region.is_none() {
+            test_pending = true;
+        }
+        let in_test = test_region.is_some();
+
+        if !in_test {
+            if let Some(name) = fn_name(&code) {
+                pending_fn = Some((name, lineno));
+            }
+        }
+
+        // Per-line rules run before brace processing so a violation on the
+        // closing line of a fn still attributes to it.
+        if !in_test && !test_pending {
+            let current_fn = open_fns.last().map(|f| f.name.as_str()).unwrap_or("");
+            if in_kernels && (code.contains(".unwrap()") || code.contains(".expect(")) {
+                violations.push(Violation {
+                    rule: "no-unwrap-in-kernels",
+                    path: path_label.to_string(),
+                    line: lineno,
+                    text: trimmed.to_string(),
+                });
+            }
+            if in_kernels && code.contains("Instant::now") {
+                violations.push(Violation {
+                    rule: "no-instant-in-kernels",
+                    path: path_label.to_string(),
+                    line: lineno,
+                    text: trimmed.to_string(),
+                });
+            }
+            if current_fn.starts_with("forward")
+                && (code.contains(".to_vec()") || code.contains(".data().clone()"))
+            {
+                violations.push(Violation {
+                    rule: "no-clone-in-forward",
+                    path: path_label.to_string(),
+                    line: lineno,
+                    text: trimmed.to_string(),
+                });
+            }
+        }
+
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if test_pending {
+                        test_region = Some(depth);
+                        test_pending = false;
+                    }
+                    if let Some((name, start)) = pending_fn.take() {
+                        open_fns.push(OpenFn {
+                            name,
+                            start_line: start,
+                            depth,
+                            body: String::new(),
+                        });
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if open_fns.last().is_some_and(|f| f.depth == depth) {
+                        let f = open_fns.pop().unwrap_or_else(|| unreachable!());
+                        let inference = f.name == "predict" || f.name == "evaluate";
+                        if inference
+                            && test_region.is_none()
+                            && !f.body.contains("no_grad")
+                            && !f.body.contains(".predict(")
+                        {
+                            violations.push(Violation {
+                                rule: "no-grad-in-inference",
+                                path: path_label.to_string(),
+                                line: f.start_line,
+                                text: format!("fn {} runs without a no_grad scope", f.name),
+                            });
+                        }
+                    }
+                    if test_region == Some(depth) {
+                        test_region = None;
+                    }
+                }
+                // A `;` before any `{` means the pending decl was bodyless
+                // (trait method): drop it so the next block is not
+                // mis-attributed.
+                ';' if pending_fn.is_some() => pending_fn = None,
+                _ => {}
+            }
+        }
+        for f in &mut open_fns {
+            f.body.push_str(&code);
+            f.body.push('\n');
+        }
+    }
+    violations
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every `crates/*/src` tree (and the root package `src/` if
+/// present) under `repo_root`. Returns violations not covered by `allow`,
+/// with repo-relative paths.
+pub fn scan_workspace(repo_root: &Path, allow: &Allowlist) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = repo_root.join("crates");
+    for entry in fs::read_dir(&crates_dir)? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files)?;
+        }
+    }
+    let root_src = repo_root.join("src");
+    if root_src.is_dir() {
+        rust_files(&root_src, &mut files)?;
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in files {
+        let label = file
+            .strip_prefix(repo_root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&file)?;
+        violations.extend(
+            scan_source(&label, &source)
+                .into_iter()
+                .filter(|v| !allow.allows(v)),
+        );
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_only_strips_comments_and_strings() {
+        let mut blk = false;
+        assert_eq!(
+            code_only("let x = 1; // .unwrap()", &mut blk),
+            "let x = 1; "
+        );
+        assert_eq!(
+            code_only("let s = \".unwrap()\";", &mut blk),
+            "let s = \"\";"
+        );
+        assert_eq!(code_only("a /* x.unwrap() */ b", &mut blk), "a  b");
+        assert!(!blk);
+        assert_eq!(code_only("start /* spans", &mut blk), "start ");
+        assert!(blk);
+        assert_eq!(code_only("still } comment */ after", &mut blk), " after");
+        assert!(!blk);
+    }
+
+    #[test]
+    fn code_only_handles_char_literals() {
+        let mut blk = false;
+        // A '{' char literal must not look like an opening brace.
+        assert_eq!(code_only("if c == '{' {", &mut blk), "if c == ' ' {");
+        // Lifetimes pass through.
+        assert_eq!(
+            code_only("fn f<'a>(x: &'a str)", &mut blk),
+            "fn f<'a>(x: &'a str)"
+        );
+    }
+
+    #[test]
+    fn fn_name_extraction() {
+        assert_eq!(fn_name("pub fn forward(&self)").as_deref(), Some("forward"));
+        assert_eq!(fn_name("    fn predict(").as_deref(), Some("predict"));
+        assert_eq!(fn_name("let fnord = 3;"), None);
+        assert_eq!(fn_name("no function here"), None);
+    }
+
+    #[test]
+    fn allowlist_matches_rule_path_and_fragment() {
+        let allow = Allowlist::parse(
+            "# comment\nno-clone-in-forward student.rs .to_vec()\n* teacher.rs Instant\n",
+        );
+        assert_eq!(allow.len(), 2);
+        let v = Violation {
+            rule: "no-clone-in-forward",
+            path: "crates/core/src/student.rs".into(),
+            line: 3,
+            text: "let v = x.to_vec();".into(),
+        };
+        assert!(allow.allows(&v));
+        let other = Violation {
+            rule: "no-unwrap-in-kernels",
+            ..v.clone()
+        };
+        assert!(!allow.allows(&other), "rule must match unless wildcard");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "\
+impl Tensor {
+    fn kernel(&self) -> f32 { self.data.first().copied().unwrap_or(0.0) }
+}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+";
+        let v = scan_source("crates/tensor/src/ops/fake.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,127 @@
+//! `cargo run -p timekd-check` — the workspace's static-analysis
+//! entrypoint. Runs both layers:
+//!
+//! 1. the source lint pass over `crates/*/src` (rules + allowlist in
+//!    `timekd_check`), and
+//! 2. dynamic autograd-graph sanity checks: a [`GraphAudit`] over a real
+//!    TimeKD student loss graph and the frozen-LM parameter invariant
+//!    after a genuine backward pass.
+//!
+//! Exits non-zero if any layer finds a problem, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use timekd::{Forecaster, TimeKd, TimeKdConfig};
+use timekd_check::{scan_workspace, Allowlist};
+use timekd_data::{DatasetKind, Split, SplitDataset};
+use timekd_lm::{pretrain_lm, FrozenLm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
+use timekd_nn::smooth_l1_loss;
+use timekd_tensor::GraphAudit;
+
+fn repo_root() -> PathBuf {
+    // crates/check/ -> repo root is two levels up from this manifest.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has two ancestors")
+        .to_path_buf()
+}
+
+fn run_lints(root: &Path) -> Result<(), String> {
+    let allow = Allowlist::load(&root.join("lint-allow.txt"));
+    println!(
+        "lint: scanning crates/*/src and src/ ({} allowlist entries)",
+        allow.len()
+    );
+    let violations = scan_workspace(root, &allow).map_err(|e| format!("lint: scan failed: {e}"))?;
+    if violations.is_empty() {
+        println!("lint: clean");
+        return Ok(());
+    }
+    for v in &violations {
+        println!("lint: {v}");
+    }
+    Err(format!("lint: {} violation(s)", violations.len()))
+}
+
+#[allow(clippy::field_reassign_with_default)]
+fn tiny_model() -> (TimeKd, SplitDataset) {
+    let mut cfg = TimeKdConfig::default();
+    cfg.dim = 16;
+    cfg.ffn_hidden = 32;
+    cfg.num_heads = 2;
+    cfg.lm = LmConfig::for_size(LmSize::Small);
+    cfg.prompt.max_history = 4;
+    cfg.prompt.max_future = 4;
+    let ds = SplitDataset::new(DatasetKind::EttH1, 500, 7, 24, 8);
+    let tokenizer = Rc::new(PromptTokenizer::new());
+    let (lm, _) = pretrain_lm(
+        &tokenizer,
+        cfg.lm,
+        PretrainConfig {
+            steps: 3,
+            ..Default::default()
+        },
+    );
+    let model = TimeKd::with_frozen_lm(
+        Rc::new(FrozenLm::new(lm)),
+        tokenizer,
+        cfg,
+        24,
+        8,
+        ds.num_vars(),
+    );
+    (model, ds)
+}
+
+fn run_graph_checks() -> Result<(), String> {
+    let (mut model, ds) = tiny_model();
+    let windows = ds.windows(Split::Train, 32);
+
+    // Audit the student's real loss graph before any training.
+    let w = &windows[0];
+    let out = model.student().forward(&w.x);
+    let loss = smooth_l1_loss(&out.forecast, &w.y);
+    let audit = GraphAudit::run(&loss);
+    print!("{}", audit.report());
+    if !audit.is_clean() {
+        return Err(format!("graph: {} issue(s)", audit.issues.len()));
+    }
+
+    // One genuine training epoch, then the frozen-LM invariant (it also
+    // runs inside the loop after every backward; this is the final gate).
+    model.train_epoch(&windows[..2.min(windows.len())]);
+    model.assert_frozen_lm_invariant();
+    println!("graph: frozen-LM invariant holds after training");
+
+    // Audit again after training: backward must leave no interior grads.
+    let out = model.student().forward(&w.x);
+    let loss = smooth_l1_loss(&out.forecast, &w.y);
+    loss.backward();
+    let audit = GraphAudit::run(&loss);
+    if !audit.is_clean() {
+        print!("{}", audit.report());
+        return Err("graph: post-backward audit failed".to_string());
+    }
+    println!("graph: post-backward audit clean");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let root = repo_root();
+    let mut failed = false;
+    for result in [run_lints(&root), run_graph_checks()] {
+        if let Err(msg) = result {
+            eprintln!("FAIL {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("timekd-check: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

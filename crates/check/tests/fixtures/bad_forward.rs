@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): a forward path copying tensor data,
+// violating no-clone-in-forward.
+impl Student {
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let copied = x.to_vec();
+        let again = x.data().clone();
+        Tensor::from_vec(copied, x.shape().clone()).add_slice(&again)
+    }
+
+    // Helper fns are out of scope for the rule.
+    pub fn snapshot(&self) -> Vec<f32> {
+        self.embedding.to_vec()
+    }
+}

@@ -1,0 +1,23 @@
+// Lint fixture (never compiled): inference entrypoints building a graph,
+// violating no-grad-in-inference.
+impl Forecaster for BadModel {
+    fn predict(&self, x: &Tensor) -> Tensor {
+        // Missing no_grad: every op here records backward closures.
+        self.backbone.forward(x)
+    }
+
+    fn evaluate(&self, windows: &[ForecastWindow]) -> (f32, f32) {
+        let mut acc = MetricAccumulator::new();
+        for w in windows {
+            let pred = self.backbone.forward(&w.x);
+            acc.update(&pred, &w.y);
+        }
+        (acc.mse(), acc.mae())
+    }
+}
+
+impl GoodModel {
+    fn predict(&self, x: &Tensor) -> Tensor {
+        timekd_tensor::no_grad(|| self.backbone.forward(x))
+    }
+}

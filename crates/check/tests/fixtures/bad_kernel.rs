@@ -1,0 +1,23 @@
+// Lint fixture (never compiled): a "hot kernel" violating the
+// no-unwrap-in-kernels and no-instant-in-kernels rules.
+use std::time::Instant;
+
+impl Tensor {
+    pub fn fused_kernel(&self, other: &Tensor) -> Tensor {
+        let t0 = Instant::now();
+        let shape = self.shape().broadcast_with(other.shape()).unwrap();
+        let scale = std::env::var("SCALE").expect("SCALE must be set");
+        let _ = (t0, scale);
+        Tensor::zeros(shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test module the same patterns are fine.
+    #[test]
+    fn unwrap_is_allowed_here() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

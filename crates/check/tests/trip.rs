@@ -1,0 +1,162 @@
+//! Fault-injection tests for the source linter: each rule must trip on a
+//! fixture source that violates it, and the allowlist must be able to
+//! suppress a violation. Fixtures live in `tests/fixtures/` and are never
+//! compiled — they are scanned as text, exactly like `scan_workspace`
+//! scans the real crates.
+
+use std::path::Path;
+
+use timekd_check::{scan_source, Allowlist, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+fn rules_of(violations: &[Violation]) -> Vec<&str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn unwrap_in_kernel_trips() {
+    // The kernel rules are scoped to tensor/src/ops/, so label the fixture
+    // as if it lived there.
+    let vs = scan_source(
+        "crates/tensor/src/ops/bad_kernel.rs",
+        &fixture("bad_kernel.rs"),
+    );
+    let rules = rules_of(&vs);
+    // .unwrap() on line 8 and .expect(...) on line 9.
+    assert_eq!(
+        rules
+            .iter()
+            .filter(|r| **r == "no-unwrap-in-kernels")
+            .count(),
+        2,
+        "expected both unwrap and expect to trip: {vs:?}"
+    );
+    let unwrap_v = vs.iter().find(|v| v.text.contains(".unwrap()")).unwrap();
+    assert_eq!(
+        unwrap_v.line, 8,
+        "line numbers must point at the offence: {unwrap_v}"
+    );
+}
+
+#[test]
+fn instant_in_kernel_trips() {
+    let vs = scan_source(
+        "crates/tensor/src/ops/bad_kernel.rs",
+        &fixture("bad_kernel.rs"),
+    );
+    assert!(
+        rules_of(&vs).contains(&"no-instant-in-kernels"),
+        "Instant::now in a kernel must trip: {vs:?}"
+    );
+}
+
+#[test]
+fn kernel_rules_do_not_trip_outside_ops() {
+    // Same source, but labelled outside tensor/src/ops/: the kernel-scoped
+    // rules must stay quiet (the fixture has no forward/predict fns).
+    let vs = scan_source("crates/data/src/bad_kernel.rs", &fixture("bad_kernel.rs"));
+    assert!(
+        vs.is_empty(),
+        "kernel rules are scoped to tensor ops: {vs:?}"
+    );
+}
+
+#[test]
+fn unwrap_in_test_module_is_exempt() {
+    let vs = scan_source(
+        "crates/tensor/src/ops/bad_kernel.rs",
+        &fixture("bad_kernel.rs"),
+    );
+    // The fixture's #[cfg(test)] module uses unwrap() on line 21; no
+    // violation may point there.
+    assert!(
+        vs.iter().all(|v| v.line < 15),
+        "violations inside #[cfg(test)] must be exempt: {vs:?}"
+    );
+}
+
+#[test]
+fn tensor_clone_in_forward_trips() {
+    let vs = scan_source("crates/core/src/bad_forward.rs", &fixture("bad_forward.rs"));
+    let clones: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-clone-in-forward")
+        .collect();
+    // .to_vec() and .data().clone() inside fn forward; the .to_vec() in
+    // the non-forward helper must not trip.
+    assert_eq!(clones.len(), 2, "both copies in forward must trip: {vs:?}");
+    assert!(
+        clones.iter().all(|v| v.line <= 8),
+        "the helper fn is out of scope: {clones:?}"
+    );
+}
+
+#[test]
+fn inference_without_no_grad_trips() {
+    let vs = scan_source(
+        "crates/core/src/bad_inference.rs",
+        &fixture("bad_inference.rs"),
+    );
+    let grads: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-grad-in-inference")
+        .collect();
+    // BadModel::predict and BadModel::evaluate both lack no_grad;
+    // GoodModel::predict wraps its body and must not trip.
+    assert_eq!(
+        grads.len(),
+        2,
+        "both graph-building entrypoints must trip: {vs:?}"
+    );
+    assert!(
+        grads.iter().all(|v| v.line < 19),
+        "a no_grad-wrapped predict must pass: {grads:?}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_matching_violation() {
+    let source = fixture("bad_kernel.rs");
+    let label = "crates/tensor/src/ops/bad_kernel.rs";
+    let all = scan_source(label, &source);
+    assert!(!all.is_empty());
+
+    let allow = Allowlist::parse(
+        "# narrow exception for the broadcast unwrap\n\
+         no-unwrap-in-kernels bad_kernel.rs broadcast_with\n",
+    );
+    assert_eq!(allow.len(), 1);
+    let kept: Vec<_> = all.iter().filter(|v| !allow.allows(v)).collect();
+    assert_eq!(
+        kept.len(),
+        all.len() - 1,
+        "exactly the broadcast unwrap is suppressed: {kept:?}"
+    );
+    assert!(kept.iter().all(|v| !v.text.contains("broadcast_with")));
+
+    // A `*` rule with a broad line fragment suppresses across rules.
+    let wild = Allowlist::parse("* bad_kernel.rs (\n");
+    assert!(
+        all.iter().all(|v| wild.allows(v)),
+        "wildcard entry suppresses all"
+    );
+}
+
+#[test]
+fn repo_allowlist_file_parses() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint-allow.txt");
+    let allow = Allowlist::load(&path);
+    // The checked-in file is documentation-only today; parsing must not
+    // invent entries from comments.
+    assert!(
+        allow.is_empty(),
+        "lint-allow.txt should have no live entries"
+    );
+}

@@ -1,8 +1,8 @@
 //! TimeKD configuration and ablation switches.
 
 use timekd_data::PromptConfig;
-use timekd_nn::LrSchedule;
 use timekd_lm::{LmConfig, LmSize};
+use timekd_nn::LrSchedule;
 
 /// Ablation switches matching the paper's Fig. 6 variants. All `true` is
 /// full TimeKD; each `false` reproduces one `w/o_*` arm.
@@ -47,32 +47,50 @@ impl AblationConfig {
 
     /// `w/o_PI`.
     pub fn without_privileged_info() -> Self {
-        Self { privileged_info: false, ..Self::default() }
+        Self {
+            privileged_info: false,
+            ..Self::default()
+        }
     }
 
     /// `w/o_CA`.
     pub fn without_calibrated_attention() -> Self {
-        Self { calibrated_attention: false, ..Self::default() }
+        Self {
+            calibrated_attention: false,
+            ..Self::default()
+        }
     }
 
     /// `w/o_CLM`.
     pub fn without_clm() -> Self {
-        Self { use_clm: false, ..Self::default() }
+        Self {
+            use_clm: false,
+            ..Self::default()
+        }
     }
 
     /// `w/o_SCA`.
     pub fn without_sca() -> Self {
-        Self { use_sca: false, ..Self::default() }
+        Self {
+            use_sca: false,
+            ..Self::default()
+        }
     }
 
     /// `w/o_CD`.
     pub fn without_correlation_distillation() -> Self {
-        Self { correlation_distillation: false, ..Self::default() }
+        Self {
+            correlation_distillation: false,
+            ..Self::default()
+        }
     }
 
     /// `w/o_FD`.
     pub fn without_feature_distillation() -> Self {
-        Self { feature_distillation: false, ..Self::default() }
+        Self {
+            feature_distillation: false,
+            ..Self::default()
+        }
     }
 
     /// The variant label used in Fig. 6.
@@ -179,7 +197,10 @@ impl TimeKdConfig {
 
     /// Default config with explicit ablation switches (Fig. 6).
     pub fn with_ablation(ablation: AblationConfig) -> Self {
-        let mut cfg = TimeKdConfig { ablation, ..Default::default() };
+        let mut cfg = TimeKdConfig {
+            ablation,
+            ..Default::default()
+        };
         if !ablation.calibrated_attention {
             cfg.lm.calibration_delta = 0.0;
         }
@@ -199,11 +220,20 @@ mod tests {
     #[test]
     fn ablation_labels() {
         assert_eq!(AblationConfig::without_privileged_info().label(), "w/o_PI");
-        assert_eq!(AblationConfig::without_calibrated_attention().label(), "w/o_CA");
+        assert_eq!(
+            AblationConfig::without_calibrated_attention().label(),
+            "w/o_CA"
+        );
         assert_eq!(AblationConfig::without_clm().label(), "w/o_CLM");
         assert_eq!(AblationConfig::without_sca().label(), "w/o_SCA");
-        assert_eq!(AblationConfig::without_correlation_distillation().label(), "w/o_CD");
-        assert_eq!(AblationConfig::without_feature_distillation().label(), "w/o_FD");
+        assert_eq!(
+            AblationConfig::without_correlation_distillation().label(),
+            "w/o_CD"
+        );
+        assert_eq!(
+            AblationConfig::without_feature_distillation().label(),
+            "w/o_FD"
+        );
     }
 
     #[test]

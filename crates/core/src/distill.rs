@@ -112,7 +112,8 @@ mod tests {
     #[test]
     fn ablation_disables_terms() {
         let (ta, te, sa, se) = setup();
-        let cd_off = TimeKdConfig::with_ablation(AblationConfig::without_correlation_distillation());
+        let cd_off =
+            TimeKdConfig::with_ablation(AblationConfig::without_correlation_distillation());
         let l = pkd_losses(&ta, &te, &sa, &se, &cd_off);
         assert_eq!(l.correlation.item(), 0.0);
         assert!(l.feature.item() > 0.0);
@@ -121,6 +122,37 @@ mod tests {
         let l = pkd_losses(&ta, &te, &sa, &se, &fd_off);
         assert!(l.correlation.item() > 0.0);
         assert_eq!(l.feature.item(), 0.0);
+    }
+
+    #[test]
+    fn distillation_gradients_match_finite_differences() {
+        // Central-difference check of both PKD terms. The correlation loss
+        // only touches the student attention and the feature loss only the
+        // student embedding, so each is checked against its own parameter;
+        // the combined loss is checked against both.
+        let mut rng = seeded_rng(3);
+        let ta = Tensor::randn([3, 3], 0.2, &mut rng).softmax_last();
+        let te = Tensor::randn([3, 4], 0.4, &mut rng);
+        let sa_logits = Tensor::randn_param([3, 3], 0.2, &mut rng);
+        let se = Tensor::randn_param([3, 4], 0.4, &mut rng);
+        let cfg = TimeKdConfig::default();
+        timekd_tensor::assert_gradients_close(
+            &sa_logits,
+            || pkd_losses(&ta, &te, &sa_logits.softmax_last(), &se, &cfg).correlation,
+            3e-2,
+        );
+        timekd_tensor::assert_gradients_close(
+            &se,
+            || pkd_losses(&ta, &te, &sa_logits.softmax_last(), &se, &cfg).feature,
+            3e-2,
+        );
+        for p in [&sa_logits, &se] {
+            timekd_tensor::assert_gradients_close(
+                p,
+                || pkd_losses(&ta, &te, &sa_logits.softmax_last(), &se, &cfg).combined,
+                3e-2,
+            );
+        }
     }
 
     #[test]
@@ -133,7 +165,10 @@ mod tests {
         let cfg = TimeKdConfig::default();
         let mut opt = timekd_nn::AdamW::new(
             0.05,
-            timekd_nn::AdamWConfig { weight_decay: 0.0, ..Default::default() },
+            timekd_nn::AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
         );
         let params = vec![sa_logits.clone(), se.clone()];
         let loss_val = |sa_logits: &Tensor, se: &Tensor| {

@@ -6,8 +6,8 @@
 //! reconstructed deterministically from its pretraining seed, exactly like
 //! the paper reloads the public GPT-2 weights rather than shipping them.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use timekd_nn::Module;
+use timekd_tensor::bytes::{Bytes, BytesMut};
 use timekd_tensor::io::DecodeError;
 
 use crate::trainer::TimeKd;
@@ -67,7 +67,10 @@ mod tests {
         let (lm, _) = pretrain_lm(
             &tokenizer,
             cfg.lm,
-            PretrainConfig { steps: 3, ..Default::default() },
+            PretrainConfig {
+                steps: 3,
+                ..Default::default()
+            },
         );
         let model = TimeKd::with_frozen_lm(
             Rc::new(FrozenLm::new(lm)),

@@ -6,8 +6,8 @@
 //! cross attention from `L_GT` onto `L_HD` and subtracts it, leaving a
 //! representation dominated by the *future time-series* content.
 
-use rand::rngs::StdRng;
 use timekd_nn::{Linear, Module};
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::norm_helpers::layer_norm_const;
@@ -25,7 +25,7 @@ pub struct SubtractiveCrossAttention {
 
 impl SubtractiveCrossAttention {
     /// Creates SCA over width `dim`.
-    pub fn new(dim: usize, ffn_hidden: usize, rng: &mut StdRng) -> SubtractiveCrossAttention {
+    pub fn new(dim: usize, ffn_hidden: usize, rng: &mut SeededRng) -> SubtractiveCrossAttention {
         SubtractiveCrossAttention {
             phi_q: Linear::new_no_bias(dim, dim, rng),
             phi_k: Linear::new_no_bias(dim, dim, rng),
@@ -48,8 +48,8 @@ impl SubtractiveCrossAttention {
         let q = layer_norm_const(&self.phi_q.forward(l_gt)); // [N, D]
         let k = layer_norm_const(&self.phi_k.forward(l_hd)); // [N, D]
         let m_c = q.transpose_last().matmul(&k).softmax_last(); // [D, D]
-        // Channel-wise aggregation of the HD values (the shared textual
-        // component), then subtraction (Eq. 9).
+                                                                // Channel-wise aggregation of the HD values (the shared textual
+                                                                // component), then subtraction (Eq. 9).
         let v = self.phi_v.forward(l_hd); // [N, D]
         let intersection = self.theta_c.forward(&v.matmul(&m_c)); // [N, D]
         let refined = l_gt.sub(&intersection);
@@ -113,7 +113,10 @@ mod tests {
         let gt = Tensor::randn([4, 8], 1.0, &mut rng);
         let hd1 = Tensor::randn([4, 8], 1.0, &mut rng);
         let hd2 = Tensor::randn([4, 8], 1.0, &mut rng);
-        assert_ne!(sca.forward(&gt, &hd1).to_vec(), sca.forward(&gt, &hd2).to_vec());
+        assert_ne!(
+            sca.forward(&gt, &hd1).to_vec(),
+            sca.forward(&gt, &hd2).to_vec()
+        );
     }
 
     #[test]
@@ -125,6 +128,24 @@ mod tests {
         sca.forward(&gt, &hd).square().mean().backward();
         for (i, p) in sca.params().iter().enumerate() {
             assert!(p.grad().is_some(), "param {i} got no gradient");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Central-difference check of the full SCA backward (two matmuls
+        // through a softmax over the channel axis, plus the LN + FFN head)
+        // against every trainable parameter.
+        let mut rng = seeded_rng(5);
+        let sca = SubtractiveCrossAttention::new(4, 6, &mut rng);
+        let gt = Tensor::randn([3, 4], 0.5, &mut rng);
+        let hd = Tensor::randn([3, 4], 0.5, &mut rng);
+        for p in &sca.params() {
+            timekd_tensor::assert_gradients_close(
+                p,
+                || sca.forward(&gt, &hd).square().mean(),
+                3e-2,
+            );
         }
     }
 
@@ -142,16 +163,29 @@ mod tests {
         let params = sca.params();
         let mut opt = timekd_nn::AdamW::new(
             0.01,
-            timekd_nn::AdamWConfig { weight_decay: 0.0, ..Default::default() },
+            timekd_nn::AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
         );
-        let initial = sca.forward(&gt, &common).sub(&signal).square().mean().item();
+        let initial = sca
+            .forward(&gt, &common)
+            .sub(&signal)
+            .square()
+            .mean()
+            .item();
         for _ in 0..80 {
             sca.zero_grad();
             let loss = sca.forward(&gt, &common).sub(&signal).square().mean();
             loss.backward();
             opt.step(&params);
         }
-        let trained = sca.forward(&gt, &common).sub(&signal).square().mean().item();
+        let trained = sca
+            .forward(&gt, &common)
+            .sub(&signal)
+            .square()
+            .mean()
+            .item();
         assert!(trained < initial * 0.5, "{initial} -> {trained}");
     }
 }

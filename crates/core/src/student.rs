@@ -5,8 +5,8 @@
 //! horizon (Eq. 27–28) → RevIN denormalisation. Only this model runs at
 //! inference time, which is where TimeKD's efficiency comes from.
 
-use rand::rngs::StdRng;
 use timekd_nn::{Activation, Linear, Module, RevIn, TransformerEncoder};
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::config::TimeKdConfig;
@@ -40,7 +40,7 @@ impl Student {
         input_len: usize,
         horizon: usize,
         num_vars: usize,
-        rng: &mut StdRng,
+        rng: &mut SeededRng,
     ) -> Student {
         Student {
             revin: RevIn::new(num_vars),
@@ -171,7 +171,10 @@ mod tests {
         let params = s.params();
         let mut opt = timekd_nn::AdamW::new(
             0.01,
-            timekd_nn::AdamWConfig { weight_decay: 0.0, ..Default::default() },
+            timekd_nn::AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
         );
         let mut rng = seeded_rng(4);
         // Linear ramps per channel continue linearly.
@@ -188,21 +191,23 @@ mod tests {
             }
             (Tensor::from_vec(x, [24, 5]), Tensor::from_vec(y, [12, 5]))
         };
-        use rand::Rng;
         let eval = {
             let (x, y) = make(3.3);
             move |s: &Student| timekd_data::mse(&s.predict(&x), &y)
         };
         let before = eval(&s);
         for _ in 0..60 {
-            let (x, y) = make(rng.gen_range(-5.0..5.0));
+            let (x, y) = make(rng.gen_range(-5.0f32..5.0));
             s.zero_grad();
             let out = s.forward(&x);
             timekd_nn::smooth_l1_loss(&out.forecast, &y).backward();
             opt.step(&params);
         }
         let after = eval(&s);
-        assert!(after < before * 0.5, "student did not learn: {before} -> {after}");
+        assert!(
+            after < before * 0.5,
+            "student did not learn: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -8,10 +8,10 @@
 
 use std::rc::Rc;
 
-use rand::rngs::StdRng;
 use timekd_data::WindowPrompts;
 use timekd_lm::FrozenLm;
 use timekd_nn::{Activation, Linear, Module, TransformerEncoder};
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::config::TimeKdConfig;
@@ -52,7 +52,7 @@ impl CrossModalityTeacher {
         config: TimeKdConfig,
         input_len: usize,
         horizon: usize,
-        rng: &mut StdRng,
+        rng: &mut SeededRng,
     ) -> CrossModalityTeacher {
         let lm_dim = frozen_lm.model().config().dim;
         CrossModalityTeacher {
@@ -188,7 +188,9 @@ mod tests {
     use timekd_lm::{pretrain_lm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
     use timekd_tensor::seeded_rng;
 
-    fn tiny_teacher(ablation: AblationConfig) -> (CrossModalityTeacher, PromptTokenizer, TimeKdConfig) {
+    fn tiny_teacher(
+        ablation: AblationConfig,
+    ) -> (CrossModalityTeacher, PromptTokenizer, TimeKdConfig) {
         let tok = PromptTokenizer::new();
         let mut cfg = TimeKdConfig::with_ablation(ablation);
         cfg.dim = 16;
@@ -197,13 +199,20 @@ mod tests {
         cfg.lm = LmConfig::for_size(LmSize::Small);
         cfg.prompt.max_history = 4;
         cfg.prompt.max_future = 4;
-        let (lm, _) = pretrain_lm(&tok, cfg.lm, PretrainConfig { steps: 2, ..Default::default() });
+        let (lm, _) = pretrain_lm(
+            &tok,
+            cfg.lm,
+            PretrainConfig {
+                steps: 2,
+                ..Default::default()
+            },
+        );
         let mut rng = seeded_rng(0);
         let teacher = CrossModalityTeacher::new(Rc::new(FrozenLm::new(lm)), cfg, 8, 4, &mut rng);
         (teacher, tok, cfg)
     }
 
-    fn window(rng: &mut rand::rngs::StdRng) -> (Tensor, Tensor) {
+    fn window(rng: &mut timekd_tensor::SeededRng) -> (Tensor, Tensor) {
         (
             Tensor::randn([8, 3], 1.0, rng),
             Tensor::randn([4, 3], 1.0, rng),
@@ -288,16 +297,25 @@ mod tests {
         let params = teacher.params();
         let mut opt = timekd_nn::AdamW::new(
             0.005,
-            timekd_nn::AdamWConfig { weight_decay: 0.0, ..Default::default() },
+            timekd_nn::AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
         );
-        let before = timekd_nn::smooth_l1_loss(&teacher.forward(&x, &y, &prompts).reconstruction, &y).item();
+        let before =
+            timekd_nn::smooth_l1_loss(&teacher.forward(&x, &y, &prompts).reconstruction, &y).item();
         for _ in 0..40 {
             teacher.zero_grad();
-            let loss = timekd_nn::smooth_l1_loss(&teacher.forward(&x, &y, &prompts).reconstruction, &y);
+            let loss =
+                timekd_nn::smooth_l1_loss(&teacher.forward(&x, &y, &prompts).reconstruction, &y);
             loss.backward();
             opt.step(&params);
         }
-        let after = timekd_nn::smooth_l1_loss(&teacher.forward(&x, &y, &prompts).reconstruction, &y).item();
-        assert!(after < before * 0.7, "reconstruction did not improve: {before} -> {after}");
+        let after =
+            timekd_nn::smooth_l1_loss(&teacher.forward(&x, &y, &prompts).reconstruction, &y).item();
+        assert!(
+            after < before * 0.7,
+            "reconstruction did not improve: {before} -> {after}"
+        );
     }
 }

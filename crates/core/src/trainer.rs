@@ -44,12 +44,7 @@ pub struct TimeKd {
 
 impl TimeKd {
     /// Builds TimeKD with an internally pretrained CLM.
-    pub fn new(
-        config: TimeKdConfig,
-        input_len: usize,
-        horizon: usize,
-        num_vars: usize,
-    ) -> TimeKd {
+    pub fn new(config: TimeKdConfig, input_len: usize, horizon: usize, num_vars: usize) -> TimeKd {
         let tokenizer = Rc::new(PromptTokenizer::new());
         let (lm, _report) = pretrain_lm(
             &tokenizer,
@@ -135,6 +130,31 @@ impl TimeKd {
         v
     }
 
+    /// Frozen-parameter invariant (Eqs. 18–30): the calibrated LM must
+    /// stay frozen while PKD trains the teacher heads and student —
+    /// no backward pass may accumulate a gradient into an LM parameter,
+    /// and the optimizer must never have stepped one.
+    ///
+    /// Called after every backward in the training loops; panics with the
+    /// offending parameter's identity on violation.
+    pub fn assert_frozen_lm_invariant(&self) {
+        for p in self.teacher.frozen_lm().model().params() {
+            assert!(
+                !p.has_grad(),
+                "frozen LM parameter #{} {} accumulated a gradient: the CLM must stay \
+                 frozen during PKD training",
+                p.id(),
+                p.shape()
+            );
+            assert!(
+                !self.optimizer.has_stepped(p.id()),
+                "optimizer stepped frozen LM parameter #{} {}",
+                p.id(),
+                p.shape()
+            );
+        }
+    }
+
     /// **Algorithm 1**: one pass training the cross-modality teacher on
     /// the reconstruction objective (Eq. 16). Returns the mean `L_recon`.
     pub fn train_teacher_epoch(&mut self, windows: &[ForecastWindow]) -> f32 {
@@ -147,10 +167,11 @@ impl TimeKd {
             }
             let prompts = self.prompts_for(w);
             let out = self.teacher.forward(&w.x, &w.y, &prompts);
-            let recon = smooth_l1_loss(&out.reconstruction, &w.y)
-                .mul_scalar(self.config.lambda_recon);
+            let recon =
+                smooth_l1_loss(&out.reconstruction, &w.y).mul_scalar(self.config.lambda_recon);
             total += recon.item();
             recon.backward();
+            self.assert_frozen_lm_invariant();
             clip_grad_norm(&params, self.config.grad_clip);
             self.apply_lr_schedule();
             self.optimizer.step(&params);
@@ -177,8 +198,7 @@ impl TimeKd {
             }
             let prompts = self.prompts_for(w);
             // Teacher provides targets only: no graph, no teacher update.
-            let teacher_out =
-                timekd_tensor::no_grad(|| self.teacher.forward(&w.x, &w.y, &prompts));
+            let teacher_out = timekd_tensor::no_grad(|| self.teacher.forward(&w.x, &w.y, &prompts));
             let student_out = self.student.forward(&w.x);
             let pkd = pkd_losses(
                 &teacher_out.attention,
@@ -197,6 +217,7 @@ impl TimeKd {
             agg.feature += pkd.feature.item();
             agg.forecast += fcst.item();
             loss.backward();
+            self.assert_frozen_lm_invariant();
             clip_grad_norm(&params, self.config.grad_clip);
             self.apply_lr_schedule();
             self.optimizer.step(&params);
@@ -304,7 +325,10 @@ mod tests {
         let (lm, _) = pretrain_lm(
             &tokenizer,
             cfg.lm,
-            PretrainConfig { steps: 3, ..Default::default() },
+            PretrainConfig {
+                steps: 3,
+                ..Default::default()
+            },
         );
         let model = TimeKd::with_frozen_lm(
             Rc::new(FrozenLm::new(lm)),
@@ -382,16 +406,16 @@ mod tests {
     #[test]
     fn param_count_excludes_frozen_lm() {
         let (model, _ds) = tiny_model();
-        let lm_params: usize = model
-            .teacher()
-            .frozen_lm()
-            .model()
-            .num_params();
+        let lm_params: usize = model.teacher().frozen_lm().model().num_params();
         let trainable = model.num_trainable_params();
         assert!(trainable > 0);
         // The trainable set must not include the LM (it is larger than the
         // teacher heads + student at these sizes).
-        let all_teacher_student: usize = model.trainable_params().iter().map(Tensor::num_elements).sum();
+        let all_teacher_student: usize = model
+            .trainable_params()
+            .iter()
+            .map(Tensor::num_elements)
+            .sum();
         assert_eq!(trainable, all_teacher_student);
         let _ = lm_params; // documented exclusion
     }
@@ -409,7 +433,43 @@ mod tests {
         let train: Vec<_> = ds.windows(Split::Train, 64);
         model.train_epoch(&train[..3.min(train.len())]);
         // After many steps the live LR must sit well below the base LR.
-        assert!(model.optimizer.lr() < cfg.lr * 0.5, "lr = {}", model.optimizer.lr());
+        assert!(
+            model.optimizer.lr() < cfg.lr * 0.5,
+            "lr = {}",
+            model.optimizer.lr()
+        );
+    }
+
+    #[test]
+    fn frozen_lm_invariant_holds_through_training() {
+        let (mut model, ds) = tiny_model();
+        let train: Vec<_> = ds.windows(Split::Train, 64);
+        model.train_epoch(&train[..2.min(train.len())]);
+        model.assert_frozen_lm_invariant();
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen LM parameter")]
+    fn frozen_lm_invariant_trips_on_injected_grad() {
+        let (model, _ds) = tiny_model();
+        // Fault injection: pretend a backward pass leaked into the CLM.
+        let p = &model.teacher().frozen_lm().model().params()[0];
+        p.accumulate_grad(&vec![1.0; p.num_elements()]);
+        model.assert_frozen_lm_invariant();
+    }
+
+    #[test]
+    fn training_graph_audits_clean() {
+        // A full student loss graph must satisfy every structural
+        // invariant GraphAudit checks, and span all three model layers.
+        let (model, ds) = tiny_model();
+        let w = &ds.windows(Split::Train, 64)[0];
+        let out = model.student().forward(&w.x);
+        let loss = smooth_l1_loss(&out.forecast, &w.y);
+        let audit = timekd_tensor::GraphAudit::run(&loss);
+        assert!(audit.is_clean(), "{}", audit.report());
+        assert!(audit.stats.params > 10, "{}", audit.report());
+        assert!(audit.stats.max_depth > 5, "{}", audit.report());
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub fn write_csv<P: AsRef<Path>>(
     writeln!(
         f,
         "{}",
-        header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        header
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
     )?;
     for row in rows {
         writeln!(

@@ -143,7 +143,9 @@ impl SplitDataset {
         let n = self.num_vars();
         let data = self.split_data(split);
         let total = self.num_windows(split);
-        let keep = ((total as f32 * fraction).floor() as usize).max(1).min(total);
+        let keep = ((total as f32 * fraction).floor() as usize)
+            .max(1)
+            .min(total);
         let mut out = Vec::new();
         let mut start = 0usize;
         while start < keep {

@@ -14,8 +14,7 @@
 //!
 //! Everything is deterministic given the seed.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use timekd_tensor::SeededRng;
 use timekd_tensor::{sample_standard_normal, seeded_rng};
 
 /// The eight dataset families evaluated in the paper.
@@ -131,12 +130,13 @@ impl RawSeries {
 
 /// Generates `num_steps` observations of the requested family.
 pub fn generate(kind: DatasetKind, num_steps: usize, seed: u64) -> RawSeries {
-    let mut rng = seeded_rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(kind.seed_offset()));
+    let mut rng = seeded_rng(
+        seed.wrapping_mul(0x9E37_79B9)
+            .wrapping_add(kind.seed_offset()),
+    );
     let n = kind.num_vars();
     match kind {
-        DatasetKind::EttH1 | DatasetKind::EttM1 => {
-            ett_like(kind, num_steps, 1.0, 0.35, &mut rng)
-        }
+        DatasetKind::EttH1 | DatasetKind::EttM1 => ett_like(kind, num_steps, 1.0, 0.35, &mut rng),
         DatasetKind::EttH2 | DatasetKind::EttM2 => {
             // Transformer 2: heavier noise, stronger weekly component.
             ett_like(kind, num_steps, 1.4, 0.5, &mut rng)
@@ -167,7 +167,7 @@ fn ett_like(
     num_steps: usize,
     weekly_strength: f32,
     noise: f32,
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
 ) -> RawSeries {
     let n = kind.num_vars();
     let day = kind.steps_per_day() as f32;
@@ -178,13 +178,13 @@ fn ett_like(
     let mut phase = vec![0.0f32; n];
     let mut level = vec![0.0f32; n];
     for j in 0..n {
-        mix_day[j] = rng.gen_range(0.5..1.5);
-        mix_week[j] = rng.gen_range(0.2..0.8) * weekly_strength;
-        phase[j] = rng.gen_range(0.0..std::f32::consts::TAU);
-        level[j] = rng.gen_range(-2.0..6.0);
+        mix_day[j] = rng.gen_range(0.5f32..1.5);
+        mix_week[j] = rng.gen_range(0.2f32..0.8) * weekly_strength;
+        phase[j] = rng.gen_range(0.0f32..std::f32::consts::TAU);
+        level[j] = rng.gen_range(-2.0f32..6.0);
     }
     let mut ar = vec![0.0f32; n];
-    let trend_slope = rng.gen_range(-0.4..0.4) / num_steps as f32;
+    let trend_slope = rng.gen_range(-0.4f32..0.4) / num_steps as f32;
     let mut values = vec![0.0f32; num_steps * n];
     let mut oil = 0.0f32;
     for t in 0..num_steps {
@@ -204,22 +204,29 @@ fn ett_like(
         oil = 0.97 * oil + 0.03 * (load_sum / (n - 1) as f32);
         values[t * n + (n - 1)] = oil + 0.1 * noise * sample_standard_normal(rng);
     }
-    RawSeries { kind, values, num_steps, num_vars: n }
+    RawSeries {
+        kind,
+        values,
+        num_steps,
+        num_vars: n,
+    }
 }
 
 /// Weather-style: 21 indicators with shared daily cycle, slow synoptic
 /// drift (integrated noise low-pass), and per-channel noise levels spanning
 /// an order of magnitude (temperature is smooth, wind gusts are not).
-fn weather_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries {
+fn weather_like(kind: DatasetKind, num_steps: usize, rng: &mut SeededRng) -> RawSeries {
     let n = kind.num_vars();
     let day = kind.steps_per_day() as f32;
     let mut values = vec![0.0f32; num_steps * n];
     let mut synoptic = 0.0f32; // shared slow weather front
     let mut channel_ar = vec![0.0f32; n];
-    let gains: Vec<f32> = (0..n).map(|_| rng.gen_range(0.3..1.8)).collect();
-    let phases: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..std::f32::consts::TAU)).collect();
-    let noises: Vec<f32> = (0..n).map(|_| rng.gen_range(0.05..0.6)).collect();
-    let levels: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..10.0)).collect();
+    let gains: Vec<f32> = (0..n).map(|_| rng.gen_range(0.3f32..1.8)).collect();
+    let phases: Vec<f32> = (0..n)
+        .map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU))
+        .collect();
+    let noises: Vec<f32> = (0..n).map(|_| rng.gen_range(0.05f32..0.6)).collect();
+    let levels: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..10.0)).collect();
     for t in 0..num_steps {
         let tt = t as f32;
         synoptic = 0.999 * synoptic + 0.02 * sample_standard_normal(rng);
@@ -227,22 +234,29 @@ fn weather_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSer
         for j in 0..n {
             channel_ar[j] = 0.9 * channel_ar[j] + noises[j] * sample_standard_normal(rng);
             values[t * n + j] = levels[j]
-                + gains[j] * (daily * phases[j].cos() + (std::f32::consts::TAU * tt / day + phases[j]).sin() * 0.5)
+                + gains[j]
+                    * (daily * phases[j].cos()
+                        + (std::f32::consts::TAU * tt / day + phases[j]).sin() * 0.5)
                 + 2.0 * synoptic * gains[j]
                 + channel_ar[j];
         }
     }
-    RawSeries { kind, values, num_steps, num_vars: n }
+    RawSeries {
+        kind,
+        values,
+        num_steps,
+        num_vars: n,
+    }
 }
 
 /// Exchange-style: eight correlated geometric-ish random walks — no
 /// seasonality, dominated by non-stationary drift, the regime where simple
 /// models are near-optimal and errors are small in normalised units.
-fn exchange_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries {
+fn exchange_like(kind: DatasetKind, num_steps: usize, rng: &mut SeededRng) -> RawSeries {
     let n = kind.num_vars();
     let mut values = vec![0.0f32; num_steps * n];
-    let mut level: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..2.0)).collect();
-    let vol: Vec<f32> = (0..n).map(|_| rng.gen_range(0.002..0.01)).collect();
+    let mut level: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5f32..2.0)).collect();
+    let vol: Vec<f32> = (0..n).map(|_| rng.gen_range(0.002f32..0.01)).collect();
     for t in 0..num_steps {
         // One global macro shock + idiosyncratic innovations.
         let global = sample_standard_normal(rng);
@@ -252,22 +266,27 @@ fn exchange_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSe
             values[t * n + j] = level[j];
         }
     }
-    RawSeries { kind, values, num_steps, num_vars: n }
+    RawSeries {
+        kind,
+        values,
+        num_steps,
+        num_vars: n,
+    }
 }
 
 /// PEMS-style: sensor flows with a strong daily profile including morning
 /// and evening rush-hour peaks, plus spatial smoothing so adjacent sensors
 /// co-vary (the dependence that channel-dependent models exploit,
 /// cf. Table II's discussion).
-fn pems_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries {
+fn pems_like(kind: DatasetKind, num_steps: usize, rng: &mut SeededRng) -> RawSeries {
     let n = kind.num_vars();
     let day = kind.steps_per_day() as f32;
     let mut raw = vec![0.0f32; num_steps * n];
-    let capacities: Vec<f32> = (0..n).map(|_| rng.gen_range(3.0..8.0)).collect();
+    let capacities: Vec<f32> = (0..n).map(|_| rng.gen_range(3.0f32..8.0)).collect();
     let mut ar = vec![0.0f32; n];
     for t in 0..num_steps {
         let frac = (t as f32 % day) / day; // time of day in [0, 1)
-        // Two rush-hour bumps at ~8:00 and ~17:30 plus a broad daytime base.
+                                           // Two rush-hour bumps at ~8:00 and ~17:30 plus a broad daytime base.
         let rush = gaussian_bump(frac, 8.0 / 24.0, 0.04)
             + gaussian_bump(frac, 17.5 / 24.0, 0.05)
             + 0.5 * gaussian_bump(frac, 13.0 / 24.0, 0.15);
@@ -286,7 +305,12 @@ fn pems_like(kind: DatasetKind, num_steps: usize, rng: &mut StdRng) -> RawSeries
             values[t * n + j] = 0.6 * raw[t * n + j] + 0.2 * left + 0.2 * right;
         }
     }
-    RawSeries { kind, values, num_steps, num_vars: n }
+    RawSeries {
+        kind,
+        values,
+        num_steps,
+        num_vars: n,
+    }
 }
 
 fn gaussian_bump(x: f32, center: f32, width: f32) -> f32 {
@@ -411,7 +435,10 @@ mod tests {
         let far: Vec<f32> = (0..s.num_steps).map(|t| s.at(t, 9)).collect();
         let near_corr = pearson(&a, &b);
         let far_corr = pearson(&a, &far);
-        assert!(near_corr > 0.5, "adjacent sensors uncorrelated: {near_corr}");
+        assert!(
+            near_corr > 0.5,
+            "adjacent sensors uncorrelated: {near_corr}"
+        );
         assert!(near_corr > far_corr, "{near_corr} vs {far_corr}");
     }
 

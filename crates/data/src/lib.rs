@@ -32,7 +32,6 @@ pub use generators::{all_kinds, generate, DatasetKind, RawSeries};
 pub use loader::{load_csv_series, parse_csv_series, LoadError};
 pub use metrics::{mae, mse, MetricAccumulator};
 pub use prompts::{
-    column, ground_truth_prompt, historical_prompt, window_prompts, PromptConfig,
-    WindowPrompts,
+    column, ground_truth_prompt, historical_prompt, window_prompts, PromptConfig, WindowPrompts,
 };
 pub use scaler::StandardScaler;

@@ -64,14 +64,13 @@ pub fn parse_csv_series(
         if skip_first_column {
             fields.next();
         }
-        let row: Result<Vec<f32>, _> = fields
-            .map(|f| f.trim().parse::<f32>())
-            .collect();
-        let row = row.map_err(|e| {
-            LoadError::Malformed(format!("row {}: {e}", lineno + 2))
-        })?;
+        let row: Result<Vec<f32>, _> = fields.map(|f| f.trim().parse::<f32>()).collect();
+        let row = row.map_err(|e| LoadError::Malformed(format!("row {}: {e}", lineno + 2)))?;
         if row.is_empty() {
-            return Err(LoadError::Malformed(format!("row {} has no values", lineno + 2)));
+            return Err(LoadError::Malformed(format!(
+                "row {} has no values",
+                lineno + 2
+            )));
         }
         match num_vars {
             None => num_vars = Some(row.len()),
@@ -97,7 +96,12 @@ pub fn parse_csv_series(
     if num_steps < 2 {
         return Err(LoadError::Malformed("need at least two rows".into()));
     }
-    Ok(RawSeries { kind, values, num_steps, num_vars })
+    Ok(RawSeries {
+        kind,
+        values,
+        num_steps,
+        num_vars,
+    })
 }
 
 /// Loads a CSV file from disk; see [`parse_csv_series`].
@@ -119,7 +123,9 @@ mod tests {
 
     #[test]
     fn parses_with_timestamp_column() {
-        let s = parse_csv_series(SAMPLE, DatasetKind::EttH1, true).ok().unwrap();
+        let s = parse_csv_series(SAMPLE, DatasetKind::EttH1, true)
+            .ok()
+            .unwrap();
         assert_eq!(s.num_steps, 3);
         assert_eq!(s.num_vars, 2);
         assert_eq!(s.at(1, 0), 3.0);
@@ -128,20 +134,26 @@ mod tests {
 
     #[test]
     fn parses_without_timestamp_column() {
-        let s = parse_csv_series("a,b\n1,2\n3,4\n", DatasetKind::Weather, false).ok().unwrap();
+        let s = parse_csv_series("a,b\n1,2\n3,4\n", DatasetKind::Weather, false)
+            .ok()
+            .unwrap();
         assert_eq!(s.num_vars, 2);
         assert_eq!(s.at(0, 1), 2.0);
     }
 
     #[test]
     fn rejects_ragged_rows() {
-        let err = parse_csv_series("h,a\nx,1\nx,1,2\n", DatasetKind::EttH1, true).err().unwrap();
+        let err = parse_csv_series("h,a\nx,1\nx,1,2\n", DatasetKind::EttH1, true)
+            .err()
+            .unwrap();
         assert!(matches!(err, LoadError::Malformed(_)), "{err}");
     }
 
     #[test]
     fn rejects_non_numeric() {
-        let err = parse_csv_series("h,a\nx,oops\n x,1\n", DatasetKind::EttH1, true).err().unwrap();
+        let err = parse_csv_series("h,a\nx,oops\n x,1\n", DatasetKind::EttH1, true)
+            .err()
+            .unwrap();
         assert!(matches!(err, LoadError::Malformed(_)));
     }
 
@@ -153,7 +165,9 @@ mod tests {
 
     #[test]
     fn skips_blank_lines() {
-        let s = parse_csv_series("h,a\n\nx,1\n\nx,2\n", DatasetKind::EttH1, true).ok().unwrap();
+        let s = parse_csv_series("h,a\n\nx,1\n\nx,2\n", DatasetKind::EttH1, true)
+            .ok()
+            .unwrap();
         assert_eq!(s.num_steps, 2);
     }
 
@@ -164,7 +178,9 @@ mod tests {
         for i in 0..200 {
             text.push_str(&format!("t{i},{},{}\n", i as f32 * 0.1, 100.0 - i as f32));
         }
-        let raw = parse_csv_series(&text, DatasetKind::Exchange, true).ok().unwrap();
+        let raw = parse_csv_series(&text, DatasetKind::Exchange, true)
+            .ok()
+            .unwrap();
         let ds = SplitDataset::from_raw(raw, 16, 8);
         // num_vars reflects the file width (2 columns), not the canonical
         // Exchange width (8).
@@ -179,7 +195,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("series.csv");
         std::fs::write(&path, SAMPLE).unwrap();
-        let s = load_csv_series(&path, DatasetKind::EttH1, true).ok().unwrap();
+        let s = load_csv_series(&path, DatasetKind::EttH1, true)
+            .ok()
+            .unwrap();
         assert_eq!(s.num_steps, 3);
         std::fs::remove_dir_all(&dir).ok();
     }

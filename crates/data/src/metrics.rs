@@ -10,7 +10,11 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> f32 {
     let t = target.data();
     let n = p.len();
     assert!(n > 0);
-    p.iter().zip(t.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / n as f32
+    p.iter()
+        .zip(t.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / n as f32
 }
 
 /// Mean absolute error between equal-shape tensors.
@@ -20,7 +24,11 @@ pub fn mae(pred: &Tensor, target: &Tensor) -> f32 {
     let t = target.data();
     let n = p.len();
     assert!(n > 0);
-    p.iter().zip(t.iter()).map(|(a, b)| (a - b).abs()).sum::<f32>() / n as f32
+    p.iter()
+        .zip(t.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f32>()
+        / n as f32
 }
 
 /// Streaming accumulator over per-window errors, weighted by element count

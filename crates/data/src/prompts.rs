@@ -155,7 +155,10 @@ pub fn window_prompts(
         historical.push(historical_prompt(tokenizer, &h, horizon, config));
         ground_truth.push(ground_truth_prompt(tokenizer, &h, &g, config));
     }
-    WindowPrompts { historical, ground_truth }
+    WindowPrompts {
+        historical,
+        ground_truth,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +167,11 @@ mod tests {
     use timekd_lm::Modality;
 
     fn cfg() -> PromptConfig {
-        PromptConfig { max_history: 4, max_future: 4, freq_minutes: 15 }
+        PromptConfig {
+            max_history: 4,
+            max_future: 4,
+            freq_minutes: 15,
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@ impl StandardScaler {
     /// row-major). Channels with zero variance get std 1 so transform stays
     /// finite.
     pub fn fit(data: &[f32], num_vars: usize) -> StandardScaler {
-        assert!(num_vars > 0 && data.len().is_multiple_of(num_vars), "bad data layout");
+        assert!(
+            num_vars > 0 && data.len().is_multiple_of(num_vars),
+            "bad data layout"
+        );
         let steps = data.len() / num_vars;
         assert!(steps > 0, "cannot fit scaler on empty data");
         let mut mean = vec![0.0f32; num_vars];

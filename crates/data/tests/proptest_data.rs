@@ -1,21 +1,25 @@
-//! Property-based tests for the data substrate: scalers, windows, metrics
-//! and prompt invariants over random inputs.
+//! Randomised property tests for the data substrate: scalers, windows,
+//! metrics and prompt invariants over random inputs.
 
-use proptest::prelude::*;
 use timekd_data::{
-    ground_truth_prompt, historical_prompt, mae, mse, DatasetKind, MetricAccumulator,
-    PromptConfig, Split, SplitDataset, StandardScaler,
+    ground_truth_prompt, historical_prompt, mae, mse, DatasetKind, MetricAccumulator, PromptConfig,
+    Split, SplitDataset, StandardScaler,
 };
 use timekd_lm::{Modality, PromptTokenizer};
-use timekd_tensor::Tensor;
+use timekd_tensor::{seeded_rng, SeededRng, Tensor};
 
-fn finite_series(min_len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-1e3f32..1e3, min_len..min_len + 40)
+const CASES: u64 = 32;
+
+fn finite_series(rng: &mut SeededRng, min_len: usize) -> Vec<f32> {
+    let len = rng.gen_range(min_len..min_len + 40);
+    (0..len).map(|_| rng.gen_range(-1e3f32..1e3)).collect()
 }
 
-proptest! {
-    #[test]
-    fn scaler_round_trip(data in finite_series(8)) {
+#[test]
+fn scaler_round_trip() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let data = finite_series(&mut rng, 8);
         let n = 2;
         let trimmed = &data[..data.len() - data.len() % n];
         let scaler = StandardScaler::fit(trimmed, n);
@@ -24,31 +28,43 @@ proptest! {
         scaler.inverse_transform(&mut d);
         for (a, b) in d.iter().zip(trimmed) {
             let scale = b.abs().max(1.0);
-            prop_assert!((a - b).abs() / scale < 1e-3, "{a} vs {b}");
+            assert!((a - b).abs() / scale < 1e-3, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn scaler_never_produces_nan(data in finite_series(4)) {
+#[test]
+fn scaler_never_produces_nan() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let data = finite_series(&mut rng, 4);
         let scaler = StandardScaler::fit(&data, 1);
         let mut d = data.clone();
         scaler.transform(&mut d);
-        prop_assert!(d.iter().all(|v| v.is_finite()));
+        assert!(d.iter().all(|v| v.is_finite()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn mse_mae_relationship(a in finite_series(4)) {
-        // RMSE >= MAE always (Cauchy–Schwarz).
+#[test]
+fn mse_mae_relationship() {
+    // RMSE >= MAE always (Cauchy–Schwarz).
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let a = finite_series(&mut rng, 4);
         let n = a.len();
-        let pred = Tensor::from_vec(a.clone(), [n]);
+        let pred = Tensor::from_vec(a, [n]);
         let target = Tensor::zeros([n]);
         let rmse = mse(&pred, &target).sqrt();
         let l1 = mae(&pred, &target);
-        prop_assert!(rmse + 1e-4 >= l1, "rmse {rmse} < mae {l1}");
+        assert!(rmse + 1e-4 >= l1, "seed {seed}: rmse {rmse} < mae {l1}");
     }
+}
 
-    #[test]
-    fn accumulator_order_independent(a in finite_series(6)) {
+#[test]
+fn accumulator_order_independent() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let a = finite_series(&mut rng, 6);
         let n = a.len();
         let pred = Tensor::from_vec(a.clone(), [n]);
         let target = Tensor::zeros([n]);
@@ -57,64 +73,107 @@ proptest! {
         let mut rev = MetricAccumulator::new();
         let rev_pred = Tensor::from_vec(a.iter().rev().copied().collect::<Vec<_>>(), [n]);
         rev.update(&rev_pred, &target);
-        prop_assert!((fwd.mse() - rev.mse()).abs() < 1e-5);
-        prop_assert!((fwd.mae() - rev.mae()).abs() < 1e-5);
+        assert!((fwd.mse() - rev.mse()).abs() < 1e-5, "seed {seed}");
+        assert!((fwd.mae() - rev.mae()).abs() < 1e-5, "seed {seed}");
     }
+}
 
-    #[test]
-    fn windows_have_exact_geometry(
-        seed in 0u64..100,
-        input_len in 8usize..24,
-        horizon in 4usize..12,
-    ) {
+#[test]
+fn windows_have_exact_geometry() {
+    for seed in 0..12 {
+        let mut rng = seeded_rng(seed);
+        let input_len = rng.gen_range(8usize..24);
+        let horizon = rng.gen_range(4usize..12);
         let ds = SplitDataset::new(DatasetKind::EttH1, 400, seed, input_len, horizon);
         for split in [Split::Train, Split::Val, Split::Test] {
             for w in ds.windows(split, 7) {
-                prop_assert_eq!(w.x.dims(), &[input_len, 7]);
-                prop_assert_eq!(w.y.dims(), &[horizon, 7]);
+                assert_eq!(w.x.dims(), &[input_len, 7], "seed {seed}");
+                assert_eq!(w.y.dims(), &[horizon, 7], "seed {seed}");
             }
         }
     }
+}
 
-    #[test]
-    fn window_fraction_monotone(seed in 0u64..50, frac in 0.1f32..1.0) {
+#[test]
+fn window_fraction_monotone() {
+    for seed in 0..12 {
+        let mut rng = seeded_rng(seed);
+        let frac = rng.gen_range(0.1f32..1.0);
         let ds = SplitDataset::new(DatasetKind::Exchange, 400, seed, 16, 8);
         let some = ds.windows_with(Split::Train, 1, frac).len();
         let all = ds.windows(Split::Train, 1).len();
-        prop_assert!(some <= all);
-        prop_assert!(some >= 1);
+        assert!(some <= all, "seed {seed}");
+        assert!(some >= 1, "seed {seed}");
     }
+}
 
-    #[test]
-    fn prompts_always_in_vocabulary(values in finite_series(4), horizon in 1usize..64) {
-        let tok = PromptTokenizer::new();
-        let cfg = PromptConfig { max_history: 8, max_future: 8, freq_minutes: 15 };
+#[test]
+fn prompts_always_in_vocabulary() {
+    let tok = PromptTokenizer::new();
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let values = finite_series(&mut rng, 4);
+        let horizon = rng.gen_range(1usize..64);
+        let cfg = PromptConfig {
+            max_history: 8,
+            max_future: 8,
+            freq_minutes: 15,
+        };
         let hp = historical_prompt(&tok, &values, horizon, &cfg);
         let gp = ground_truth_prompt(&tok, &values, &values, &cfg);
-        prop_assert!(hp.iter().all(|t| t.id < tok.vocab_size()));
-        prop_assert!(gp.iter().all(|t| t.id < tok.vocab_size()));
+        assert!(hp.iter().all(|t| t.id < tok.vocab_size()), "seed {seed}");
+        assert!(gp.iter().all(|t| t.id < tok.vocab_size()), "seed {seed}");
         // Both prompts carry numeric content.
-        prop_assert!(hp.iter().any(|t| t.modality == Modality::Numeric));
-        prop_assert!(gp.iter().any(|t| t.modality == Modality::Numeric));
+        assert!(
+            hp.iter().any(|t| t.modality == Modality::Numeric),
+            "seed {seed}"
+        );
+        assert!(
+            gp.iter().any(|t| t.modality == Modality::Numeric),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn prompt_length_bounded_by_config(values in finite_series(4)) {
-        // Token count must be bounded regardless of the raw series length:
-        // that bound is what makes CLM costs independent of H.
-        let tok = PromptTokenizer::new();
-        let cfg = PromptConfig { max_history: 6, max_future: 6, freq_minutes: 60 };
+#[test]
+fn prompt_length_bounded_by_config() {
+    // Token count must be bounded regardless of the raw series length:
+    // that bound is what makes CLM costs independent of H.
+    let tok = PromptTokenizer::new();
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let values = finite_series(&mut rng, 4);
+        let cfg = PromptConfig {
+            max_history: 6,
+            max_future: 6,
+            freq_minutes: 60,
+        };
         let hp = historical_prompt(&tok, &values, 96, &cfg);
         // Each value ≤ ~12 tokens (sign + 7 digits + dp + frac + comma),
         // plus a fixed template overhead.
-        prop_assert!(hp.len() < 6 * 14 + 40, "prompt too long: {}", hp.len());
+        assert!(
+            hp.len() < 6 * 14 + 40,
+            "seed {seed}: prompt too long: {}",
+            hp.len()
+        );
     }
+}
 
-    #[test]
-    fn generated_data_always_finite(seed in 0u64..200, steps in 50usize..300) {
-        for kind in [DatasetKind::EttM2, DatasetKind::Weather, DatasetKind::Pems04] {
+#[test]
+fn generated_data_always_finite() {
+    for seed in 0..16 {
+        let mut rng = seeded_rng(seed);
+        let steps = rng.gen_range(50usize..300);
+        for kind in [
+            DatasetKind::EttM2,
+            DatasetKind::Weather,
+            DatasetKind::Pems04,
+        ] {
             let raw = timekd_data::generate(kind, steps, seed);
-            prop_assert!(raw.values.iter().all(|v| v.is_finite()), "{kind:?}");
+            assert!(
+                raw.values.iter().all(|v| v.is_finite()),
+                "seed {seed} {kind:?}"
+            );
         }
     }
 }

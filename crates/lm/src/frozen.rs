@@ -6,22 +6,25 @@
 //! and memoises last-token embeddings keyed by the exact token sequence and
 //! calibration flag.
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use parking_lot::Mutex;
 use timekd_tensor::{no_grad, Tensor};
 
 use crate::model::CausalLm;
 use crate::tokenizer::Token;
 
 /// A frozen language model with embedding memoisation.
+///
+/// The model is shared via `Rc` and the tensor engine is single-threaded,
+/// so plain interior mutability suffices for the cache and its counters.
 pub struct FrozenLm {
     lm: CausalLm,
-    cache: Mutex<HashMap<u64, Vec<f32>>>,
-    caching_enabled: std::sync::atomic::AtomicBool,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    cache: RefCell<HashMap<u64, Vec<f32>>>,
+    caching_enabled: Cell<bool>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
 }
 
 fn cache_key(tokens: &[Token], calibrated: bool) -> u64 {
@@ -39,10 +42,10 @@ impl FrozenLm {
     pub fn new(lm: CausalLm) -> FrozenLm {
         FrozenLm {
             lm,
-            cache: Mutex::new(HashMap::new()),
-            caching_enabled: std::sync::atomic::AtomicBool::new(true),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            cache: RefCell::new(HashMap::new()),
+            caching_enabled: Cell::new(true),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
         }
     }
 
@@ -54,21 +57,19 @@ impl FrozenLm {
     /// Last-token embedding `[D]` as a constant tensor, served from the
     /// cache when this exact prompt has been embedded before.
     pub fn embed(&self, tokens: &[Token], calibrated: bool) -> Tensor {
-        let caching = self
-            .caching_enabled
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let caching = self.caching_enabled.get();
         let key = cache_key(tokens, calibrated);
         if caching {
-            if let Some(data) = self.cache.lock().get(&key) {
-                *self.hits.lock() += 1;
+            if let Some(data) = self.cache.borrow().get(&key) {
+                self.hits.set(self.hits.get() + 1);
                 return Tensor::from_vec(data.clone(), [self.lm.config().dim]);
             }
         }
-        *self.misses.lock() += 1;
+        self.misses.set(self.misses.get() + 1);
         let emb = no_grad(|| self.lm.last_token_embedding(tokens, calibrated));
         let data = emb.to_vec();
         if caching {
-            self.cache.lock().insert(key, data.clone());
+            self.cache.borrow_mut().insert(key, data.clone());
         }
         Tensor::from_vec(data, [self.lm.config().dim])
     }
@@ -77,23 +78,22 @@ impl FrozenLm {
     /// measured by the `ablation_cache` bench — §IV-B2's "we store the
     /// subtracted embeddings").
     pub fn set_caching(&self, enabled: bool) {
-        self.caching_enabled
-            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+        self.caching_enabled.set(enabled);
     }
 
     /// (cache hits, cache misses) so far.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (self.hits.get(), self.misses.get())
     }
 
     /// Number of distinct prompts embedded.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.borrow().len()
     }
 
     /// Drops all cached embeddings.
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.borrow_mut().clear();
     }
 }
 
@@ -107,7 +107,11 @@ mod tests {
     fn setup() -> (PromptTokenizer, FrozenLm) {
         let tok = PromptTokenizer::new();
         let mut rng = seeded_rng(0);
-        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        let lm = CausalLm::new(
+            tok.vocab_size(),
+            LmConfig::for_size(crate::LmSize::Small),
+            &mut rng,
+        );
         (tok, FrozenLm::new(lm))
     }
 
@@ -116,7 +120,10 @@ mod tests {
         let (tok, frozen) = setup();
         let toks = tok.encode(&[PromptPiece::Word("forecast"), PromptPiece::Number(3.0)]);
         let e = frozen.embed(&toks, true);
-        assert!(!e.requires_grad(), "frozen LM output must not join the graph");
+        assert!(
+            !e.requires_grad(),
+            "frozen LM output must not join the graph"
+        );
         assert_eq!(e.dims(), &[frozen.model().config().dim]);
     }
 

@@ -25,8 +25,7 @@ pub use config::{LmConfig, LmSize};
 pub use frozen::FrozenLm;
 pub use model::CausalLm;
 pub use pretrain::{
-    install_numeracy_prior,
-    pretrain_lm, sample_corpus_example, sample_corpus_prompt, CorpusExample, PretrainConfig,
-    PretrainReport,
+    install_numeracy_prior, pretrain_lm, sample_corpus_example, sample_corpus_prompt,
+    CorpusExample, PretrainConfig, PretrainReport,
 };
 pub use tokenizer::{Modality, PromptPiece, PromptTokenizer, Token, BIN_MAX, BIN_RESOLUTION};

@@ -1,8 +1,8 @@
 //! The causal language model with calibrated attention — the CLM of the
 //! paper's cross-modality teacher (Fig. 4, Eq. 1–7).
 
-use rand::rngs::StdRng;
 use timekd_nn::{Activation, Embedding, Module, TransformerEncoder};
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::calibration::{calibrated_mask, causal_only_mask};
@@ -21,7 +21,7 @@ pub struct CausalLm {
 
 impl CausalLm {
     /// Creates a randomly initialised LM over `vocab_size` tokens.
-    pub fn new(vocab_size: usize, config: LmConfig, rng: &mut StdRng) -> CausalLm {
+    pub fn new(vocab_size: usize, config: LmConfig, rng: &mut SeededRng) -> CausalLm {
         CausalLm {
             config,
             tok_embedding: Embedding::new(vocab_size, config.dim, rng),
@@ -87,7 +87,10 @@ impl CausalLm {
     /// the optimizer.
     pub fn encode_embeddings(&self, x: &Tensor) -> Tensor {
         let s = x.dims()[0];
-        assert!(s > 0 && s <= self.config.max_seq_len, "bad sequence length {s}");
+        assert!(
+            s > 0 && s <= self.config.max_seq_len,
+            "bad sequence length {s}"
+        );
         assert_eq!(x.dims()[1], self.config.dim, "embedding width mismatch");
         let pos = self.pos_embedding.slice(0, 0, s);
         let h = x.add(&pos);
@@ -120,9 +123,8 @@ impl CausalLm {
         max_new_tokens: usize,
         temperature: f32,
         vocab_modalities: &[crate::tokenizer::Modality],
-        rng: &mut StdRng,
+        rng: &mut SeededRng,
     ) -> Vec<Token> {
-        use rand::Rng;
         assert!(temperature >= 0.0, "temperature must be non-negative");
         let mut tokens = prompt.to_vec();
         for _ in 0..max_new_tokens {
@@ -143,8 +145,10 @@ impl CausalLm {
                 } else {
                     // Stable softmax sampling at the given temperature.
                     let m = last.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                    let probs: Vec<f32> =
-                        last.iter().map(|&x| ((x - m) / temperature).exp()).collect();
+                    let probs: Vec<f32> = last
+                        .iter()
+                        .map(|&x| ((x - m) / temperature).exp())
+                        .collect();
                     let total: f32 = probs.iter().sum();
                     let mut draw = rng.gen::<f32>() * total;
                     let mut pick = probs.len() - 1;
@@ -219,7 +223,11 @@ mod tests {
     fn logits_cover_vocab() {
         let mut rng = seeded_rng(1);
         let tok = PromptTokenizer::new();
-        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        let lm = CausalLm::new(
+            tok.vocab_size(),
+            LmConfig::for_size(crate::LmSize::Small),
+            &mut rng,
+        );
         let toks = sample_tokens(&tok);
         let logits = lm.logits(&toks, false);
         assert_eq!(logits.dims(), &[toks.len(), tok.vocab_size()]);
@@ -266,12 +274,19 @@ mod tests {
     fn lm_loss_decreases_with_training() {
         let mut rng = seeded_rng(4);
         let tok = PromptTokenizer::new();
-        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        let lm = CausalLm::new(
+            tok.vocab_size(),
+            LmConfig::for_size(crate::LmSize::Small),
+            &mut rng,
+        );
         let toks = sample_tokens(&tok);
         let params = lm.params();
         let mut opt = timekd_nn::AdamW::new(
             0.01,
-            timekd_nn::AdamWConfig { weight_decay: 0.0, ..Default::default() },
+            timekd_nn::AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
         );
         let before = lm.next_token_loss(&toks, true).item();
         for _ in 0..30 {
@@ -287,7 +302,11 @@ mod tests {
     fn greedy_generation_deterministic() {
         let mut rng = seeded_rng(5);
         let tok = PromptTokenizer::new();
-        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        let lm = CausalLm::new(
+            tok.vocab_size(),
+            LmConfig::for_size(crate::LmSize::Small),
+            &mut rng,
+        );
         let prompt = sample_tokens(&tok);
         let mods = tok.modalities();
         let mut r1 = seeded_rng(0);
@@ -303,7 +322,11 @@ mod tests {
     fn sampled_generation_seed_dependent() {
         let mut rng = seeded_rng(6);
         let tok = PromptTokenizer::new();
-        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        let lm = CausalLm::new(
+            tok.vocab_size(),
+            LmConfig::for_size(crate::LmSize::Small),
+            &mut rng,
+        );
         let prompt = sample_tokens(&tok);
         let mods = tok.modalities();
         let mut r1 = seeded_rng(1);

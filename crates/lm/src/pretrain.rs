@@ -17,9 +17,8 @@
 //! The regression head is discarded after pretraining; the frozen LM keeps
 //! only what GPT-2 would have had anyway. See DESIGN.md ("Substitutions").
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use timekd_nn::{AdamW, AdamWConfig, Linear, Module};
+use timekd_tensor::SeededRng;
 use timekd_tensor::{sample_standard_normal, seeded_rng, Tensor};
 
 use crate::config::LmConfig;
@@ -68,7 +67,7 @@ pub struct CorpusExample {
 pub fn sample_corpus_example(
     tokenizer: &PromptTokenizer,
     series_len: usize,
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
 ) -> CorpusExample {
     let mut pieces = vec![
         PromptPiece::Word("from"),
@@ -82,7 +81,7 @@ pub fn sample_corpus_example(
     // Standardised AR(1): matches the distribution of scaled dataset
     // windows the teacher will feed through the frozen model.
     let mut v = sample_standard_normal(rng);
-    let mut sample_next = |rng: &mut StdRng| {
+    let mut sample_next = |rng: &mut SeededRng| {
         v = 0.85 * v + 0.5 * sample_standard_normal(rng);
         v
     };
@@ -125,7 +124,7 @@ pub fn sample_corpus_example(
 pub fn sample_corpus_prompt(
     tokenizer: &PromptTokenizer,
     series_len: usize,
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
 ) -> Vec<Token> {
     sample_corpus_example(tokenizer, series_len, rng).tokens
 }
@@ -140,9 +139,9 @@ pub fn sample_corpus_prompt(
 /// pretraining budget. Installing the prior reproduces the property the
 /// teacher actually relies on (see DESIGN.md "Substitutions"); the rows
 /// remain trainable.
-pub fn install_numeracy_prior(lm: &CausalLm, vocab: &PromptTokenizer, rng: &mut StdRng) {
+pub fn install_numeracy_prior(lm: &CausalLm, vocab: &PromptTokenizer, rng: &mut SeededRng) {
     let dim = lm.config().dim;
-    let unit = |rng: &mut StdRng| {
+    let unit = |rng: &mut SeededRng| {
         let mut u: Vec<f32> = (0..dim).map(|_| sample_standard_normal(rng)).collect();
         let norm = u.iter().map(|x| x * x).sum::<f32>().sqrt();
         for x in &mut u {
@@ -156,7 +155,10 @@ pub fn install_numeracy_prior(lm: &CausalLm, vocab: &PromptTokenizer, rng: &mut 
     let vocab_size = table.dims()[0];
     let mut data = table.to_vec();
     for id in 0..vocab_size {
-        let token = Token { id, modality: crate::tokenizer::Modality::Numeric };
+        let token = Token {
+            id,
+            modality: crate::tokenizer::Modality::Numeric,
+        };
         if let Some(v) = vocab.token_value(token) {
             let v_scaled = v / crate::tokenizer::BIN_MAX; // in [-1, 1]
             for d in 0..dim {
@@ -218,11 +220,13 @@ pub fn pretrain_lm(
                 let emb = lm
                     .last_token_embedding(&h.tokens, true)
                     .reshape([1, lm_config.dim]);
-                let target =
-                    Tensor::from_vec(h.future_values.clone(), [1, config.series_len]);
+                let target = Tensor::from_vec(h.future_values.clone(), [1, config.series_len]);
                 value_mse += head.forward(&emb).sub(&target).square().mean().item();
             }
-            (lm_loss / holdouts.len() as f32, value_mse / holdouts.len() as f32)
+            (
+                lm_loss / holdouts.len() as f32,
+                value_mse / holdouts.len() as f32,
+            )
         })
     };
     let (initial_loss, initial_value_mse) = eval(&lm, &value_head);
@@ -322,7 +326,11 @@ mod tests {
         // products correlate with value differences.
         let tok = PromptTokenizer::new();
         let mut rng = seeded_rng(3);
-        let lm = CausalLm::new(tok.vocab_size(), LmConfig::for_size(crate::LmSize::Small), &mut rng);
+        let lm = CausalLm::new(
+            tok.vocab_size(),
+            LmConfig::for_size(crate::LmSize::Small),
+            &mut rng,
+        );
         install_numeracy_prior(&lm, &tok, &mut rng);
         let emb = |v: f32| {
             let t = tok.number(v)[0];
@@ -338,15 +346,26 @@ mod tests {
         let dot = |x: &[f32], y: &[f32]| x.iter().zip(y).map(|(p, q)| p * q).sum::<f32>();
         assert!(dot(&a, &c) < dot(&a, &b), "value direction not monotone");
         let dist = |x: &[f32], y: &[f32]| {
-            x.iter().zip(y).map(|(p, q)| (p - q) * (p - q)).sum::<f32>().sqrt()
+            x.iter()
+                .zip(y)
+                .map(|(p, q)| (p - q) * (p - q))
+                .sum::<f32>()
+                .sqrt()
         };
-        assert!(dist(&a, &c) > dist(&a, &b), "distance not monotone in value gap");
+        assert!(
+            dist(&a, &c) > dist(&a, &b),
+            "distance not monotone in value gap"
+        );
     }
 
     #[test]
     fn pretraining_deterministic_per_seed() {
         let tok = PromptTokenizer::new();
-        let cfg = PretrainConfig { steps: 5, series_len: 6, ..Default::default() };
+        let cfg = PretrainConfig {
+            steps: 5,
+            series_len: 6,
+            ..Default::default()
+        };
         let (_lm1, r1) = pretrain_lm(&tok, LmConfig::for_size(crate::LmSize::Small), cfg);
         let (_lm2, r2) = pretrain_lm(&tok, LmConfig::for_size(crate::LmSize::Small), cfg);
         assert_eq!(r1.final_loss, r2.final_loss);

@@ -37,9 +37,9 @@ pub struct Token {
 
 /// The closed template vocabulary.
 const WORDS: &[&str] = &[
-    "<pad>", "<bos>", "<eos>", "from", "to", "the", "values", "were", "every",
-    "minutes", "hours", "forecast", "next", "steps", "step", "and", "value",
-    "was", "then", ",", ".", ":", "at", "time", "series", "variable", "of",
+    "<pad>", "<bos>", "<eos>", "from", "to", "the", "values", "were", "every", "minutes", "hours",
+    "forecast", "next", "steps", "step", "and", "value", "was", "then", ",", ".", ":", "at",
+    "time", "series", "variable", "of",
 ];
 
 /// Quantization resolution of the value bins.
@@ -77,7 +77,11 @@ impl PromptTokenizer {
             let center = (i as i64 - half) as f32 * BIN_RESOLUTION;
             vocab.push(format!("{center:.1}"));
         }
-        PromptTokenizer { vocab, lookup, bin_base }
+        PromptTokenizer {
+            vocab,
+            lookup,
+            bin_base,
+        }
     }
 
     /// Vocabulary size.
@@ -92,7 +96,10 @@ impl PromptTokenizer {
 
     /// The id of the beginning-of-sequence token.
     pub fn bos(&self) -> Token {
-        Token { id: self.lookup["<bos>"], modality: Modality::Text }
+        Token {
+            id: self.lookup["<bos>"],
+            modality: Modality::Text,
+        }
     }
 
     /// Token for a known template word. Panics on out-of-vocabulary words —
@@ -103,7 +110,10 @@ impl PromptTokenizer {
             .lookup
             .get(&w.to_lowercase())
             .unwrap_or_else(|| panic!("word '{w}' not in the template vocabulary"));
-        Token { id, modality: Modality::Text }
+        Token {
+            id,
+            modality: Modality::Text,
+        }
     }
 
     /// Quantizes `value` to its bin center.
@@ -204,7 +214,11 @@ mod tests {
     fn words_are_text_modality() {
         let t = PromptTokenizer::new();
         assert_eq!(t.word("values").modality, Modality::Text);
-        assert_eq!(t.word("FORECAST").modality, Modality::Text, "case-insensitive");
+        assert_eq!(
+            t.word("FORECAST").modality,
+            Modality::Text,
+            "case-insensitive"
+        );
     }
 
     #[test]
@@ -222,7 +236,10 @@ mod tests {
             let tok = t.number(v)[0];
             let back = t.token_value(tok).unwrap();
             assert!((back - t.quantize(v)).abs() < 1e-4, "{v}: {back}");
-            assert!((back - v).abs() <= BIN_RESOLUTION / 2.0 + 1e-5, "{v} -> {back}");
+            assert!(
+                (back - v).abs() <= BIN_RESOLUTION / 2.0 + 1e-5,
+                "{v} -> {back}"
+            );
         }
     }
 

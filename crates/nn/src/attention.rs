@@ -6,7 +6,7 @@
 //! Transformer with the student's time-series Transformer, so the student's
 //! map must stay in the autograd graph.
 
-use rand::rngs::StdRng;
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::linear::Linear;
@@ -35,8 +35,11 @@ impl MultiHeadAttention {
     /// Creates an attention block with `num_heads` heads over width `dim`.
     ///
     /// Panics unless `dim % num_heads == 0`.
-    pub fn new(dim: usize, num_heads: usize, rng: &mut StdRng) -> MultiHeadAttention {
-        assert!(num_heads > 0 && dim.is_multiple_of(num_heads), "dim {dim} not divisible by heads {num_heads}");
+    pub fn new(dim: usize, num_heads: usize, rng: &mut SeededRng) -> MultiHeadAttention {
+        assert!(
+            num_heads > 0 && dim.is_multiple_of(num_heads),
+            "dim {dim} not divisible by heads {num_heads}"
+        );
         MultiHeadAttention {
             wq: Linear::new_no_bias(dim, dim, rng),
             wk: Linear::new_no_bias(dim, dim, rng),
@@ -164,7 +167,11 @@ mod tests {
         let a = out.attention.to_vec();
         for i in 0..4 {
             for j in (i + 1)..4 {
-                assert!(a[i * 4 + j] < 1e-6, "future position attended: {}", a[i * 4 + j]);
+                assert!(
+                    a[i * 4 + j] < 1e-6,
+                    "future position attended: {}",
+                    a[i * 4 + j]
+                );
             }
         }
     }

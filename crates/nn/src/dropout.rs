@@ -2,15 +2,14 @@
 
 use std::cell::RefCell;
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use timekd_tensor::SeededRng;
 use timekd_tensor::{seeded_rng, Tensor};
 
 /// Inverted dropout: at train time zeroes each element with probability `p`
 /// and scales survivors by `1/(1−p)`; at eval time it is the identity.
 pub struct Dropout {
     p: f32,
-    rng: RefCell<StdRng>,
+    rng: RefCell<SeededRng>,
     training: std::cell::Cell<bool>,
 }
 

@@ -2,7 +2,7 @@
 //! (Xiong et al. 2020) used by both `PTEncoder` and `TSTEncoder` in the
 //! paper (Eq. 10–14 and 19–21).
 
-use rand::rngs::StdRng;
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::attention::MultiHeadAttention;
@@ -28,7 +28,12 @@ pub struct FeedForward {
 
 impl FeedForward {
     /// FFN expanding `dim` to `hidden` and back.
-    pub fn new(dim: usize, hidden: usize, activation: Activation, rng: &mut StdRng) -> FeedForward {
+    pub fn new(
+        dim: usize,
+        hidden: usize,
+        activation: Activation,
+        rng: &mut SeededRng,
+    ) -> FeedForward {
         FeedForward {
             fc1: Linear::new(dim, hidden, rng),
             fc2: Linear::new(hidden, dim, rng),
@@ -81,7 +86,7 @@ impl EncoderLayer {
         num_heads: usize,
         ffn_hidden: usize,
         activation: Activation,
-        rng: &mut StdRng,
+        rng: &mut SeededRng,
     ) -> EncoderLayer {
         EncoderLayer {
             ln1: LayerNorm::new(dim),
@@ -129,7 +134,7 @@ impl TransformerEncoder {
         num_heads: usize,
         ffn_hidden: usize,
         activation: Activation,
-        rng: &mut StdRng,
+        rng: &mut SeededRng,
     ) -> TransformerEncoder {
         assert!(num_layers > 0, "encoder needs at least one layer");
         TransformerEncoder {
@@ -235,7 +240,11 @@ mod tests {
         let mut opt = crate::optim::AdamW::new(0.01, Default::default());
         let loss0 = {
             let out = enc.forward(&x, None);
-            head.forward(&out.output).sub(&target).square().mean().item()
+            head.forward(&out.output)
+                .sub(&target)
+                .square()
+                .mean()
+                .item()
         };
         for _ in 0..60 {
             let out = enc.forward(&x, None);
@@ -248,7 +257,11 @@ mod tests {
         }
         let loss1 = {
             let out = enc.forward(&x, None);
-            head.forward(&out.output).sub(&target).square().mean().item()
+            head.forward(&out.output)
+                .sub(&target)
+                .square()
+                .mean()
+                .item()
         };
         assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
     }

@@ -1,6 +1,6 @@
 //! Affine layers: [`Linear`] and [`Embedding`].
 
-use rand::rngs::StdRng;
+use timekd_tensor::SeededRng;
 use timekd_tensor::Tensor;
 
 use crate::module::Module;
@@ -18,7 +18,7 @@ pub struct Linear {
 
 impl Linear {
     /// Xavier-initialised linear layer with bias.
-    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Linear {
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Linear {
         Linear {
             weight: Tensor::xavier_uniform([in_features, out_features], rng),
             bias: Some(Tensor::zeros_param([out_features])),
@@ -28,7 +28,7 @@ impl Linear {
     }
 
     /// Linear layer without a bias term (used for attention projections).
-    pub fn new_no_bias(in_features: usize, out_features: usize, rng: &mut StdRng) -> Linear {
+    pub fn new_no_bias(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Linear {
         Linear {
             weight: Tensor::xavier_uniform([in_features, out_features], rng),
             bias: None,
@@ -95,7 +95,7 @@ pub struct Embedding {
 
 impl Embedding {
     /// Normal(0, 0.02) initialised embedding, the GPT-2 convention.
-    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Embedding {
+    pub fn new(vocab: usize, dim: usize, rng: &mut SeededRng) -> Embedding {
         Embedding {
             weight: Tensor::randn_param([vocab, dim], 0.02, rng),
             vocab,

@@ -73,11 +73,7 @@ mod tests {
     fn gradients_flow_from_all_losses() {
         let p = Tensor::param(vec![0.5, 2.0], [2]);
         let t = Tensor::zeros([2]);
-        for loss in [
-            smooth_l1_loss(&p, &t),
-            mse_loss(&p, &t),
-            mae_loss(&p, &t),
-        ] {
+        for loss in [smooth_l1_loss(&p, &t), mse_loss(&p, &t), mae_loss(&p, &t)] {
             p.zero_grad();
             loss.backward();
             assert!(p.grad().is_some());

@@ -1,6 +1,6 @@
 //! Parameter registry and checkpointing shared by every layer.
 
-use bytes::{Bytes, BytesMut};
+use timekd_tensor::bytes::{Bytes, BytesMut};
 use timekd_tensor::io::{decode_tensor, encode_tensor, DecodeError};
 use timekd_tensor::Tensor;
 
@@ -69,10 +69,7 @@ mod tests {
 
     #[test]
     fn num_params_counts_scalars() {
-        let list = ParamList(vec![
-            Tensor::zeros_param([2, 3]),
-            Tensor::zeros_param([4]),
-        ]);
+        let list = ParamList(vec![Tensor::zeros_param([2, 3]), Tensor::zeros_param([4])]);
         assert_eq!(list.num_params(), 10);
     }
 

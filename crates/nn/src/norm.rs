@@ -121,10 +121,7 @@ impl RevIn {
         assert_eq!(y.dims()[1], n, "RevIn: wrong channel count");
         let mu_t = Tensor::from_vec(stats.mean.clone(), [1, n]);
         let std_t = Tensor::from_vec(stats.std.clone(), [1, n]);
-        y.sub(&self.beta)
-            .div(&self.gamma)
-            .mul(&std_t)
-            .add(&mu_t)
+        y.sub(&self.beta).div(&self.gamma).mul(&std_t).add(&mu_t)
     }
 }
 

@@ -70,6 +70,13 @@ impl AdamW {
         self.step_count
     }
 
+    /// True if this optimizer has ever stepped the parameter with node id
+    /// `id`. Lets invariant checks prove frozen parameters were never
+    /// touched (moment state is created on first step).
+    pub fn has_stepped(&self, id: u64) -> bool {
+        self.state.contains_key(&id)
+    }
+
     /// Applies one AdamW update to every parameter that has a gradient,
     /// then leaves gradients untouched (call `zero_grad` before the next
     /// backward).
@@ -95,8 +102,7 @@ impl AdamW {
                     state.v[i] = c.beta2 * state.v[i] + (1.0 - c.beta2) * g * g;
                     let m_hat = state.m[i] / bias1;
                     let v_hat = state.v[i] / bias2;
-                    data[i] -=
-                        lr * (m_hat / (v_hat.sqrt() + c.eps) + c.weight_decay * data[i]);
+                    data[i] -= lr * (m_hat / (v_hat.sqrt() + c.eps) + c.weight_decay * data[i]);
                 }
             });
         }
@@ -160,8 +166,7 @@ impl LrSchedule {
                 } else if step >= total {
                     min_factor
                 } else {
-                    let progress =
-                        (step - warmup) as f32 / (total - warmup).max(1) as f32;
+                    let progress = (step - warmup) as f32 / (total - warmup).max(1) as f32;
                     let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
                     min_factor + (1.0 - min_factor) * cos
                 }
@@ -178,14 +183,24 @@ mod tests {
     #[test]
     fn adamw_minimises_quadratic() {
         let p = Tensor::param(vec![5.0, -3.0], [2]);
-        let mut opt = AdamW::new(0.1, AdamWConfig { weight_decay: 0.0, ..Default::default() });
+        let mut opt = AdamW::new(
+            0.1,
+            AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         for _ in 0..200 {
             p.zero_grad();
             let loss = p.square().sum();
             loss.backward();
             opt.step(std::slice::from_ref(&p));
         }
-        assert!(p.to_vec().iter().all(|x| x.abs() < 1e-2), "{:?}", p.to_vec());
+        assert!(
+            p.to_vec().iter().all(|x| x.abs() < 1e-2),
+            "{:?}",
+            p.to_vec()
+        );
     }
 
     #[test]
@@ -204,7 +219,13 @@ mod tests {
     fn weight_decay_shrinks_idle_direction() {
         // With pure decay (zero gradient on the loss), weights decay.
         let p = Tensor::param(vec![1.0], [1]);
-        let mut opt = AdamW::new(0.1, AdamWConfig { weight_decay: 0.5, ..Default::default() });
+        let mut opt = AdamW::new(
+            0.1,
+            AdamWConfig {
+                weight_decay: 0.5,
+                ..Default::default()
+            },
+        );
         p.accumulate_grad(&[0.0]);
         opt.step(std::slice::from_ref(&p));
         assert!(p.item() < 1.0);
@@ -231,7 +252,11 @@ mod tests {
 
     #[test]
     fn warmup_cosine_shape() {
-        let s = LrSchedule::WarmupCosine { warmup: 10, total: 110, min_factor: 0.1 };
+        let s = LrSchedule::WarmupCosine {
+            warmup: 10,
+            total: 110,
+            min_factor: 0.1,
+        };
         assert!(s.factor(0) < s.factor(5));
         assert!((s.factor(9) - 1.0).abs() < 1e-6);
         assert!(s.factor(50) < 1.0 && s.factor(50) > 0.1);
@@ -245,7 +270,13 @@ mod tests {
         let x = Tensor::randn([32, 3], 1.0, &mut rng);
         let y = x.matmul(&true_w);
         let w = Tensor::zeros_param([3, 1]);
-        let mut opt = AdamW::new(0.05, AdamWConfig { weight_decay: 0.0, ..Default::default() });
+        let mut opt = AdamW::new(
+            0.05,
+            AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         for _ in 0..300 {
             w.zero_grad();
             x.matmul(&w).sub(&y).square().mean().backward();

@@ -1,32 +1,35 @@
-//! Property-based tests for the NN layer invariants over random inputs and
-//! shapes.
+//! Randomised property tests for the NN layer invariants over random
+//! inputs and shapes, driven by the in-tree seeded RNG.
 
-use proptest::prelude::*;
 use timekd_nn::{
     causal_mask, Activation, LayerNorm, Linear, Module, MultiHeadAttention, RevIn,
     TransformerEncoder,
 };
 use timekd_tensor::{seeded_rng, Tensor};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn layernorm_output_always_standardised(seed in 0u64..500, rows in 1usize..6, scale in 0.1f32..20.0) {
+#[test]
+fn layernorm_output_always_standardised() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let rows = rng.gen_range(1usize..6);
+        let scale = rng.gen_range(0.1f32..20.0);
         let ln = LayerNorm::new(8);
         let x = Tensor::randn([rows, 8], scale, &mut rng).add_scalar(scale);
         let y = ln.forward(&x).to_vec();
         for r in 0..rows {
             let row = &y[r * 8..(r + 1) * 8];
             let mean: f32 = row.iter().sum::<f32>() / 8.0;
-            prop_assert!(mean.abs() < 1e-3, "row {r} mean {mean}");
+            assert!(mean.abs() < 1e-3, "seed {seed} row {r} mean {mean}");
         }
     }
+}
 
-    #[test]
-    fn linear_is_affine(seed in 0u64..500) {
-        // f(a*x) - f(0) == a*(f(x) - f(0)) for a linear layer with bias.
+#[test]
+fn linear_is_affine() {
+    // f(a*x) - f(0) == a*(f(x) - f(0)) for a linear layer with bias.
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
         let l = Linear::new(4, 3, &mut rng);
         let x = Tensor::randn([2, 4], 1.0, &mut rng);
@@ -35,81 +38,120 @@ proptest! {
         let fx = l.forward(&x).sub(&f0).to_vec();
         let f2x = l.forward(&x.mul_scalar(2.0)).sub(&f0).to_vec();
         for (a, b) in fx.iter().zip(&f2x) {
-            prop_assert!((2.0 * a - b).abs() < 1e-4, "{a} {b}");
+            assert!((2.0 * a - b).abs() < 1e-4, "seed {seed}: {a} {b}");
         }
     }
+}
 
-    #[test]
-    fn attention_rows_are_distributions(seed in 0u64..500, t in 2usize..8) {
+#[test]
+fn attention_rows_are_distributions() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let t = rng.gen_range(2usize..8);
         let mha = MultiHeadAttention::new(8, 2, &mut rng);
         let x = Tensor::randn([t, 8], 1.0, &mut rng);
         let out = mha.forward(&x, None);
         let a = out.attention.to_vec();
         for r in 0..t {
             let row_sum: f32 = a[r * t..(r + 1) * t].iter().sum();
-            prop_assert!((row_sum - 1.0).abs() < 1e-4);
-            prop_assert!(a[r * t..(r + 1) * t].iter().all(|&p| p >= 0.0));
+            assert!((row_sum - 1.0).abs() < 1e-4, "seed {seed}");
+            assert!(
+                a[r * t..(r + 1) * t].iter().all(|&p| p >= 0.0),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn causal_mask_never_leaks_future(seed in 0u64..200, t in 2usize..7) {
+#[test]
+fn causal_mask_never_leaks_future() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let t = rng.gen_range(2usize..7);
         let mha = MultiHeadAttention::new(8, 2, &mut rng);
         let x = Tensor::randn([t, 8], 1.0, &mut rng);
         let out = mha.forward(&x, Some(&causal_mask(t)));
         let a = out.attention.to_vec();
         for i in 0..t {
             for j in (i + 1)..t {
-                prop_assert!(a[i * t + j] < 1e-5, "a[{i},{j}] = {}", a[i * t + j]);
+                assert!(
+                    a[i * t + j] < 1e-5,
+                    "seed {seed}: a[{i},{j}] = {}",
+                    a[i * t + j]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn revin_round_trip_any_window(seed in 0u64..500, t in 4usize..20, scale in 0.5f32..50.0) {
+#[test]
+fn revin_round_trip_any_window() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let t = rng.gen_range(4usize..20);
+        let scale = rng.gen_range(0.5f32..50.0);
         let revin = RevIn::new(3);
         let x = Tensor::randn([t, 3], scale, &mut rng).add_scalar(scale * 0.5);
         let (normed, stats) = revin.normalize(&x);
         let back = revin.denormalize(&normed, &stats);
         for (a, b) in back.to_vec().iter().zip(x.to_vec()) {
             let tol = b.abs().max(1.0) * 1e-3;
-            prop_assert!((a - b).abs() < tol, "{a} vs {b}");
+            assert!((a - b).abs() < tol, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn revin_shift_invariance(seed in 0u64..300, shift in -100.0f32..100.0) {
+#[test]
+fn revin_shift_invariance() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let shift = rng.gen_range(-100.0f32..100.0);
         let revin = RevIn::new(2);
         let x = Tensor::randn([10, 2], 1.0, &mut rng);
         let (na, _) = revin.normalize(&x);
         let (nb, _) = revin.normalize(&x.add_scalar(shift));
         for (a, b) in na.to_vec().iter().zip(nb.to_vec()) {
-            prop_assert!((a - b).abs() < 1e-3);
+            assert!((a - b).abs() < 1e-3, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn encoder_output_finite_for_any_scale(seed in 0u64..200, scale in 0.01f32..30.0) {
+#[test]
+fn encoder_output_finite_for_any_scale() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
+        let scale = rng.gen_range(0.01f32..30.0);
         let enc = TransformerEncoder::new(8, 2, 2, 16, Activation::Relu, &mut rng);
         let x = Tensor::randn([5, 8], scale, &mut rng);
         let out = enc.forward(&x, None);
-        prop_assert!(out.output.to_vec().iter().all(|v| v.is_finite()));
-        prop_assert!(out.last_attention.to_vec().iter().all(|v| v.is_finite()));
+        assert!(
+            out.output.to_vec().iter().all(|v| v.is_finite()),
+            "seed {seed}"
+        );
+        assert!(
+            out.last_attention.to_vec().iter().all(|v| v.is_finite()),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn param_blob_round_trip(seed in 0u64..200) {
+#[test]
+fn param_blob_round_trip() {
+    for seed in 0..CASES {
         let mut rng = seeded_rng(seed);
         let a = Linear::new(3, 2, &mut rng);
         let b = Linear::new(3, 2, &mut rng);
         let mut blob = a.save_params();
-        b.load_params(&mut blob).unwrap();
-        prop_assert_eq!(a.params()[0].to_vec(), b.params()[0].to_vec());
-        prop_assert_eq!(a.params()[1].to_vec(), b.params()[1].to_vec());
+        b.load_params(&mut blob).expect("load after save");
+        assert_eq!(
+            a.params()[0].to_vec(),
+            b.params()[0].to_vec(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            a.params()[1].to_vec(),
+            b.params()[1].to_vec(),
+            "seed {seed}"
+        );
     }
 }

@@ -1,0 +1,317 @@
+//! Graph auditing: structural verification and statistics for a recorded
+//! autograd DAG.
+//!
+//! [`GraphAudit::run`] walks every node reachable from a root through the
+//! recorded `parents` edges and verifies the invariants the engine relies
+//! on but cannot express in types:
+//!
+//! - data and gradient buffer lengths match the node's shape;
+//! - no interior (non-leaf) node retains an accumulated gradient — the
+//!   backward pass frees interior buffers eagerly, so a retained one means
+//!   a second backward through the node would double-accumulate into its
+//!   parents;
+//! - no node carries a backward closure that gradient flow can never
+//!   reach (no recorded parents, or no parent requiring grad).
+//!
+//! It also reports node/leaf/parameter counts, the longest root-to-leaf
+//! path, and resident data/gradient bytes, which makes graph blow-ups
+//! (e.g. an accidentally retained training graph) visible in one line.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Identity and shape of a node referenced by an [`AuditIssue`].
+#[derive(Clone, Debug)]
+pub struct NodeSummary {
+    /// Unique node id.
+    pub id: u64,
+    /// Producing op name (`"leaf"` / `"param"` for leaves).
+    pub op: &'static str,
+    /// Shape rendered as text, e.g. `[4, 8]`.
+    pub shape: String,
+}
+
+impl NodeSummary {
+    fn of(t: &Tensor) -> NodeSummary {
+        NodeSummary {
+            id: t.id(),
+            op: t.op_name(),
+            shape: t.shape().to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for NodeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} {} {}", self.id, self.op, self.shape)
+    }
+}
+
+/// A structural defect found in the graph.
+#[derive(Clone, Debug)]
+pub enum AuditIssue {
+    /// The raw data buffer length disagrees with the node's shape.
+    DataShapeMismatch {
+        /// Offending node.
+        node: NodeSummary,
+        /// Actual buffer length.
+        data_len: usize,
+        /// `shape.num_elements()`.
+        expected: usize,
+    },
+    /// The gradient buffer length disagrees with the node's shape.
+    GradShapeMismatch {
+        /// Offending node.
+        node: NodeSummary,
+        /// Actual gradient buffer length.
+        grad_len: usize,
+        /// `shape.num_elements()`.
+        expected: usize,
+    },
+    /// A non-leaf node still holds an accumulated gradient; a subsequent
+    /// backward through it would double-accumulate into its parents.
+    RetainedInteriorGrad {
+        /// Offending node.
+        node: NodeSummary,
+    },
+    /// A node records a backward closure that can never fire usefully:
+    /// either it has no recorded parents or none of them requires grad.
+    DanglingBackward {
+        /// Offending node.
+        node: NodeSummary,
+    },
+}
+
+impl std::fmt::Display for AuditIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditIssue::DataShapeMismatch { node, data_len, expected } => write!(
+                f,
+                "data/shape mismatch on {node}: buffer has {data_len} elements, shape wants {expected}"
+            ),
+            AuditIssue::GradShapeMismatch { node, grad_len, expected } => write!(
+                f,
+                "grad/shape mismatch on {node}: gradient has {grad_len} elements, shape wants {expected}"
+            ),
+            AuditIssue::RetainedInteriorGrad { node } => write!(
+                f,
+                "retained interior gradient on {node}: double accumulation risk on next backward"
+            ),
+            AuditIssue::DanglingBackward { node } => {
+                write!(f, "dangling backward closure on {node}: gradient flow never reaches it")
+            }
+        }
+    }
+}
+
+/// Aggregate statistics over the audited graph.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GraphStats {
+    /// Total reachable nodes.
+    pub nodes: usize,
+    /// Leaves (constants and parameters).
+    pub leaves: usize,
+    /// Trainable leaves.
+    pub params: usize,
+    /// Longest root-to-leaf path length in edges.
+    pub max_depth: usize,
+    /// Bytes held by data buffers.
+    pub data_bytes: usize,
+    /// Bytes held by accumulated gradient buffers.
+    pub grad_bytes: usize,
+}
+
+/// Result of auditing the graph reachable from one root tensor.
+#[derive(Debug)]
+pub struct GraphAudit {
+    /// Structural defects found, in discovery order.
+    pub issues: Vec<AuditIssue>,
+    /// Aggregate statistics.
+    pub stats: GraphStats,
+}
+
+impl GraphAudit {
+    /// Walks the graph reachable from `root` and checks every node.
+    pub fn run(root: &Tensor) -> GraphAudit {
+        let mut issues = Vec::new();
+        let mut stats = GraphStats::default();
+        // Depth of a node = longest path from the root reaching it;
+        // computed with a BFS-like relaxation (the DAG is small enough
+        // that revisiting on a longer path is fine, and `parents` edges
+        // cannot cycle because ids strictly decrease toward leaves).
+        let mut depth: HashMap<u64, usize> = HashMap::new();
+        let mut stack = vec![(root.clone(), 0usize)];
+        while let Some((t, d)) = stack.pop() {
+            match depth.get(&t.id()) {
+                Some(&seen) if seen >= d => continue,
+                Some(_) => {
+                    // Deeper path to an already-audited node: update depth
+                    // only, don't re-check or re-count.
+                    depth.insert(t.id(), d);
+                    for p in t.parents() {
+                        stack.push((p.clone(), d + 1));
+                    }
+                    continue;
+                }
+                None => {}
+            }
+            depth.insert(t.id(), d);
+            stats.nodes += 1;
+            stats.max_depth = stats.max_depth.max(d);
+            let expected = t.num_elements();
+            stats.data_bytes += t.data_len() * std::mem::size_of::<f32>();
+            if t.data_len() != expected {
+                issues.push(AuditIssue::DataShapeMismatch {
+                    node: NodeSummary::of(&t),
+                    data_len: t.data_len(),
+                    expected,
+                });
+            }
+            if let Some(grad_len) = t.grad_len() {
+                stats.grad_bytes += grad_len * std::mem::size_of::<f32>();
+                if grad_len != expected {
+                    issues.push(AuditIssue::GradShapeMismatch {
+                        node: NodeSummary::of(&t),
+                        grad_len,
+                        expected,
+                    });
+                }
+                if !t.is_leaf() {
+                    issues.push(AuditIssue::RetainedInteriorGrad {
+                        node: NodeSummary::of(&t),
+                    });
+                }
+            }
+            if t.is_leaf() {
+                stats.leaves += 1;
+                if t.requires_grad() {
+                    stats.params += 1;
+                }
+            } else if !t.parents().iter().any(Tensor::requires_grad) {
+                issues.push(AuditIssue::DanglingBackward {
+                    node: NodeSummary::of(&t),
+                });
+            }
+            for p in t.parents() {
+                stack.push((p.clone(), d + 1));
+            }
+        }
+        GraphAudit { issues, stats }
+    }
+
+    /// True when no structural defect was found.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Multi-line human-readable report (stats line + one line per issue).
+    pub fn report(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "graph: {} nodes ({} leaves, {} params), depth {}, {} data bytes, {} grad bytes\n",
+            s.nodes, s.leaves, s.params, s.max_depth, s.data_bytes, s.grad_bytes
+        );
+        if self.issues.is_empty() {
+            out.push_str("no issues\n");
+        } else {
+            for issue in &self.issues {
+                out.push_str(&format!("issue: {issue}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_graph() -> (Tensor, Tensor) {
+        let p = Tensor::param(vec![1.0, 2.0, 3.0], [3]);
+        let loss = p.mul_scalar(2.0).sum();
+        (p, loss)
+    }
+
+    #[test]
+    fn clean_graph_audits_clean() {
+        let (_p, loss) = tiny_graph();
+        let audit = GraphAudit::run(&loss);
+        assert!(audit.is_clean(), "{}", audit.report());
+        assert_eq!(audit.stats.nodes, 3);
+        assert_eq!(audit.stats.leaves, 1);
+        assert_eq!(audit.stats.params, 1);
+        assert_eq!(audit.stats.max_depth, 2);
+        assert_eq!(audit.stats.data_bytes, (3 + 3 + 1) * 4);
+        assert_eq!(audit.stats.grad_bytes, 0);
+    }
+
+    #[test]
+    fn audit_stays_clean_after_backward() {
+        let (p, loss) = tiny_graph();
+        loss.backward();
+        let audit = GraphAudit::run(&loss);
+        assert!(audit.is_clean(), "{}", audit.report());
+        // The leaf keeps its gradient for the optimizer.
+        assert_eq!(audit.stats.grad_bytes, p.num_elements() * 4);
+    }
+
+    #[test]
+    fn retained_interior_grad_is_flagged() {
+        let p = Tensor::param(vec![1.0, 2.0], [2]);
+        let y = p.mul_scalar(2.0);
+        // Inject a gradient into the interior node outside a backward pass.
+        y.accumulate_grad(&[1.0, 1.0]);
+        let audit = GraphAudit::run(&y.sum());
+        assert!(
+            audit
+                .issues
+                .iter()
+                .any(|i| matches!(i, AuditIssue::RetainedInteriorGrad { node } if node.op == "mul_scalar")),
+            "{}",
+            audit.report()
+        );
+    }
+
+    #[test]
+    fn grad_shape_mismatch_is_flagged() {
+        let p = Tensor::param(vec![1.0, 2.0, 3.0], [3]);
+        p.set_raw_grad_for_tests(vec![1.0; 5]);
+        let audit = GraphAudit::run(&p);
+        assert!(
+            audit.issues.iter().any(|i| matches!(
+                i,
+                AuditIssue::GradShapeMismatch {
+                    grad_len: 5,
+                    expected: 3,
+                    ..
+                }
+            )),
+            "{}",
+            audit.report()
+        );
+    }
+
+    #[test]
+    fn depth_uses_longest_path() {
+        // Diamond: p -> a, p -> b (via longer chain), a+b -> loss.
+        let p = Tensor::param(vec![1.0], [1]);
+        let a = p.mul_scalar(2.0);
+        let b = p.mul_scalar(3.0).add_scalar(1.0).add_scalar(2.0);
+        let loss = a.add(&b).sum();
+        let audit = GraphAudit::run(&loss);
+        // p via b's chain: loss -> add -> add_scalar -> add_scalar ->
+        // mul_scalar -> p = 5 edges.
+        assert_eq!(audit.stats.max_depth, 5, "{}", audit.report());
+        // p counted once.
+        assert_eq!(audit.stats.params, 1);
+    }
+
+    #[test]
+    fn report_mentions_ops_and_counts() {
+        let (_p, loss) = tiny_graph();
+        let report = GraphAudit::run(&loss).report();
+        assert!(report.contains("3 nodes"));
+        assert!(report.contains("no issues"));
+    }
+}

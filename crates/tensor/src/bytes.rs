@@ -1,0 +1,237 @@
+//! Minimal in-tree byte buffers for checkpoint (de)serialization.
+//!
+//! A drop-in subset of the `bytes` crate API used by the workspace:
+//! [`BytesMut`] for building blobs with little-endian primitive writers and
+//! [`Bytes`] as a cursored read view with matching readers. Kept in-tree so
+//! the workspace resolves with no external dependencies.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// An immutable byte blob with an advancing read cursor.
+///
+/// Cloning is cheap (the storage is shared); `get_*`/[`Bytes::copy_to_slice`]
+/// consume from the front of the remaining view.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Number of unread bytes (alias of [`Bytes::remaining`], mirroring the
+    /// `bytes` crate where `len` reports the current view).
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// True if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// A sub-view of the remaining bytes; does not advance the cursor.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.remaining(),
+        };
+        assert!(lo <= hi && hi <= self.remaining(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Advances the cursor by `n` bytes.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.start += n;
+    }
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    pub fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "copy past end of buffer");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let mut buf = [0u8; N];
+        self.copy_to_slice(&mut buf);
+        buf
+    }
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    pub fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    pub fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take::<8>())
+    }
+
+    /// Reads a little-endian `f32`, advancing the cursor.
+    pub fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take::<4>())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// A growable byte buffer with little-endian primitive writers.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Appends raw bytes (alias of [`BytesMut::put_slice`]).
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(b"HDR!");
+        buf.put_u32_le(7);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_f32_le(-1.5);
+        let mut blob = buf.freeze();
+        let mut magic = [0u8; 4];
+        blob.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"HDR!");
+        assert_eq!(blob.get_u32_le(), 7);
+        assert_eq!(blob.get_u64_le(), u64::MAX - 1);
+        assert_eq!(blob.get_f32_le(), -1.5);
+        assert_eq!(blob.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        b.advance(2);
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[3, 4]);
+        // The original cursor is unaffected.
+        assert_eq!(b.remaining(), 4);
+    }
+
+    #[test]
+    fn deref_exposes_remaining_view() {
+        let mut b = Bytes::from(vec![9, 8, 7]);
+        b.advance(1);
+        assert_eq!(&b[..], &[8, 7]);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy past end")]
+    fn overread_panics() {
+        let mut b = Bytes::from(vec![1, 2]);
+        let mut dst = [0u8; 3];
+        b.copy_to_slice(&mut dst);
+    }
+
+    #[test]
+    fn from_static_reads() {
+        let mut b = Bytes::from_static(b"XYZ");
+        let mut dst = [0u8; 3];
+        b.copy_to_slice(&mut dst);
+        assert_eq!(&dst, b"XYZ");
+    }
+}

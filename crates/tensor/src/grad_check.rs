@@ -90,11 +90,7 @@ mod tests {
         let mut rng = seeded_rng(2);
         let w = Tensor::randn_param([2, 4], 0.5, &mut rng);
         let target = Tensor::randn([2, 4], 1.0, &mut rng);
-        assert_gradients_close(
-            &w,
-            || w.softmax_last().sub(&target).square().mean(),
-            1e-2,
-        );
+        assert_gradients_close(&w, || w.softmax_last().sub(&target).square().mean(), 1e-2);
     }
 
     #[test]

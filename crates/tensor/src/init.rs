@@ -1,24 +1,22 @@
 //! Random tensor initialisation with explicit, seedable RNGs.
 //!
-//! Every experiment in the workspace threads a seeded [`StdRng`] through its
-//! model constructors so that runs are reproducible bit-for-bit.
+//! Every experiment in the workspace threads a seeded [`SeededRng`] through
+//! its model constructors so that runs are reproducible bit-for-bit.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::SeededRng;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Creates a seeded RNG for deterministic experiments.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> SeededRng {
+    SeededRng::seed_from_u64(seed)
 }
 
 /// Samples one standard normal value via Box–Muller.
 ///
-/// `rand` 0.8 ships no Gaussian distribution without `rand_distr`, which is
-/// not in the approved dependency set, so we roll the two-line transform.
-pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
+/// The in-tree [`SeededRng`] is uniform-only, so we roll the two-line
+/// transform.
+pub fn sample_standard_normal(rng: &mut SeededRng) -> f32 {
     loop {
         let u1: f32 = rng.gen::<f32>();
         if u1 <= f32::MIN_POSITIVE {
@@ -32,22 +30,15 @@ pub fn sample_standard_normal(rng: &mut StdRng) -> f32 {
 
 impl Tensor {
     /// Constant tensor of i.i.d. `N(0, std²)` samples.
-    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut StdRng) -> Tensor {
+    pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut SeededRng) -> Tensor {
         let shape = shape.into();
         let n = shape.num_elements();
-        let data = (0..n)
-            .map(|_| sample_standard_normal(rng) * std)
-            .collect();
+        let data = (0..n).map(|_| sample_standard_normal(rng) * std).collect();
         Tensor::from_vec(data, shape)
     }
 
     /// Constant tensor of i.i.d. `U(lo, hi)` samples.
-    pub fn rand_uniform(
-        shape: impl Into<Shape>,
-        lo: f32,
-        hi: f32,
-        rng: &mut StdRng,
-    ) -> Tensor {
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut SeededRng) -> Tensor {
         let shape = shape.into();
         let n = shape.num_elements();
         let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
@@ -57,7 +48,7 @@ impl Tensor {
     /// Trainable parameter with Xavier/Glorot-uniform init for a weight of
     /// shape `[fan_in, fan_out]` (rank-2) or any shape where the last two
     /// axes are the fans.
-    pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+    pub fn xavier_uniform(shape: impl Into<Shape>, rng: &mut SeededRng) -> Tensor {
         let shape = shape.into();
         let rank = shape.rank();
         assert!(rank >= 2, "xavier init needs rank >= 2");
@@ -70,16 +61,14 @@ impl Tensor {
     }
 
     /// Trainable parameter with Kaiming-normal init (for ReLU fan-in).
-    pub fn kaiming_normal(shape: impl Into<Shape>, rng: &mut StdRng) -> Tensor {
+    pub fn kaiming_normal(shape: impl Into<Shape>, rng: &mut SeededRng) -> Tensor {
         let shape = shape.into();
         let rank = shape.rank();
         assert!(rank >= 2, "kaiming init needs rank >= 2");
         let fan_in = shape.dim(rank - 2);
         let std = (2.0 / fan_in as f32).sqrt();
         let n = shape.num_elements();
-        let data = (0..n)
-            .map(|_| sample_standard_normal(rng) * std)
-            .collect();
+        let data = (0..n).map(|_| sample_standard_normal(rng) * std).collect();
         Tensor::param(data, shape)
     }
 
@@ -98,12 +87,10 @@ impl Tensor {
     }
 
     /// Trainable parameter of i.i.d. `N(0, std²)` samples (embeddings).
-    pub fn randn_param(shape: impl Into<Shape>, std: f32, rng: &mut StdRng) -> Tensor {
+    pub fn randn_param(shape: impl Into<Shape>, std: f32, rng: &mut SeededRng) -> Tensor {
         let shape = shape.into();
         let n = shape.num_elements();
-        let data = (0..n)
-            .map(|_| sample_standard_normal(rng) * std)
-            .collect();
+        let data = (0..n).map(|_| sample_standard_normal(rng) * std).collect();
         Tensor::param(data, shape)
     }
 }

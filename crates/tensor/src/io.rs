@@ -3,8 +3,7 @@
 //! Format (little-endian): magic `TKT1`, rank `u32`, dims `u64` each, then
 //! raw f32 data. Used by model checkpointing in `timekd-nn`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
+use crate::bytes::{Bytes, BytesMut};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -37,8 +36,7 @@ impl std::error::Error for DecodeError {}
 pub fn encode_tensor(t: &Tensor) -> Bytes {
     let dims = t.dims();
     let data = t.data();
-    let mut buf =
-        BytesMut::with_capacity(4 + 4 + dims.len() * 8 + data.len() * 4);
+    let mut buf = BytesMut::with_capacity(4 + 4 + dims.len() * 8 + data.len() * 4);
     buf.put_slice(MAGIC);
     buf.put_u32_le(dims.len() as u32);
     for &d in dims {

@@ -15,7 +15,10 @@
 //! - reverse-mode autodiff over the recorded DAG with a [`no_grad`]
 //!   inference scope;
 //! - seedable initialisers and finite-difference gradient-check utilities;
-//! - a compact binary tensor format for model checkpoints ([`io`]).
+//! - a compact binary tensor format for model checkpoints ([`io`]);
+//! - graph introspection and auditing ([`GraphAudit`]) plus an opt-in
+//!   numeric sanitizer (`--features sanitize`) that traps NaN outputs at
+//!   the op that produced them and prints its provenance chain.
 //!
 //! ## Example
 //!
@@ -30,14 +33,31 @@
 //! assert_eq!(w.grad().unwrap().len(), 6);
 //! ```
 
+#![deny(
+    unused_must_use,
+    unused_imports,
+    unused_variables,
+    dead_code,
+    unreachable_patterns,
+    missing_debug_implementations
+)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod bytes;
 mod grad_check;
 mod init;
 pub mod io;
 mod ops;
+pub mod rng;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 mod shape;
 mod tensor;
 
+pub use audit::{AuditIssue, GraphAudit, GraphStats, NodeSummary};
 pub use grad_check::{assert_gradients_close, check_gradient, GradCheckReport};
 pub use init::{sample_standard_normal, seeded_rng};
+pub use rng::SeededRng;
 pub use shape::{IndexIter, Shape};
 pub use tensor::{is_grad_disabled, no_grad, Tensor};

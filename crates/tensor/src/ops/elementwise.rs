@@ -34,6 +34,7 @@ impl Tensor {
     /// upstream gradient `g`.
     fn binary_op(
         &self,
+        op: &'static str,
         other: &Tensor,
         f: impl Fn(f32, f32) -> f32,
         df: impl Fn(f32, f32, f32) -> (f32, f32) + 'static,
@@ -56,14 +57,12 @@ impl Tensor {
             for i in 0..n {
                 out.push(f(a_data[i], b_data[i]));
             }
-        } else if *self.shape() == out_shape && is_trailing_broadcast(other.shape(), &out_shape)
-        {
+        } else if *self.shape() == out_shape && is_trailing_broadcast(other.shape(), &out_shape) {
             let bl = b_data.len();
             for i in 0..n {
                 out.push(f(a_data[i], b_data[i % bl]));
             }
-        } else if *other.shape() == out_shape && is_trailing_broadcast(self.shape(), &out_shape)
-        {
+        } else if *other.shape() == out_shape && is_trailing_broadcast(self.shape(), &out_shape) {
             let al = a_data.len();
             for i in 0..n {
                 out.push(f(a_data[i % al], b_data[i]));
@@ -79,6 +78,7 @@ impl Tensor {
         drop(b_data);
         let out_shape_bw = out_shape.clone();
         Tensor::from_op(
+            op,
             out,
             out_shape,
             vec![self.clone(), other.clone()],
@@ -135,6 +135,7 @@ impl Tensor {
     /// the upstream gradient.
     fn unary_op(
         &self,
+        op: &'static str,
         f: impl Fn(f32) -> f32,
         df: impl Fn(f32, f32, f32) -> f32 + 'static,
     ) -> Tensor {
@@ -143,6 +144,7 @@ impl Tensor {
         drop(data);
         let saved_out = out.clone();
         Tensor::from_op(
+            op,
             out,
             self.shape().clone(),
             vec![self.clone()],
@@ -163,22 +165,23 @@ impl Tensor {
 
     /// Element-wise addition with broadcasting.
     pub fn add(&self, other: &Tensor) -> Tensor {
-        self.binary_op(other, |a, b| a + b, |_, _, g| (g, g))
+        self.binary_op("add", other, |a, b| a + b, |_, _, g| (g, g))
     }
 
     /// Element-wise subtraction with broadcasting.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        self.binary_op(other, |a, b| a - b, |_, _, g| (g, -g))
+        self.binary_op("sub", other, |a, b| a - b, |_, _, g| (g, -g))
     }
 
     /// Element-wise multiplication with broadcasting.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        self.binary_op(other, |a, b| a * b, |a, b, g| (g * b, g * a))
+        self.binary_op("mul", other, |a, b| a * b, |a, b, g| (g * b, g * a))
     }
 
     /// Element-wise division with broadcasting.
     pub fn div(&self, other: &Tensor) -> Tensor {
         self.binary_op(
+            "div",
             other,
             |a, b| a / b,
             |a, b, g| (g / b, -g * a / (b * b)),
@@ -190,6 +193,7 @@ impl Tensor {
     /// target`.
     pub fn smooth_l1(&self, target: &Tensor) -> Tensor {
         self.binary_op(
+            "smooth_l1",
             target,
             |a, b| {
                 let d = a - b;
@@ -208,12 +212,12 @@ impl Tensor {
 
     /// Adds a scalar to every element.
     pub fn add_scalar(&self, c: f32) -> Tensor {
-        self.unary_op(move |x| x + c, |_, _, g| g)
+        self.unary_op("add_scalar", move |x| x + c, |_, _, g| g)
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&self, c: f32) -> Tensor {
-        self.unary_op(move |x| x * c, move |_, _, g| g * c)
+        self.unary_op("mul_scalar", move |x| x * c, move |_, _, g| g * c)
     }
 
     /// Element-wise negation.
@@ -223,22 +227,23 @@ impl Tensor {
 
     /// Element-wise exponential.
     pub fn exp(&self) -> Tensor {
-        self.unary_op(|x| x.exp(), |_, y, g| g * y)
+        self.unary_op("exp", |x| x.exp(), |_, y, g| g * y)
     }
 
     /// Element-wise natural logarithm.
     pub fn ln(&self) -> Tensor {
-        self.unary_op(|x| x.ln(), |x, _, g| g / x)
+        self.unary_op("ln", |x| x.ln(), |x, _, g| g / x)
     }
 
     /// Element-wise square root.
     pub fn sqrt(&self) -> Tensor {
-        self.unary_op(|x| x.sqrt(), |_, y, g| g * 0.5 / y)
+        self.unary_op("sqrt", |x| x.sqrt(), |_, y, g| g * 0.5 / y)
     }
 
     /// Element-wise reciprocal square root `1/√(x)`.
     pub fn rsqrt(&self) -> Tensor {
         self.unary_op(
+            "rsqrt",
             |x| 1.0 / x.sqrt(),
             |x, y, g| g * (-0.5) * y / x, // d/dx x^(-1/2) = -1/2 x^(-3/2)
         )
@@ -246,12 +251,13 @@ impl Tensor {
 
     /// Element-wise square.
     pub fn square(&self) -> Tensor {
-        self.unary_op(|x| x * x, |x, _, g| g * 2.0 * x)
+        self.unary_op("square", |x| x * x, |x, _, g| g * 2.0 * x)
     }
 
     /// Element-wise absolute value. The gradient at 0 is defined as 0.
     pub fn abs(&self) -> Tensor {
         self.unary_op(
+            "abs",
             |x| x.abs(),
             |x, _, g| {
                 if x > 0.0 {
@@ -268,7 +274,11 @@ impl Tensor {
     /// Rectified linear unit `max(0, x)` as used by the paper's FFNs
     /// (Eq. 7).
     pub fn relu(&self) -> Tensor {
-        self.unary_op(|x| x.max(0.0), |x, _, g| if x > 0.0 { g } else { 0.0 })
+        self.unary_op(
+            "relu",
+            |x| x.max(0.0),
+            |x, _, g| if x > 0.0 { g } else { 0.0 },
+        )
     }
 
     /// Gaussian error linear unit (tanh approximation), used by the GPT
@@ -276,6 +286,7 @@ impl Tensor {
     pub fn gelu(&self) -> Tensor {
         const C: f32 = 0.797_884_6; // sqrt(2/π)
         self.unary_op(
+            "gelu",
             |x| {
                 let inner = C * (x + 0.044715 * x * x * x);
                 0.5 * x * (1.0 + inner.tanh())
@@ -293,12 +304,13 @@ impl Tensor {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        self.unary_op(|x| x.tanh(), |_, y, g| g * (1.0 - y * y))
+        self.unary_op("tanh", |x| x.tanh(), |_, y, g| g * (1.0 - y * y))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
         self.unary_op(
+            "sigmoid",
             |x| 1.0 / (1.0 + (-x).exp()),
             |_, y, g| g * y * (1.0 - y),
         )
@@ -308,6 +320,7 @@ impl Tensor {
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         assert!(lo <= hi, "clamp: lo > hi");
         self.unary_op(
+            "clamp",
             move |x| x.clamp(lo, hi),
             move |x, _, g| if x >= lo && x <= hi { g } else { 0.0 },
         )
@@ -336,10 +349,7 @@ mod tests {
     fn add_broadcast_row() {
         let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
         let b = Tensor::from_vec(vec![10.0, 20.0, 30.0], [3]);
-        assert_eq!(
-            a.add(&b).to_vec(),
-            vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]
-        );
+        assert_eq!(a.add(&b).to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
     }
 
     #[test]

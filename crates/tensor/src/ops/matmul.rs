@@ -8,14 +8,7 @@ use crate::tensor::Tensor;
 ///
 /// Loop order i-k-j keeps the inner loop streaming over contiguous rows of
 /// `b` and `out`, which is the cache-friendly order for row-major data.
-pub(crate) fn mm_accumulate(
-    a: &[f32],
-    b: &[f32],
-    out: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
+pub(crate) fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -116,7 +109,8 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (other.dims()[0], other.dims()[1]);
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul: inner dims differ: {} vs {}",
             self.shape(),
             other.shape()
@@ -124,6 +118,7 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         mm_accumulate(&self.data(), &other.data(), &mut out, m, k, n);
         Tensor::from_op(
+            "matmul_2d",
             out,
             Shape::new([m, n]),
             vec![self.clone(), other.clone()],
@@ -166,6 +161,7 @@ impl Tensor {
             }
         }
         Tensor::from_op(
+            "matmul_batched",
             out,
             Shape::new([ba, m, n]),
             vec![self.clone(), other.clone()],
@@ -215,6 +211,7 @@ impl Tensor {
         let mut out = vec![0.0f32; ba * m * n];
         mm_accumulate(&self.data(), &other.data(), &mut out, ba * m, k, n);
         Tensor::from_op(
+            "matmul_3d_2d",
             out,
             Shape::new([ba, m, n]),
             vec![self.clone(), other.clone()],

@@ -8,6 +8,7 @@ impl Tensor {
     pub fn sum(&self) -> Tensor {
         let total: f32 = self.data().iter().sum();
         Tensor::from_op(
+            "sum",
             vec![total],
             Shape::scalar(),
             vec![self.clone()],
@@ -31,7 +32,11 @@ impl Tensor {
     /// (useful for broadcasting the result back).
     pub fn sum_axis(&self, axis: usize, keepdim: bool) -> Tensor {
         let rank = self.shape().rank();
-        assert!(axis < rank, "sum_axis: axis {axis} out of range for {}", self.shape());
+        assert!(
+            axis < rank,
+            "sum_axis: axis {axis} out of range for {}",
+            self.shape()
+        );
         let dims = self.dims().to_vec();
         let outer: usize = dims[..axis].iter().product();
         let mid = dims[axis];
@@ -55,6 +60,7 @@ impl Tensor {
             out_dims.remove(axis);
         }
         Tensor::from_op(
+            "sum_axis",
             out,
             Shape::new(out_dims),
             vec![self.clone()],
@@ -90,14 +96,17 @@ impl Tensor {
     pub fn var_axis(&self, axis: usize, keepdim: bool) -> Tensor {
         let mu = self.mean_axis(axis, true);
         let centered = self.sub(&mu);
-        
+
         centered.square().mean_axis(axis, keepdim)
     }
 
     /// Maximum over all elements (no gradient; used for diagnostics and
     /// numerically stable kernels).
     pub fn max_value(&self) -> f32 {
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum over all elements (no gradient).

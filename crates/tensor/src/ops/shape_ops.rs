@@ -14,6 +14,7 @@ impl Tensor {
             self.shape()
         );
         Tensor::from_op(
+            "reshape",
             self.to_vec(),
             shape,
             vec![self.clone()],
@@ -32,7 +33,10 @@ impl Tensor {
         assert_eq!(perm.len(), rank, "permute: wrong permutation length");
         let mut seen = vec![false; rank];
         for &p in perm {
-            assert!(p < rank && !seen[p], "permute: invalid permutation {perm:?}");
+            assert!(
+                p < rank && !seen[p],
+                "permute: invalid permutation {perm:?}"
+            );
             seen[p] = true;
         }
         let src_dims = self.dims().to_vec();
@@ -72,6 +76,7 @@ impl Tensor {
         }
         let out_shape_bw = out_shape.clone();
         Tensor::from_op(
+            "permute",
             out,
             out_shape,
             vec![self.clone()],
@@ -119,6 +124,7 @@ impl Tensor {
         let mut out_dims = dims.clone();
         out_dims[axis] = len;
         Tensor::from_op(
+            "slice",
             out,
             Shape::new(out_dims),
             vec![self.clone()],
@@ -131,8 +137,7 @@ impl Tensor {
                 for o in 0..outer {
                     let dst = (o * mid + start) * inner;
                     let src = o * len * inner;
-                    gx[dst..dst + len * inner]
-                        .copy_from_slice(&grad[src..src + len * inner]);
+                    gx[dst..dst + len * inner].copy_from_slice(&grad[src..src + len * inner]);
                 }
                 x.accumulate_grad(&gx);
             }),
@@ -173,6 +178,7 @@ impl Tensor {
         }
         let sizes_bw = axis_sizes.clone();
         Tensor::from_op(
+            "concat",
             out,
             Shape::new(out_dims),
             tensors.to_vec(),
@@ -186,8 +192,7 @@ impl Tensor {
                     for (pi, &sz) in sizes_bw.iter().enumerate() {
                         let chunk = sz * inner;
                         let dst = o * chunk;
-                        grads[pi][dst..dst + chunk]
-                            .copy_from_slice(&grad[pos..pos + chunk]);
+                        grads[pi][dst..dst + chunk].copy_from_slice(&grad[pos..pos + chunk]);
                         pos += chunk;
                     }
                 }
@@ -216,6 +221,7 @@ impl Tensor {
         drop(data);
         let idx = indices.to_vec();
         Tensor::from_op(
+            "index_select_rows",
             out,
             Shape::new([indices.len(), d]),
             vec![self.clone()],
@@ -253,6 +259,7 @@ impl Tensor {
         drop(data);
         let idx = indices.to_vec();
         Tensor::from_op(
+            "gather_last",
             out,
             Shape::new([r]),
             vec![self.clone()],
@@ -361,8 +368,14 @@ mod tests {
     fn concat_axis0_and_1() {
         let a = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
         let b = Tensor::from_vec(vec![3.0, 4.0], [1, 2]);
-        assert_eq!(Tensor::concat(&[a.clone(), b.clone()], 0).to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(Tensor::concat(&[a, b], 1).to_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            Tensor::concat(&[a.clone(), b.clone()], 0).to_vec(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
+        assert_eq!(
+            Tensor::concat(&[a, b], 1).to_vec(),
+            vec![1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]
@@ -379,7 +392,10 @@ mod tests {
         let a = Tensor::param(vec![1.0; 2], [1, 2]);
         let b = Tensor::param(vec![1.0; 2], [1, 2]);
         let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 4]);
-        Tensor::concat(&[a.clone(), b.clone()], 1).mul(&w).sum().backward();
+        Tensor::concat(&[a.clone(), b.clone()], 1)
+            .mul(&w)
+            .sum()
+            .backward();
         assert_eq!(a.grad().unwrap(), vec![1.0, 2.0]);
         assert_eq!(b.grad().unwrap(), vec![3.0, 4.0]);
     }

@@ -33,6 +33,7 @@ impl Tensor {
         drop(data);
         let saved = out.clone();
         Tensor::from_op(
+            "softmax_last",
             out,
             self.shape().clone(),
             vec![self.clone()],
@@ -47,9 +48,7 @@ impl Tensor {
                     let y = &saved[r * c..(r + 1) * c];
                     let g = &grad[r * c..(r + 1) * c];
                     let dot: f32 = y.iter().zip(g).map(|(a, b)| a * b).sum();
-                    for ((o, &yi), &gi) in
-                        gx[r * c..(r + 1) * c].iter_mut().zip(y).zip(g)
-                    {
+                    for ((o, &yi), &gi) in gx[r * c..(r + 1) * c].iter_mut().zip(y).zip(g) {
                         *o = yi * (gi - dot);
                     }
                 }
@@ -86,6 +85,7 @@ impl Tensor {
         }
         drop(data);
         Tensor::from_op(
+            "log_softmax_last",
             out,
             self.shape().clone(),
             vec![self.clone()],
@@ -100,9 +100,7 @@ impl Tensor {
                     let g = &grad[r * c..(r + 1) * c];
                     let p = &probs[r * c..(r + 1) * c];
                     let gsum: f32 = g.iter().sum();
-                    for ((o, &gi), &pi) in
-                        gx[r * c..(r + 1) * c].iter_mut().zip(g).zip(p)
-                    {
+                    for ((o, &gi), &pi) in gx[r * c..(r + 1) * c].iter_mut().zip(g).zip(p) {
                         *o = gi - pi * gsum;
                     }
                 }
@@ -119,10 +117,7 @@ impl Tensor {
         let rows = self.num_elements() / c;
         assert_eq!(targets.len(), rows, "cross_entropy: one target per row");
         let flat = self.reshape(Shape::new([rows, c]));
-        flat.log_softmax_last()
-            .gather_last(targets)
-            .mean()
-            .neg()
+        flat.log_softmax_last().gather_last(targets).mean().neg()
     }
 }
 

@@ -1,0 +1,250 @@
+//! In-tree deterministic pseudo-random number generation.
+//!
+//! The workspace builds with no external crates, so randomness is provided
+//! by this xoshiro256++ generator seeded through SplitMix64 — the standard
+//! pairing recommended by the xoshiro authors. Every model constructor and
+//! data generator threads a [`SeededRng`] created by
+//! [`seeded_rng`](crate::seeded_rng), which keeps runs reproducible
+//! bit-for-bit across platforms (the generator is pure integer arithmetic).
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable, portable PRNG (xoshiro256++).
+///
+/// Not cryptographically secure — it exists to make experiments
+/// reproducible, not to produce secrets.
+#[derive(Clone, Debug)]
+pub struct SeededRng {
+    s: [u64; 4],
+}
+
+impl SeededRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> SeededRng {
+        // SplitMix64 expands the 64-bit seed into the 256-bit state; it
+        // cannot produce the all-zero state xoshiro must avoid.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SeededRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample of type `T` (see [`Sample`] for the distributions).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range`.
+    ///
+    /// Supports half-open `f32` ranges and half-open / inclusive integer
+    /// ranges. Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Types [`SeededRng::gen`] can produce.
+pub trait Sample: Sized {
+    /// Draws one sample from `rng`.
+    fn sample(rng: &mut SeededRng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut SeededRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut SeededRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample(rng: &mut SeededRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut SeededRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    /// Fair coin.
+    fn sample(rng: &mut SeededRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`SeededRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draws one sample from `rng` within the range.
+    fn sample(self, rng: &mut SeededRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample(self, rng: &mut SeededRng) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.gen::<f32>() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SeededRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+/// Uniform integer in `[0, span)`. Uses Lemire-style rejection to avoid
+/// modulo bias.
+fn uniform_below(rng: &mut SeededRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let r = rng.next_u64();
+        if r >= threshold {
+            return r % span;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SeededRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SeededRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SeededRng::seed_from_u64(7);
+        let mut b = SeededRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededRng::seed_from_u64(1);
+        let mut b = SeededRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut rng = SeededRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f32_mean_is_half() {
+        let mut rng = SeededRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f32>() as f64).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = SeededRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5f32..7.25);
+            assert!((-2.5..7.25).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn int_range_inclusive_covers_all_values() {
+        let mut rng = SeededRng::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(1..=5);
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn int_range_handles_negatives() {
+        let mut rng = SeededRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(-3i32..3);
+            assert!((-3..3).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn usize_range_bounds() {
+        let mut rng = SeededRng::seed_from_u64(8);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SeededRng::seed_from_u64(9);
+        let _ = rng.gen_range(1.0f32..1.0);
+    }
+}

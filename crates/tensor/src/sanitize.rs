@@ -1,0 +1,100 @@
+//! Feature-gated numeric sanitizer (`--features sanitize`).
+//!
+//! When enabled, every op output is scanned as it is recorded into the
+//! graph; the first offending value aborts with the op's provenance chain
+//! so NaN poisoning is caught at the op that produced it, not thousands of
+//! nodes later in a loss.
+//!
+//! The default mode checks for NaN only: infinities are legitimate in this
+//! workspace (attention masks add `NEG_INF` to scores before softmax).
+//! Call [`set_mode`] with [`Mode::NanAndInf`] inside code regions where no
+//! infinity is expected.
+
+use std::cell::Cell;
+
+use crate::tensor::Tensor;
+
+/// What the sanitizer treats as a trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Flag NaN outputs only (default; `-inf` masks are legal).
+    #[default]
+    NanOnly,
+    /// Flag both NaN and ±Inf outputs.
+    NanAndInf,
+}
+
+thread_local! {
+    static MODE: Cell<Mode> = const { Cell::new(Mode::NanOnly) };
+}
+
+/// Sets the sanitizer trip mode for the current thread.
+pub fn set_mode(mode: Mode) {
+    MODE.with(|m| m.set(mode));
+}
+
+/// Current sanitizer trip mode.
+pub fn mode() -> Mode {
+    MODE.with(|m| m.get())
+}
+
+/// Scans a freshly computed op output; panics with the provenance chain of
+/// the inputs on the first offending value. Called from `Tensor::from_op`
+/// before the node is constructed, so the chain is reconstructed from the
+/// parents (the offending node itself does not exist yet).
+pub(crate) fn check_op_output(op: &'static str, data: &[f32], parents: &[Tensor]) {
+    let bad = |v: f32| match mode() {
+        Mode::NanOnly => v.is_nan(),
+        Mode::NanAndInf => !v.is_finite(),
+    };
+    let Some(idx) = data.iter().position(|&v| bad(v)) else {
+        return;
+    };
+    let mut chain = String::new();
+    for p in parents {
+        chain.push_str(&p.provenance());
+    }
+    if chain.is_empty() {
+        chain.push_str("(no recorded parents)\n");
+    }
+    eprintln!(
+        "sanitize: op `{op}` produced {} at flat index {idx}\ninput provenance:\n{chain}",
+        data[idx]
+    );
+    panic!(
+        "sanitize: non-finite output from op `{op}` ({} at index {idx})",
+        data[idx]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_output_trips_with_op_name() {
+        let err = std::panic::catch_unwind(|| {
+            let x = Tensor::param(vec![-1.0, 4.0], [2]);
+            let _ = x.sqrt(); // sqrt(-1) = NaN
+        })
+        .expect_err("sanitizer must trip on NaN");
+        let msg = err.downcast_ref::<String>().expect("panic with message");
+        assert!(msg.contains("sqrt"), "message names the op: {msg}");
+    }
+
+    #[test]
+    fn inf_passes_by_default_but_trips_in_strict_mode() {
+        let x = Tensor::from_vec(vec![1e30, 1e30], [2]);
+        // Overflow to +inf is tolerated in NanOnly mode.
+        let y = x.mul(&x);
+        assert!(y.to_vec()[0].is_infinite());
+
+        set_mode(Mode::NanAndInf);
+        let trip = std::panic::catch_unwind(|| {
+            let x = Tensor::from_vec(vec![1e30, 1e30], [2]);
+            let _ = x.mul(&x);
+        });
+        set_mode(Mode::NanOnly);
+        assert!(trip.is_err(), "strict mode must trip on Inf");
+    }
+}

@@ -70,7 +70,10 @@ impl Shape {
         let mut flat = 0usize;
         let mut acc = 1usize;
         for i in (0..self.rank()).rev() {
-            debug_assert!(index[i] < self.0[i], "index {index:?} out of bounds for {self}");
+            debug_assert!(
+                index[i] < self.0[i],
+                "index {index:?} out of bounds for {self}"
+            );
             flat += index[i] * acc;
             acc *= self.0[i];
         }
@@ -175,6 +178,7 @@ impl<const N: usize> From<[usize; N]> for Shape {
 /// Iterates over all multi-dimensional indices of `shape` in row-major order.
 ///
 /// Used by broadcasting kernels; for hot same-shape paths we bypass this.
+#[derive(Debug)]
 pub struct IndexIter {
     dims: Vec<usize>,
     current: Vec<usize>,

@@ -59,6 +59,9 @@ pub(crate) type BackwardFn = Box<dyn Fn(&[f32], &[Tensor])>;
 
 pub(crate) struct TensorInner {
     id: u64,
+    /// Name of the op that produced this node (`"leaf"` / `"param"` for
+    /// graph leaves). `&'static` so recording costs nothing.
+    op: &'static str,
     shape: Shape,
     data: RefCell<Vec<f32>>,
     grad: RefCell<Option<Vec<f32>>>,
@@ -103,6 +106,7 @@ impl Tensor {
         Tensor {
             inner: Rc::new(TensorInner {
                 id: next_id(),
+                op: "leaf",
                 shape,
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
@@ -125,6 +129,7 @@ impl Tensor {
         Tensor {
             inner: Rc::new(TensorInner {
                 id: next_id(),
+                op: "param",
                 shape,
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
@@ -135,21 +140,26 @@ impl Tensor {
         }
     }
 
-    /// Creates an interior graph node.
+    /// Creates an interior graph node produced by the op named `op`.
     ///
     /// If gradients are globally disabled or no parent requires grad, the
-    /// node is constant and records nothing.
+    /// node is constant and records nothing (the op name is kept either
+    /// way so diagnostics work under `no_grad` too).
     pub(crate) fn from_op(
+        op: &'static str,
         data: Vec<f32>,
         shape: Shape,
         parents: Vec<Tensor>,
         backward: BackwardFn,
     ) -> Tensor {
         assert_eq!(data.len(), shape.num_elements());
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::check_op_output(op, &data, &parents);
         let track = !is_grad_disabled() && parents.iter().any(|p| p.requires_grad());
         Tensor {
             inner: Rc::new(TensorInner {
                 id: next_id(),
+                op,
                 shape,
                 data: RefCell::new(data),
                 grad: RefCell::new(None),
@@ -190,6 +200,99 @@ impl Tensor {
         self.inner.id
     }
 
+    /// Name of the op that produced this node; `"leaf"` for constants and
+    /// `"param"` for trainable leaves.
+    #[inline]
+    pub fn op_name(&self) -> &'static str {
+        self.inner.op
+    }
+
+    /// Recorded parent nodes (empty for leaves and untracked ops).
+    #[inline]
+    pub fn parents(&self) -> &[Tensor] {
+        &self.inner.parents
+    }
+
+    /// True if a gradient buffer is currently accumulated on this node.
+    /// Cheaper than [`Tensor::grad`], which clones the buffer.
+    #[inline]
+    pub fn has_grad(&self) -> bool {
+        self.inner.grad.borrow().is_some()
+    }
+
+    /// Length of the accumulated gradient buffer, if any. The audit pass
+    /// uses this to verify gradient/shape consistency without copying.
+    pub fn grad_len(&self) -> Option<usize> {
+        self.inner.grad.borrow().as_ref().map(Vec::len)
+    }
+
+    /// Length of the raw data buffer (normally equal to
+    /// `num_elements()`; the audit pass verifies this).
+    pub fn data_len(&self) -> usize {
+        self.inner.data.borrow().len()
+    }
+
+    /// Human-readable provenance chain: this node, its parents, and the
+    /// first-parent ancestor line, annotated with op names, shapes and a
+    /// data health summary. Used by the `sanitize` feature to explain
+    /// where a non-finite value came from.
+    pub fn provenance(&self) -> String {
+        fn summary(t: &Tensor) -> String {
+            let data = t.inner.data.borrow();
+            let (mut nan, mut inf) = (0usize, 0usize);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &v in data.iter() {
+                if v.is_nan() {
+                    nan += 1;
+                } else if v.is_infinite() {
+                    inf += 1;
+                } else {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            let range = if lo <= hi {
+                format!("[{lo:.3e}, {hi:.3e}]")
+            } else {
+                "[]".to_string()
+            };
+            format!(
+                "#{} {} {} grad={} finite range {range}, {nan} NaN, {inf} Inf",
+                t.id(),
+                t.op_name(),
+                t.shape(),
+                t.requires_grad(),
+            )
+        }
+        let mut out = String::new();
+        out.push_str(&format!("-> {}\n", summary(self)));
+        for p in self.parents() {
+            out.push_str(&format!("   parent {}\n", summary(p)));
+        }
+        // Follow the first-parent line a few more hops for context.
+        let mut cur = self.parents().first().cloned();
+        let mut depth = 0;
+        while let Some(t) = cur {
+            if depth >= 8 {
+                out.push_str("   ... (chain truncated)\n");
+                break;
+            }
+            if depth > 0 {
+                out.push_str(&format!("   ancestor {}\n", summary(&t)));
+            }
+            cur = t.parents().first().cloned();
+            depth += 1;
+        }
+        out
+    }
+
+    /// Replaces the raw gradient buffer without any shape checking.
+    /// Test-only hook for exercising the audit pass on corrupt graphs.
+    #[doc(hidden)]
+    pub fn set_raw_grad_for_tests(&self, g: Vec<f32>) {
+        *self.inner.grad.borrow_mut() = Some(g);
+    }
+
     /// Shape of this tensor.
     #[inline]
     pub fn shape(&self) -> &Shape {
@@ -226,7 +329,12 @@ impl Tensor {
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
         let data = self.inner.data.borrow();
-        assert_eq!(data.len(), 1, "item() on tensor with {} elements", data.len());
+        assert_eq!(
+            data.len(),
+            1,
+            "item() on tensor with {} elements",
+            data.len()
+        );
         data[0]
     }
 

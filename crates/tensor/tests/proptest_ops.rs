@@ -1,90 +1,120 @@
-//! Property-based tests for the tensor substrate: algebraic identities,
-//! broadcasting consistency, and gradient invariants over random inputs.
+//! Randomised property tests for the tensor substrate: algebraic
+//! identities, broadcasting consistency, and gradient invariants over
+//! random inputs.
+//!
+//! Each property is exercised over many seeded random cases drawn from the
+//! in-tree [`timekd_tensor::SeededRng`]; failures print the offending seed
+//! so a case can be replayed deterministically.
 
-use proptest::prelude::*;
-use timekd_tensor::{Shape, Tensor};
+use timekd_tensor::{seeded_rng, SeededRng, Shape, Tensor};
 
-/// Strategy: a small shape (rank 1–3, axes 1–4).
-fn small_shape() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..=4, 1..=3)
+const CASES: u64 = 64;
+
+/// A random small shape (rank 1–3, axes 1–4).
+fn small_shape(rng: &mut SeededRng) -> Vec<usize> {
+    let rank = rng.gen_range(1usize..4);
+    (0..rank).map(|_| rng.gen_range(1usize..5)).collect()
 }
 
-/// Strategy: finite f32 data of the given length, bounded to avoid
-/// overflow in squared terms.
-fn data_for(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, len..=len)
+/// A random tensor with finite data bounded to avoid overflow in squared
+/// terms.
+fn shaped_tensor(rng: &mut SeededRng) -> Tensor {
+    let dims = small_shape(rng);
+    let len: usize = dims.iter().product();
+    let data: Vec<f32> = (0..len).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+    Tensor::from_vec(data, dims)
 }
 
-fn shaped_tensor() -> impl Strategy<Value = Tensor> {
-    small_shape().prop_flat_map(|dims| {
-        let len: usize = dims.iter().product();
-        data_for(len).prop_map(move |data| Tensor::from_vec(data, dims.clone()))
-    })
-}
-
-proptest! {
-    #[test]
-    fn add_commutes(t in shaped_tensor()) {
+#[test]
+fn add_commutes() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let t = shaped_tensor(&mut rng);
         let u = t.mul_scalar(0.5).add_scalar(1.0);
-        let ab = t.add(&u).to_vec();
-        let ba = u.add(&t).to_vec();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(t.add(&u).to_vec(), u.add(&t).to_vec(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn sub_self_is_zero(t in shaped_tensor()) {
-        prop_assert!(t.sub(&t).to_vec().iter().all(|&x| x == 0.0));
+#[test]
+fn sub_self_is_zero() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
+        assert!(t.sub(&t).to_vec().iter().all(|&x| x == 0.0), "seed {seed}");
     }
+}
 
-    #[test]
-    fn mul_by_one_identity(t in shaped_tensor()) {
+#[test]
+fn mul_by_one_identity() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let one = Tensor::ones(Shape::new(t.dims().to_vec()));
-        prop_assert_eq!(t.mul(&one).to_vec(), t.to_vec());
+        assert_eq!(t.mul(&one).to_vec(), t.to_vec(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn double_negation(t in shaped_tensor()) {
-        prop_assert_eq!(t.neg().neg().to_vec(), t.to_vec());
+#[test]
+fn double_negation() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
+        assert_eq!(t.neg().neg().to_vec(), t.to_vec(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn relu_idempotent_and_nonnegative(t in shaped_tensor()) {
+#[test]
+fn relu_idempotent_and_nonnegative() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let r = t.relu();
-        prop_assert!(r.to_vec().iter().all(|&x| x >= 0.0));
-        prop_assert_eq!(r.relu().to_vec(), r.to_vec());
+        assert!(r.to_vec().iter().all(|&x| x >= 0.0), "seed {seed}");
+        assert_eq!(r.relu().to_vec(), r.to_vec(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn abs_matches_relu_decomposition(t in shaped_tensor()) {
-        // |x| = relu(x) + relu(-x)
+#[test]
+fn abs_matches_relu_decomposition() {
+    // |x| = relu(x) + relu(-x)
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let lhs = t.abs().to_vec();
         let rhs = t.relu().add(&t.neg().relu()).to_vec();
         for (a, b) in lhs.iter().zip(&rhs) {
-            prop_assert!((a - b).abs() < 1e-5);
+            assert!((a - b).abs() < 1e-5, "seed {seed}: {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn smooth_l1_nonnegative_and_zero_at_equal(t in shaped_tensor()) {
+#[test]
+fn smooth_l1_nonnegative_and_zero_at_equal() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let l = t.smooth_l1(&t);
-        prop_assert!(l.to_vec().iter().all(|&x| x == 0.0));
+        assert!(l.to_vec().iter().all(|&x| x == 0.0), "seed {seed}");
         let shifted = t.add_scalar(0.5);
-        prop_assert!(t.smooth_l1(&shifted).to_vec().iter().all(|&x| x >= 0.0));
+        assert!(
+            t.smooth_l1(&shifted).to_vec().iter().all(|&x| x >= 0.0),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn smooth_l1_bounded_by_mse_half(t in shaped_tensor()) {
-        // Huber(d) <= 0.5 d² always.
+#[test]
+fn smooth_l1_bounded_by_mse_half() {
+    // Huber(d) <= 0.5 d² always.
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let target = t.mul_scalar(0.3);
         let huber = t.smooth_l1(&target).to_vec();
         let half_sq = t.sub(&target).square().mul_scalar(0.5).to_vec();
         for (h, m) in huber.iter().zip(&half_sq) {
-            prop_assert!(*h <= m + 1e-4);
+            assert!(*h <= m + 1e-4, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn sum_matches_axis_decomposition(t in shaped_tensor()) {
+#[test]
+fn sum_matches_axis_decomposition() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let direct = t.sum().item();
         let mut via_axis = t.clone();
         while via_axis.shape().rank() > 0 {
@@ -95,101 +125,140 @@ proptest! {
         }
         let chained = via_axis.item();
         let scale = direct.abs().max(1.0);
-        prop_assert!((direct - chained).abs() / scale < 1e-3,
-            "direct {direct} vs chained {chained}");
+        assert!(
+            (direct - chained).abs() / scale < 1e-3,
+            "seed {seed}: direct {direct} vs chained {chained}"
+        );
     }
+}
 
-    #[test]
-    fn reshape_preserves_sum(t in shaped_tensor()) {
+#[test]
+fn reshape_preserves_sum() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let n = t.num_elements();
         let r = t.reshape([n]);
-        prop_assert_eq!(r.sum().item(), t.sum().item());
+        assert_eq!(r.sum().item(), t.sum().item(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn transpose_involution(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn transpose_involution() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let rows = rng.gen_range(1usize..5);
+        let cols = rng.gen_range(1usize..5);
         let t = Tensor::randn([rows, cols], 1.0, &mut rng);
-        prop_assert_eq!(t.transpose_last().transpose_last().to_vec(), t.to_vec());
+        assert_eq!(
+            t.transpose_last().transpose_last().to_vec(),
+            t.to_vec(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..6, seed in 0u64..1000) {
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn softmax_rows_are_distributions() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let rows = rng.gen_range(1usize..5);
+        let cols = rng.gen_range(1usize..6);
         let t = Tensor::randn([rows, cols], 5.0, &mut rng);
         let s = t.softmax_last().to_vec();
         for r in 0..rows {
             let row = &s[r * cols..(r + 1) * cols];
-            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)), "seed {seed}");
             let total: f32 = row.iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-4);
+            assert!((total - 1.0).abs() < 1e-4, "seed {seed}: sum {total}");
         }
     }
+}
 
-    #[test]
-    fn broadcast_equivalent_to_materialised(seed in 0u64..1000, rows in 1usize..4, cols in 1usize..4) {
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn broadcast_equivalent_to_materialised() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let rows = rng.gen_range(1usize..4);
+        let cols = rng.gen_range(1usize..4);
         let a = Tensor::randn([rows, cols], 1.0, &mut rng);
         let b = Tensor::randn([cols], 1.0, &mut rng);
         let fast = a.mul(&b).to_vec();
         let slow = a.mul(&b.broadcast_to([rows, cols])).to_vec();
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow, "seed {seed}");
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(seed in 0u64..500) {
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn matmul_distributes_over_addition() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
         let a = Tensor::randn([3, 4], 1.0, &mut rng);
         let b = Tensor::randn([4, 2], 1.0, &mut rng);
         let c = Tensor::randn([4, 2], 1.0, &mut rng);
         let lhs = a.matmul(&b.add(&c)).to_vec();
         let rhs = a.matmul(&b).add(&a.matmul(&c)).to_vec();
         for (x, y) in lhs.iter().zip(&rhs) {
-            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-3, "seed {seed}: {x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn gradient_of_linear_map_is_input_independent_scale(seed in 0u64..200, scale in -3.0f32..3.0) {
-        // d/dp sum(scale * p) = scale everywhere.
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn gradient_of_linear_map_is_input_independent_scale() {
+    // d/dp sum(scale * p) = scale everywhere.
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let scale = rng.gen_range(-3.0f32..3.0);
         let p = Tensor::randn_param([6], 1.0, &mut rng);
         p.mul_scalar(scale).sum().backward();
-        for g in p.grad().unwrap() {
-            prop_assert!((g - scale).abs() < 1e-6);
+        for g in p.grad().expect("gradient must reach p") {
+            assert!((g - scale).abs() < 1e-6, "seed {seed}: {g} vs {scale}");
         }
     }
+}
 
-    #[test]
-    fn gradient_accumulates_linearly(seed in 0u64..200) {
-        // Backward through (a+a) gives exactly twice the gradient of a.
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn gradient_accumulates_linearly() {
+    // Backward through (a+a) gives exactly twice the gradient of a.
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
         let p = Tensor::randn_param([4], 1.0, &mut rng);
         p.add(&p).sum().backward();
-        let doubled = p.grad().unwrap();
+        let doubled = p.grad().expect("gradient must reach p");
         p.zero_grad();
         p.sum().backward();
-        let single = p.grad().unwrap();
+        let single = p.grad().expect("gradient must reach p");
         for (d, s) in doubled.iter().zip(&single) {
-            prop_assert!((d - 2.0 * s).abs() < 1e-6);
+            assert!((d - 2.0 * s).abs() < 1e-6, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn concat_then_slice_recovers_parts(seed in 0u64..500, left in 1usize..4, right in 1usize..4) {
-        let mut rng = timekd_tensor::seeded_rng(seed);
+#[test]
+fn concat_then_slice_recovers_parts() {
+    for seed in 0..CASES {
+        let mut rng = seeded_rng(seed);
+        let left = rng.gen_range(1usize..4);
+        let right = rng.gen_range(1usize..4);
         let a = Tensor::randn([2, left], 1.0, &mut rng);
         let b = Tensor::randn([2, right], 1.0, &mut rng);
         let joined = Tensor::concat(&[a.clone(), b.clone()], 1);
-        prop_assert_eq!(joined.slice(1, 0, left).to_vec(), a.to_vec());
-        prop_assert_eq!(joined.slice(1, left, right).to_vec(), b.to_vec());
+        assert_eq!(joined.slice(1, 0, left).to_vec(), a.to_vec(), "seed {seed}");
+        assert_eq!(
+            joined.slice(1, left, right).to_vec(),
+            b.to_vec(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn io_round_trip_any_tensor(t in shaped_tensor()) {
+#[test]
+fn io_round_trip_any_tensor() {
+    for seed in 0..CASES {
+        let t = shaped_tensor(&mut seeded_rng(seed));
         let mut blob = timekd_tensor::io::encode_tensor(&t);
-        let back = timekd_tensor::io::decode_tensor(&mut blob).unwrap();
-        prop_assert_eq!(back.dims(), t.dims());
-        prop_assert_eq!(back.to_vec(), t.to_vec());
+        let back = timekd_tensor::io::decode_tensor(&mut blob).expect("round trip");
+        assert_eq!(back.dims(), t.dims(), "seed {seed}");
+        assert_eq!(back.to_vec(), t.to_vec(), "seed {seed}");
     }
 }

@@ -26,7 +26,10 @@ fn main() {
     let (lm, report) = pretrain_lm(
         &tokenizer,
         base_config.lm,
-        PretrainConfig { steps: 60, ..Default::default() },
+        PretrainConfig {
+            steps: 60,
+            ..Default::default()
+        },
     );
     println!(
         "  corpus LM loss {:.3} -> {:.3} over {} steps\n",

@@ -23,7 +23,11 @@ fn main() {
 
     let train = ds.windows(Split::Train, 12);
     let test = ds.windows(Split::Test, 8);
-    println!("{} train windows, {} test windows\n", train.len(), test.len());
+    println!(
+        "{} train windows, {} test windows\n",
+        train.len(),
+        test.len()
+    );
 
     // TimeKD.
     let mut config = TimeKdConfig::default();
@@ -63,10 +67,14 @@ fn main() {
     println!("iTransformer  {it_mse:.4}   {it_mae:.4}");
     println!("PatchTST      {pt_mse:.4}   {pt_mae:.4}");
 
-    let best = [("TimeKD", kd_mse), ("iTransformer", it_mse), ("PatchTST", pt_mse)]
-        .into_iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let best = [
+        ("TimeKD", kd_mse),
+        ("iTransformer", it_mse),
+        ("PatchTST", pt_mse),
+    ]
+    .into_iter()
+    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    .unwrap();
     println!(
         "\nbest on this run: {} — channel-dependent models should lead on coupled sensors",
         best.0
@@ -79,7 +87,5 @@ fn main() {
     let a = student_attn.to_vec();
     let adjacent: f32 = (0..n - 1).map(|i| a[i * n + i + 1]).sum::<f32>() / (n - 1) as f32;
     let distant: f32 = (0..n).map(|i| a[i * n + (i + n / 2) % n]).sum::<f32>() / n as f32;
-    println!(
-        "student attention — adjacent sensors {adjacent:.3} vs distant {distant:.3}"
-    );
+    println!("student attention — adjacent sensors {adjacent:.3} vs distant {distant:.3}");
 }

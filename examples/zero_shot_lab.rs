@@ -30,11 +30,17 @@ fn main() {
     }
 
     let (src_mse, src_mae) = model.evaluate(&source.windows(Split::Test, 8));
-    println!("\nin-domain  ({}): MSE {src_mse:.4} MAE {src_mae:.4}", source.kind().name());
+    println!(
+        "\nin-domain  ({}): MSE {src_mse:.4} MAE {src_mae:.4}",
+        source.kind().name()
+    );
 
     // Zero-shot: the same weights, an unseen (but related) dataset.
     let (dst_mse, dst_mae) = model.evaluate(&target.windows(Split::Test, 8));
-    println!("zero-shot  ({}): MSE {dst_mse:.4} MAE {dst_mae:.4}", target.kind().name());
+    println!(
+        "zero-shot  ({}): MSE {dst_mse:.4} MAE {dst_mae:.4}",
+        target.kind().name()
+    );
     println!(
         "degradation factor: {:.2}x (RevIN re-normalises each window, so related domains transfer)",
         dst_mse / src_mse

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The full CI gate, in the order cheapest-to-fail-first. Run from anywhere;
+# works offline (the workspace has no external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Formatting is advisory when rustfmt is not installed in the toolchain.
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "==> cargo fmt --check"
+  cargo fmt --all --check
+else
+  echo "==> cargo fmt not available; skipping format check"
+fi
+
+echo "==> timekd-check (lints + graph audits)"
+cargo run -q -p timekd-check
+
+echo "==> release build"
+cargo build --release --workspace
+
+echo "==> tests"
+cargo test -q --workspace
+
+echo "CI gate passed."

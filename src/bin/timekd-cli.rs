@@ -52,14 +52,18 @@ impl Args {
     fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} wants an integer, got '{v}'")),
         }
     }
 
     fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} wants an integer, got '{v}'")),
         }
     }
 }
@@ -78,7 +82,10 @@ fn parse_model(name: &str) -> Result<ModelKind, String> {
     let mut all = ModelKind::paper_models().to_vec();
     all.push(ModelKind::Dlinear);
     all.into_iter()
-        .find(|m| m.name().eq_ignore_ascii_case(name) || m.name().replace('-', "").eq_ignore_ascii_case(name))
+        .find(|m| {
+            m.name().eq_ignore_ascii_case(name)
+                || m.name().replace('-', "").eq_ignore_ascii_case(name)
+        })
         .ok_or_else(|| format!("unknown model '{name}'"))
 }
 
@@ -118,7 +125,10 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             (input_len + horizon) * 10
         ));
     }
-    let mut cfg = TimeKdConfig { seed, ..Default::default() };
+    let mut cfg = TimeKdConfig {
+        seed,
+        ..Default::default()
+    };
     cfg.prompt.freq_minutes = kind.freq_minutes();
     let mut model = TimeKd::new(cfg, input_len, horizon, ds.num_vars());
     let train = ds.windows(Split::Train, 8);
@@ -142,11 +152,12 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let steps = args.get_usize("steps", 1500)?;
     let seed = args.get_u64("seed", 42)?;
     let models: Vec<ModelKind> = match args.get("models") {
-        None => vec![ModelKind::TimeKd, ModelKind::ITransformer, ModelKind::PatchTst],
-        Some(list) => list
-            .split(',')
-            .map(parse_model)
-            .collect::<Result<_, _>>()?,
+        None => vec![
+            ModelKind::TimeKd,
+            ModelKind::ITransformer,
+            ModelKind::PatchTst,
+        ],
+        Some(list) => list.split(',').map(parse_model).collect::<Result<_, _>>()?,
     };
     let profile = Profile::quick();
     let ds = SplitDataset::new(kind, steps, seed, profile.input_len, horizon);
@@ -155,13 +166,20 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
         "comparing {} model(s) on {} (horizon {horizon}){}",
         models.len(),
         kind.name(),
-        if needs_lm { ", pretraining shared LM…" } else { "" }
+        if needs_lm {
+            ", pretraining shared LM…"
+        } else {
+            ""
+        }
     );
     let shared = SharedLm::pretrain(LmSize::Base, &profile);
     println!("{:<14} {:>8} {:>8} {:>12}", "model", "MSE", "MAE", "params");
     for m in models {
         let r = timekd_bench::run_experiment(m, &ds, &shared, &profile, 1.0);
-        println!("{:<14} {:>8.4} {:>8.4} {:>12}", r.model, r.mse, r.mae, r.params);
+        println!(
+            "{:<14} {:>8.4} {:>8.4} {:>12}",
+            r.model, r.mse, r.mae, r.params
+        );
     }
     Ok(())
 }
@@ -175,10 +193,19 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let names = kind.variable_names();
     let headers: Vec<&str> = names.iter().map(String::as_str).collect();
     let rows: Vec<Vec<String>> = (0..raw.num_steps)
-        .map(|t| (0..raw.num_vars).map(|j| format!("{:.6}", raw.at(t, j))).collect())
+        .map(|t| {
+            (0..raw.num_vars)
+                .map(|j| format!("{:.6}", raw.at(t, j)))
+                .collect()
+        })
         .collect();
     timekd_data::write_csv(out, &headers, &rows).map_err(|e| e.to_string())?;
-    println!("wrote {} steps x {} vars of {} to {out}", raw.num_steps, raw.num_vars, kind.name());
+    println!(
+        "wrote {} steps x {} vars of {} to {out}",
+        raw.num_steps,
+        raw.num_vars,
+        kind.name()
+    );
     Ok(())
 }
 
@@ -189,7 +216,10 @@ fn cmd_forecast(args: &Args) -> Result<(), String> {
     let epochs = args.get_usize("epochs", 2)?;
     let seed = args.get_u64("seed", 42)?;
     let ds = SplitDataset::new(kind, 1500, seed, 96, horizon);
-    let mut cfg = TimeKdConfig { seed, ..Default::default() };
+    let mut cfg = TimeKdConfig {
+        seed,
+        ..Default::default()
+    };
     cfg.prompt.freq_minutes = kind.freq_minutes();
     let mut model = TimeKd::new(cfg, 96, horizon, ds.num_vars());
     let train = ds.windows(Split::Train, 8);
@@ -202,7 +232,10 @@ fn cmd_forecast(args: &Args) -> Result<(), String> {
         .ok_or("test split has no full window; raise --steps")?;
     let total = if roll > horizon { roll } else { horizon };
     let pred = model.predict_rolling(&w.x, total);
-    println!("forecast for the next {total} steps ({} vars):", ds.num_vars());
+    println!(
+        "forecast for the next {total} steps ({} vars):",
+        ds.num_vars()
+    );
     let names = kind.variable_names();
     println!("step,{}", names.join(","));
     let data = pred.to_vec();

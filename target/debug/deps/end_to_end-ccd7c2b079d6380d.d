@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ccd7c2b079d6380d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ccd7c2b079d6380d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forecaster_contract-bf1aefb2f99be2ac.d: tests/forecaster_contract.rs
+
+/root/repo/target/debug/deps/forecaster_contract-bf1aefb2f99be2ac: tests/forecaster_contract.rs
+
+tests/forecaster_contract.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-60de6a16c00cb4d0.d: crates/bench/tests/probe.rs
+
+/root/repo/target/debug/deps/probe-60de6a16c00cb4d0: crates/bench/tests/probe.rs
+
+crates/bench/tests/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_baselines-07cd3e30f7fb47e8.d: crates/baselines/tests/proptest_baselines.rs
+
+/root/repo/target/debug/deps/proptest_baselines-07cd3e30f7fb47e8: crates/baselines/tests/proptest_baselines.rs
+
+crates/baselines/tests/proptest_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_data-04115d5fb74fc6d7.d: crates/data/tests/proptest_data.rs
+
+/root/repo/target/debug/deps/proptest_data-04115d5fb74fc6d7: crates/data/tests/proptest_data.rs
+
+crates/data/tests/proptest_data.rs:

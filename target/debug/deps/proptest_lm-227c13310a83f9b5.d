@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lm-227c13310a83f9b5.d: crates/lm/tests/proptest_lm.rs
+
+/root/repo/target/debug/deps/proptest_lm-227c13310a83f9b5: crates/lm/tests/proptest_lm.rs
+
+crates/lm/tests/proptest_lm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nn-b5061c1030e068f1.d: crates/nn/tests/proptest_nn.rs
+
+/root/repo/target/debug/deps/proptest_nn-b5061c1030e068f1: crates/nn/tests/proptest_nn.rs
+
+crates/nn/tests/proptest_nn.rs:

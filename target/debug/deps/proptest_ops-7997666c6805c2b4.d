@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ops-7997666c6805c2b4.d: crates/tensor/tests/proptest_ops.rs
+
+/root/repo/target/debug/deps/proptest_ops-7997666c6805c2b4: crates/tensor/tests/proptest_ops.rs
+
+crates/tensor/tests/proptest_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ops-c790a7c0a26bd178.d: crates/tensor/tests/proptest_ops.rs
+
+/root/repo/target/debug/deps/proptest_ops-c790a7c0a26bd178: crates/tensor/tests/proptest_ops.rs
+
+crates/tensor/tests/proptest_ops.rs:

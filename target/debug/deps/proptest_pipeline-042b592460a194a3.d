@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-042b592460a194a3.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-042b592460a194a3: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/timekd_baselines-bf177300a4072032.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/debug/deps/libtimekd_baselines-bf177300a4072032.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/debug/deps/libtimekd_baselines-bf177300a4072032.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/dlinear.rs:
+crates/baselines/src/itransformer.rs:
+crates/baselines/src/ofa.rs:
+crates/baselines/src/patchtst.rs:
+crates/baselines/src/timecma.rs:
+crates/baselines/src/timellm.rs:
+crates/baselines/src/unitime.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/timekd_baselines-d603f2c96c1b8896.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/debug/deps/timekd_baselines-d603f2c96c1b8896: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/dlinear.rs:
+crates/baselines/src/itransformer.rs:
+crates/baselines/src/ofa.rs:
+crates/baselines/src/patchtst.rs:
+crates/baselines/src/timecma.rs:
+crates/baselines/src/timellm.rs:
+crates/baselines/src/unitime.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/timekd_bench-3f98ca4edfa73847.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/timekd_bench-3f98ca4edfa73847: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

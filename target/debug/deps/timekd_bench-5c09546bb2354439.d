@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/timekd_bench-5c09546bb2354439.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libtimekd_bench-5c09546bb2354439.rlib: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/libtimekd_bench-5c09546bb2354439.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/timekd_check-3ca6fe9bf43bf435.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/timekd_check-3ca6fe9bf43bf435: crates/check/src/main.rs
+
+crates/check/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check

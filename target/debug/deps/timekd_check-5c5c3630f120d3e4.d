@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/timekd_check-5c5c3630f120d3e4.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libtimekd_check-5c5c3630f120d3e4.rlib: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/libtimekd_check-5c5c3630f120d3e4.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timekd_check-8106beb48a9c8c58.d: crates/check/src/lib.rs
+
+/root/repo/target/debug/deps/timekd_check-8106beb48a9c8c58: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

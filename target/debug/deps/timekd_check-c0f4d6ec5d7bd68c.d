@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/timekd_check-c0f4d6ec5d7bd68c.d: crates/check/src/main.rs
+
+/root/repo/target/debug/deps/timekd_check-c0f4d6ec5d7bd68c: crates/check/src/main.rs
+
+crates/check/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timekd_cli-40bb0524b6c084df.d: src/bin/timekd-cli.rs
+
+/root/repo/target/debug/deps/timekd_cli-40bb0524b6c084df: src/bin/timekd-cli.rs
+
+src/bin/timekd-cli.rs:

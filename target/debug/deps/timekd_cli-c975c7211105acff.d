@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timekd_cli-c975c7211105acff.d: src/bin/timekd-cli.rs
+
+/root/repo/target/debug/deps/timekd_cli-c975c7211105acff: src/bin/timekd-cli.rs
+
+src/bin/timekd-cli.rs:

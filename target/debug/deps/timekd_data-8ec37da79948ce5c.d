@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/timekd_data-8ec37da79948ce5c.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+/root/repo/target/debug/deps/libtimekd_data-8ec37da79948ce5c.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+/root/repo/target/debug/deps/libtimekd_data-8ec37da79948ce5c.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:
+crates/data/src/prompts.rs:
+crates/data/src/scaler.rs:

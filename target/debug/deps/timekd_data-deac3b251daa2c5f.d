@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/timekd_data-deac3b251daa2c5f.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+/root/repo/target/debug/deps/timekd_data-deac3b251daa2c5f: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:
+crates/data/src/prompts.rs:
+crates/data/src/scaler.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/timekd_lm-36d309caaee7549d.d: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+/root/repo/target/debug/deps/timekd_lm-36d309caaee7549d: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/calibration.rs:
+crates/lm/src/config.rs:
+crates/lm/src/frozen.rs:
+crates/lm/src/model.rs:
+crates/lm/src/pretrain.rs:
+crates/lm/src/tokenizer.rs:

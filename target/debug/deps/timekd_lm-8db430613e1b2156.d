@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/timekd_lm-8db430613e1b2156.d: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libtimekd_lm-8db430613e1b2156.rlib: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+/root/repo/target/debug/deps/libtimekd_lm-8db430613e1b2156.rmeta: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/calibration.rs:
+crates/lm/src/config.rs:
+crates/lm/src/frozen.rs:
+crates/lm/src/model.rs:
+crates/lm/src/pretrain.rs:
+crates/lm/src/tokenizer.rs:

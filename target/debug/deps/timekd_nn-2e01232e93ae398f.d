@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/timekd_nn-2e01232e93ae398f.d: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libtimekd_nn-2e01232e93ae398f.rlib: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/libtimekd_nn-2e01232e93ae398f.rmeta: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/dropout.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/module.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:

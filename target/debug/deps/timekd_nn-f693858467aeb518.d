@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/timekd_nn-f693858467aeb518.d: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/debug/deps/timekd_nn-f693858467aeb518: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/dropout.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/module.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:

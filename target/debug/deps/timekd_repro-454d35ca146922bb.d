@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timekd_repro-454d35ca146922bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/timekd_repro-454d35ca146922bb: src/lib.rs
+
+src/lib.rs:

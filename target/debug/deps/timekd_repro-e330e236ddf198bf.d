@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/timekd_repro-e330e236ddf198bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtimekd_repro-e330e236ddf198bf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtimekd_repro-e330e236ddf198bf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/timekd_tensor-cf7169850888ec23.d: crates/tensor/src/lib.rs crates/tensor/src/audit.rs crates/tensor/src/bytes.rs crates/tensor/src/grad_check.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/shape_ops.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/rng.rs crates/tensor/src/sanitize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libtimekd_tensor-cf7169850888ec23.rlib: crates/tensor/src/lib.rs crates/tensor/src/audit.rs crates/tensor/src/bytes.rs crates/tensor/src/grad_check.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/shape_ops.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/rng.rs crates/tensor/src/sanitize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libtimekd_tensor-cf7169850888ec23.rmeta: crates/tensor/src/lib.rs crates/tensor/src/audit.rs crates/tensor/src/bytes.rs crates/tensor/src/grad_check.rs crates/tensor/src/init.rs crates/tensor/src/io.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/ops/shape_ops.rs crates/tensor/src/ops/softmax.rs crates/tensor/src/rng.rs crates/tensor/src/sanitize.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/audit.rs:
+crates/tensor/src/bytes.rs:
+crates/tensor/src/grad_check.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/io.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/ops/shape_ops.rs:
+crates/tensor/src/ops/softmax.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/sanitize.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

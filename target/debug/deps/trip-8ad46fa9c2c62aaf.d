@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/trip-8ad46fa9c2c62aaf.d: crates/check/tests/trip.rs
+
+/root/repo/target/debug/deps/trip-8ad46fa9c2c62aaf: crates/check/tests/trip.rs
+
+crates/check/tests/trip.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_lab-e8abba5dde34145a.d: examples/ablation_lab.rs
+
+/root/repo/target/debug/examples/ablation_lab-e8abba5dde34145a: examples/ablation_lab.rs
+
+examples/ablation_lab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/electricity_forecasting-1514a31e97c21a93.d: examples/electricity_forecasting.rs
+
+/root/repo/target/debug/examples/electricity_forecasting-1514a31e97c21a93: examples/electricity_forecasting.rs
+
+examples/electricity_forecasting.rs:

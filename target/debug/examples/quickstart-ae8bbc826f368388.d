@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ae8bbc826f368388.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ae8bbc826f368388: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_monitoring-2786e54dd9820660.d: examples/traffic_monitoring.rs
+
+/root/repo/target/debug/examples/traffic_monitoring-2786e54dd9820660: examples/traffic_monitoring.rs
+
+examples/traffic_monitoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zero_shot_lab-1a19f38d016c824f.d: examples/zero_shot_lab.rs
+
+/root/repo/target/debug/examples/zero_shot_lab-1a19f38d016c824f: examples/zero_shot_lab.rs
+
+examples/zero_shot_lab.rs:

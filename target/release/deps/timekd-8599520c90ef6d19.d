@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/timekd-8599520c90ef6d19.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/distill.rs crates/core/src/forecaster.rs crates/core/src/model_io.rs crates/core/src/norm_helpers.rs crates/core/src/sca.rs crates/core/src/student.rs crates/core/src/teacher.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libtimekd-8599520c90ef6d19.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/distill.rs crates/core/src/forecaster.rs crates/core/src/model_io.rs crates/core/src/norm_helpers.rs crates/core/src/sca.rs crates/core/src/student.rs crates/core/src/teacher.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libtimekd-8599520c90ef6d19.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/distill.rs crates/core/src/forecaster.rs crates/core/src/model_io.rs crates/core/src/norm_helpers.rs crates/core/src/sca.rs crates/core/src/student.rs crates/core/src/teacher.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/distill.rs:
+crates/core/src/forecaster.rs:
+crates/core/src/model_io.rs:
+crates/core/src/norm_helpers.rs:
+crates/core/src/sca.rs:
+crates/core/src/student.rs:
+crates/core/src/teacher.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/timekd_baselines-b7a1521dcfd5a58c.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/release/deps/libtimekd_baselines-b7a1521dcfd5a58c.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/release/deps/libtimekd_baselines-b7a1521dcfd5a58c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/dlinear.rs:
+crates/baselines/src/itransformer.rs:
+crates/baselines/src/ofa.rs:
+crates/baselines/src/patchtst.rs:
+crates/baselines/src/timecma.rs:
+crates/baselines/src/timellm.rs:
+crates/baselines/src/unitime.rs:

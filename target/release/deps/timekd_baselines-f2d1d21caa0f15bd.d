@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/timekd_baselines-f2d1d21caa0f15bd.d: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/release/deps/libtimekd_baselines-f2d1d21caa0f15bd.rlib: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+/root/repo/target/release/deps/libtimekd_baselines-f2d1d21caa0f15bd.rmeta: crates/baselines/src/lib.rs crates/baselines/src/common.rs crates/baselines/src/dlinear.rs crates/baselines/src/itransformer.rs crates/baselines/src/ofa.rs crates/baselines/src/patchtst.rs crates/baselines/src/timecma.rs crates/baselines/src/timellm.rs crates/baselines/src/unitime.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/common.rs:
+crates/baselines/src/dlinear.rs:
+crates/baselines/src/itransformer.rs:
+crates/baselines/src/ofa.rs:
+crates/baselines/src/patchtst.rs:
+crates/baselines/src/timecma.rs:
+crates/baselines/src/timellm.rs:
+crates/baselines/src/unitime.rs:

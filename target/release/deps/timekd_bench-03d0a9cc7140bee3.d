@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/timekd_bench-03d0a9cc7140bee3.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libtimekd_bench-03d0a9cc7140bee3.rlib: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libtimekd_bench-03d0a9cc7140bee3.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/timekd_bench-2882acada2705a0e.d: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libtimekd_bench-2882acada2705a0e.rlib: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libtimekd_bench-2882acada2705a0e.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc.rs crates/bench/src/profile.rs crates/bench/src/runner.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc.rs:
+crates/bench/src/profile.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/tables.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

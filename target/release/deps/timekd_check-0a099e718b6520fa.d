@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/timekd_check-0a099e718b6520fa.d: crates/check/src/main.rs
+
+/root/repo/target/release/deps/timekd_check-0a099e718b6520fa: crates/check/src/main.rs
+
+crates/check/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/check

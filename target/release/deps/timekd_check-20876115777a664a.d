@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/timekd_check-20876115777a664a.d: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/libtimekd_check-20876115777a664a.rlib: crates/check/src/lib.rs
+
+/root/repo/target/release/deps/libtimekd_check-20876115777a664a.rmeta: crates/check/src/lib.rs
+
+crates/check/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timekd_cli-772ec4f6346b6b36.d: src/bin/timekd-cli.rs
+
+/root/repo/target/release/deps/timekd_cli-772ec4f6346b6b36: src/bin/timekd-cli.rs
+
+src/bin/timekd-cli.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/timekd_data-56e158ab59fac1ef.d: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+/root/repo/target/release/deps/libtimekd_data-56e158ab59fac1ef.rlib: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+/root/repo/target/release/deps/libtimekd_data-56e158ab59fac1ef.rmeta: crates/data/src/lib.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generators.rs crates/data/src/loader.rs crates/data/src/metrics.rs crates/data/src/prompts.rs crates/data/src/scaler.rs
+
+crates/data/src/lib.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generators.rs:
+crates/data/src/loader.rs:
+crates/data/src/metrics.rs:
+crates/data/src/prompts.rs:
+crates/data/src/scaler.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/timekd_lm-dc483bc70a3220b2.d: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+/root/repo/target/release/deps/libtimekd_lm-dc483bc70a3220b2.rlib: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+/root/repo/target/release/deps/libtimekd_lm-dc483bc70a3220b2.rmeta: crates/lm/src/lib.rs crates/lm/src/calibration.rs crates/lm/src/config.rs crates/lm/src/frozen.rs crates/lm/src/model.rs crates/lm/src/pretrain.rs crates/lm/src/tokenizer.rs
+
+crates/lm/src/lib.rs:
+crates/lm/src/calibration.rs:
+crates/lm/src/config.rs:
+crates/lm/src/frozen.rs:
+crates/lm/src/model.rs:
+crates/lm/src/pretrain.rs:
+crates/lm/src/tokenizer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/timekd_nn-65a51f4b5bca8087.d: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libtimekd_nn-65a51f4b5bca8087.rlib: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libtimekd_nn-65a51f4b5bca8087.rmeta: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/dropout.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/module.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:

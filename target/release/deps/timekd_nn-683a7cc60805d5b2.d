@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/timekd_nn-683a7cc60805d5b2.d: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libtimekd_nn-683a7cc60805d5b2.rlib: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+/root/repo/target/release/deps/libtimekd_nn-683a7cc60805d5b2.rmeta: crates/nn/src/lib.rs crates/nn/src/attention.rs crates/nn/src/dropout.rs crates/nn/src/encoder.rs crates/nn/src/linear.rs crates/nn/src/losses.rs crates/nn/src/module.rs crates/nn/src/norm.rs crates/nn/src/optim.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/attention.rs:
+crates/nn/src/dropout.rs:
+crates/nn/src/encoder.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/losses.rs:
+crates/nn/src/module.rs:
+crates/nn/src/norm.rs:
+crates/nn/src/optim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/timekd_repro-48a9408cf9ab02a9.d: src/lib.rs
+
+/root/repo/target/release/deps/libtimekd_repro-48a9408cf9ab02a9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtimekd_repro-48a9408cf9ab02a9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/timekd_repro-8b7992509942868d.d: src/lib.rs
+
+/root/repo/target/release/deps/libtimekd_repro-8b7992509942868d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtimekd_repro-8b7992509942868d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3e5ff9dce5a6ee49.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3e5ff9dce5a6ee49: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -28,7 +28,10 @@ fn tiny_timekd(ds: &SplitDataset) -> TimeKd {
     let (lm, _) = pretrain_lm(
         &tokenizer,
         cfg.lm,
-        PretrainConfig { steps: 5, ..Default::default() },
+        PretrainConfig {
+            steps: 5,
+            ..Default::default()
+        },
     );
     TimeKd::with_frozen_lm(
         Rc::new(FrozenLm::new(lm)),
@@ -55,11 +58,11 @@ fn naive_mse(ds: &SplitDataset, windows: &[timekd_data::ForecastWindow]) -> f32 
 
 #[test]
 fn timekd_beats_naive_forecast_after_training() {
-    let ds = SplitDataset::new(DatasetKind::EttM1, 900, 11, 48, 12);
+    let ds = SplitDataset::new(DatasetKind::EttM1, 900, 29, 48, 12);
     let mut model = tiny_timekd(&ds);
     let train = ds.windows(Split::Train, 6);
     let test = ds.windows(Split::Test, 8);
-    for _ in 0..4 {
+    for _ in 0..8 {
         model.train_epoch(&train);
     }
     let (mse, _) = model.evaluate(&test);
@@ -166,8 +169,7 @@ fn tensor_graph_survives_cross_crate_composition() {
     let model = tiny_timekd(&ds);
     let w = &ds.windows(Split::Train, 16)[0];
     let out = model.student().forward(&w.x);
-    let loss = timekd_nn::smooth_l1_loss(&out.forecast, &w.y)
-        .add(&out.attention.square().mean());
+    let loss = timekd_nn::smooth_l1_loss(&out.forecast, &w.y).add(&out.attention.square().mean());
     loss.backward();
     let with_grad = model
         .student()

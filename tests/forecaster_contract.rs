@@ -90,7 +90,15 @@ fn evaluate_agrees_with_manual_accumulation() {
     let profile = tiny_profile();
     let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
     let ds = SplitDataset::new(DatasetKind::EttM1, 600, 4, 32, 8);
-    let model = build_model(ModelKind::ITransformer, &shared, &profile, 32, 8, ds.num_vars(), 15);
+    let model = build_model(
+        ModelKind::ITransformer,
+        &shared,
+        &profile,
+        32,
+        8,
+        ds.num_vars(),
+        15,
+    );
     let windows = ds.windows(Split::Test, 16);
     let (mse, mae) = model.evaluate(&windows);
     let mut acc = timekd_data::MetricAccumulator::new();
@@ -124,8 +132,24 @@ fn llm_models_share_one_frozen_backbone() {
     let shared = SharedLm::pretrain_with_steps(LmSize::Small, 5);
     let ds = SplitDataset::new(DatasetKind::EttH1, 600, 5, 32, 8);
     let w = &ds.windows(Split::Test, 16)[0];
-    let kd = build_model(ModelKind::TimeKd, &shared, &profile, 32, 8, ds.num_vars(), 60);
-    let cma = build_model(ModelKind::TimeCma, &shared, &profile, 32, 8, ds.num_vars(), 60);
+    let kd = build_model(
+        ModelKind::TimeKd,
+        &shared,
+        &profile,
+        32,
+        8,
+        ds.num_vars(),
+        60,
+    );
+    let cma = build_model(
+        ModelKind::TimeCma,
+        &shared,
+        &profile,
+        32,
+        8,
+        ds.num_vars(),
+        60,
+    );
     let _ = cma.predict(&w.x);
     let misses_after_cma = shared.frozen.cache_stats().1;
     assert!(misses_after_cma > 0, "TimeCMA must hit the shared LM");
