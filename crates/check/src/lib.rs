@@ -28,6 +28,8 @@
 )]
 #![warn(missing_docs)]
 
+pub mod verify;
+
 use std::fmt;
 use std::fs;
 use std::io;
@@ -96,11 +98,24 @@ impl Allowlist {
 
     /// True if `v` matches an entry and should be suppressed.
     pub fn allows(&self, v: &Violation) -> bool {
-        self.entries.iter().any(|(rule, path, frag)| {
+        self.match_entry(v).is_some()
+    }
+
+    /// Index of the first entry matching `v`, if any. The scanner uses the
+    /// index to track which entries actually fire, so stale entries (ones
+    /// matching no current violation) can be reported.
+    pub fn match_entry(&self, v: &Violation) -> Option<usize> {
+        self.entries.iter().position(|(rule, path, frag)| {
             (rule == "*" || rule == v.rule)
                 && v.path.contains(path.as_str())
                 && v.text.contains(frag.as_str())
         })
+    }
+
+    /// Renders entry `idx` back in the file's `rule path fragment` form.
+    pub fn describe(&self, idx: usize) -> String {
+        let (rule, path, frag) = &self.entries[idx];
+        format!("{rule} {path} {frag}")
     }
 
     /// Number of entries (for reporting).
@@ -334,10 +349,20 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scans every `crates/*/src` tree (and the root package `src/` if
-/// present) under `repo_root`. Returns violations not covered by `allow`,
-/// with repo-relative paths.
-pub fn scan_workspace(repo_root: &Path, allow: &Allowlist) -> io::Result<Vec<Violation>> {
+/// Result of a workspace scan: live violations plus allowlist entries that
+/// matched nothing (stale — the exception they document no longer exists
+/// and should be deleted).
+#[derive(Debug, Default)]
+pub struct ScanOutcome {
+    /// Violations not suppressed by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries (rendered back in file form) that suppressed no
+    /// violation anywhere in the workspace.
+    pub stale_allowlist: Vec<String>,
+}
+
+/// As [`scan_workspace`], but also reports stale allowlist entries.
+pub fn scan_workspace_with_stale(repo_root: &Path, allow: &Allowlist) -> io::Result<ScanOutcome> {
     let mut files = Vec::new();
     let crates_dir = repo_root.join("crates");
     for entry in fs::read_dir(&crates_dir)? {
@@ -351,7 +376,8 @@ pub fn scan_workspace(repo_root: &Path, allow: &Allowlist) -> io::Result<Vec<Vio
         rust_files(&root_src, &mut files)?;
     }
     files.sort();
-    let mut violations = Vec::new();
+    let mut outcome = ScanOutcome::default();
+    let mut used = vec![false; allow.len()];
     for file in files {
         let label = file
             .strip_prefix(repo_root)
@@ -359,13 +385,27 @@ pub fn scan_workspace(repo_root: &Path, allow: &Allowlist) -> io::Result<Vec<Vio
             .to_string_lossy()
             .replace('\\', "/");
         let source = fs::read_to_string(&file)?;
-        violations.extend(
-            scan_source(&label, &source)
-                .into_iter()
-                .filter(|v| !allow.allows(v)),
-        );
+        for v in scan_source(&label, &source) {
+            match allow.match_entry(&v) {
+                Some(idx) => used[idx] = true,
+                None => outcome.violations.push(v),
+            }
+        }
     }
-    Ok(violations)
+    outcome.stale_allowlist = used
+        .iter()
+        .enumerate()
+        .filter(|(_, fired)| !**fired)
+        .map(|(idx, _)| allow.describe(idx))
+        .collect();
+    Ok(outcome)
+}
+
+/// Scans every `crates/*/src` tree (and the root package `src/` if
+/// present) under `repo_root`. Returns violations not covered by `allow`,
+/// with repo-relative paths.
+pub fn scan_workspace(repo_root: &Path, allow: &Allowlist) -> io::Result<Vec<Violation>> {
+    Ok(scan_workspace_with_stale(repo_root, allow)?.violations)
 }
 
 #[cfg(test)]

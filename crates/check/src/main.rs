@@ -1,24 +1,34 @@
 //! `cargo run -p timekd-check` — the workspace's static-analysis
-//! entrypoint. Runs both layers:
+//! entrypoint. Three layers, selectable by flag (a bare run executes all):
 //!
-//! 1. the source lint pass over `crates/*/src` (rules + allowlist in
-//!    `timekd_check`), and
-//! 2. dynamic autograd-graph sanity checks: a [`GraphAudit`] over a real
-//!    TimeKD student loss graph and the frozen-LM parameter invariant
-//!    after a genuine backward pass.
+//! - `--lints`: the source lint pass over `crates/*/src` (rules +
+//!   allowlist in `timekd_check`), stale-allowlist detection, and a check
+//!   that no `target/` build artifact is tracked by git;
+//! - `--verify`: the symbolic verifier (`timekd_check::verify`) — static
+//!   shape inference and gradient-flow reachability over the traced
+//!   TimeKD pipeline for the whole configuration matrix;
+//! - `--graph`: dynamic autograd-graph sanity checks — a [`GraphAudit`]
+//!   over a real student loss graph, the frozen-LM invariant after a
+//!   genuine backward pass, and a symbolic-vs-dynamic cross-check that the
+//!   traced graph agrees with the executed one on node/edge counts.
 //!
-//! Exits non-zero if any layer finds a problem, so CI can gate on it.
+//! Modifiers: `--json` renders the verifier report as stable, diffable
+//! JSON; `--strict` turns stale-allowlist warnings into failures.
+//!
+//! Exits non-zero if any selected layer finds a problem, so CI can gate
+//! on it.
 
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 use std::rc::Rc;
 
-use timekd::{Forecaster, TimeKd, TimeKdConfig};
-use timekd_check::{scan_workspace, Allowlist};
+use timekd::{trace_student_loss, Forecaster, TimeKd, TimeKdConfig};
+use timekd_check::verify::verify_all;
+use timekd_check::{scan_workspace_with_stale, Allowlist};
 use timekd_data::{DatasetKind, Split, SplitDataset};
 use timekd_lm::{pretrain_lm, FrozenLm, LmConfig, LmSize, PretrainConfig, PromptTokenizer};
 use timekd_nn::smooth_l1_loss;
-use timekd_tensor::GraphAudit;
+use timekd_tensor::{graph_stats, GraphAudit};
 
 fn repo_root() -> PathBuf {
     // crates/check/ -> repo root is two levels up from this manifest.
@@ -29,21 +39,128 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn run_lints(root: &Path) -> Result<(), String> {
+#[derive(Clone, Copy, Debug, Default)]
+struct Options {
+    lints: bool,
+    graph: bool,
+    verify: bool,
+    json: bool,
+    strict: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    for a in args {
+        match a.as_str() {
+            "--lints" => opts.lints = true,
+            "--graph" => opts.graph = true,
+            "--verify" => opts.verify = true,
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}`\nusage: timekd-check [--lints] [--graph] \
+                     [--verify] [--json] [--strict]\n(no selection flag runs all layers)"
+                ));
+            }
+        }
+    }
+    if !opts.lints && !opts.graph && !opts.verify {
+        opts.lints = true;
+        opts.graph = true;
+        opts.verify = true;
+    }
+    Ok(opts)
+}
+
+/// Fails if git tracks anything under a `target/` directory — build
+/// artifacts must stay out of the repository (`.gitignore` covers them).
+fn check_tracked_target(root: &Path) -> Result<(), String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["ls-files", "--", "target/", "crates/*/target/"])
+        .output();
+    let out = match out {
+        Ok(o) if o.status.success() => o,
+        // Not a git checkout (e.g. an exported tarball) — nothing to check.
+        _ => {
+            println!("lint: tracked-target check skipped (git unavailable)");
+            return Ok(());
+        }
+    };
+    let listed = String::from_utf8_lossy(&out.stdout);
+    let tracked: Vec<&str> = listed.lines().collect();
+    if tracked.is_empty() {
+        println!("lint: no target/ artifacts tracked");
+        return Ok(());
+    }
+    for p in tracked.iter().take(5) {
+        println!("lint: tracked build artifact: {p}");
+    }
+    Err(format!(
+        "lint: {} build artifact(s) under target/ are tracked by git — \
+         run `git rm -r --cached target/`",
+        tracked.len()
+    ))
+}
+
+fn run_lints(root: &Path, strict: bool) -> Result<(), String> {
     let allow = Allowlist::load(&root.join("lint-allow.txt"));
     println!(
         "lint: scanning crates/*/src and src/ ({} allowlist entries)",
         allow.len()
     );
-    let violations = scan_workspace(root, &allow).map_err(|e| format!("lint: scan failed: {e}"))?;
-    if violations.is_empty() {
+    let outcome =
+        scan_workspace_with_stale(root, &allow).map_err(|e| format!("lint: scan failed: {e}"))?;
+    for entry in &outcome.stale_allowlist {
+        println!("lint: stale allowlist entry (matches no current violation): {entry}");
+    }
+    let mut failures = Vec::new();
+    if !outcome.violations.is_empty() {
+        for v in &outcome.violations {
+            println!("lint: {v}");
+        }
+        failures.push(format!("{} violation(s)", outcome.violations.len()));
+    }
+    if !outcome.stale_allowlist.is_empty() && strict {
+        failures.push(format!(
+            "{} stale allowlist entr(ies) under --strict",
+            outcome.stale_allowlist.len()
+        ));
+    }
+    if let Err(e) = check_tracked_target(root) {
+        failures.push(e);
+    }
+    if failures.is_empty() {
         println!("lint: clean");
-        return Ok(());
+        Ok(())
+    } else {
+        Err(format!("lint: {}", failures.join("; ")))
     }
-    for v in &violations {
-        println!("lint: {v}");
+}
+
+fn run_verify(json: bool) -> Result<(), String> {
+    let report = verify_all();
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!(
+            "verify: traced {} configurations (LM sizes x heads x prompt budgets x ablations)",
+            report.configs_checked
+        );
+        for f in &report.findings {
+            print!("verify: {f}");
+        }
+        for p in &report.proofs {
+            println!("verify: proved {p}");
+        }
     }
-    Err(format!("lint: {} violation(s)", violations.len()))
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("verify: {} finding(s)", report.findings.len()))
+    }
 }
 
 #[allow(clippy::field_reassign_with_default)]
@@ -90,6 +207,36 @@ fn run_graph_checks() -> Result<(), String> {
         return Err(format!("graph: {} issue(s)", audit.issues.len()));
     }
 
+    // Cross-check: the symbolic trace of the same student loss must agree
+    // with the executed graph on every structural count. If the tracer and
+    // the kernels ever drift apart, this is the alarm.
+    let (_ctx, sym_loss) = trace_student_loss(model.config(), 24, 8, ds.num_vars())
+        .map_err(|e| format!("graph: symbolic trace failed: {e}"))?;
+    let sym = graph_stats(&sym_loss);
+    let dy = &audit.stats;
+    if (sym.nodes, sym.edges, sym.leaves, sym.params, sym.max_depth)
+        != (dy.nodes, dy.edges, dy.leaves, dy.params, dy.max_depth)
+    {
+        return Err(format!(
+            "graph: symbolic/dynamic disagreement — symbolic nodes={} edges={} leaves={} \
+             params={} depth={}, dynamic nodes={} edges={} leaves={} params={} depth={}",
+            sym.nodes,
+            sym.edges,
+            sym.leaves,
+            sym.params,
+            sym.max_depth,
+            dy.nodes,
+            dy.edges,
+            dy.leaves,
+            dy.params,
+            dy.max_depth
+        ));
+    }
+    println!(
+        "graph: symbolic trace agrees with dynamic graph (nodes={} edges={} depth={})",
+        sym.nodes, sym.edges, sym.max_depth
+    );
+
     // One genuine training epoch, then the frozen-LM invariant (it also
     // runs inside the loop after every backward; this is the final gate).
     model.train_epoch(&windows[..2.min(windows.len())]);
@@ -110,9 +257,27 @@ fn run_graph_checks() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
     let root = repo_root();
+    let mut results = Vec::new();
+    if opts.lints {
+        results.push(run_lints(&root, opts.strict));
+    }
+    if opts.verify {
+        results.push(run_verify(opts.json));
+    }
+    if opts.graph {
+        results.push(run_graph_checks());
+    }
     let mut failed = false;
-    for result in [run_lints(&root), run_graph_checks()] {
+    for result in results {
         if let Err(msg) = result {
             eprintln!("FAIL {msg}");
             failed = true;
@@ -120,8 +285,10 @@ fn main() -> ExitCode {
     }
     if failed {
         ExitCode::FAILURE
-    } else {
+    } else if !opts.json {
         println!("timekd-check: all checks passed");
+        ExitCode::SUCCESS
+    } else {
         ExitCode::SUCCESS
     }
 }

@@ -150,6 +150,57 @@ fn allowlist_suppresses_matching_violation() {
 }
 
 #[test]
+fn allowlist_ignores_comments_and_blank_lines() {
+    let allow = Allowlist::parse(
+        "\n   \n# a full-line comment\n\t\n  # indented comment\n\
+         no-clone-in-forward a.rs .to_vec()\n\n# trailing\n",
+    );
+    assert_eq!(allow.len(), 1, "only the real entry survives parsing");
+}
+
+#[test]
+fn rule_text_inside_string_literals_does_not_trip() {
+    // A kernel whose *error message* mentions .unwrap() / Instant::now —
+    // the scanner strips string literals before matching, so none of the
+    // rules may fire on the quoted text.
+    let src = "\
+fn kernel_add(a: &[f32]) -> f32 {
+    let msg = \"never call .unwrap() or .expect( here; Instant::now is banned\";
+    assert!(!msg.is_empty(), \"x.data().clone() and .to_vec() are quoted\");
+    a[0]
+}
+";
+    let vs = scan_source("crates/tensor/src/ops/strings.rs", src);
+    assert!(vs.is_empty(), "quoted rule text must not trip: {vs:?}");
+}
+
+#[test]
+fn stale_allowlist_entries_are_reported() {
+    use timekd_check::scan_workspace_with_stale;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+
+    // An entry that can never match (bogus path) must come back stale
+    // without creating violations.
+    let allow = Allowlist::parse("no-unwrap-in-kernels no_such_file.rs no_such_fragment\n");
+    let outcome = scan_workspace_with_stale(&root, &allow).expect("scan");
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace must stay lint-clean: {:?}",
+        outcome.violations
+    );
+    assert_eq!(outcome.stale_allowlist.len(), 1, "{outcome:?}");
+    assert!(
+        outcome.stale_allowlist[0].contains("no_such_file.rs"),
+        "stale report names the entry: {:?}",
+        outcome.stale_allowlist
+    );
+
+    // With no entries there is nothing to go stale.
+    let outcome = scan_workspace_with_stale(&root, &Allowlist::parse("")).expect("scan");
+    assert!(outcome.stale_allowlist.is_empty());
+}
+
+#[test]
 fn repo_allowlist_file_parses() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint-allow.txt");
     let allow = Allowlist::load(&path);

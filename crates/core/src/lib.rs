@@ -38,6 +38,7 @@ mod model_io;
 mod norm_helpers;
 mod sca;
 mod student;
+pub mod symbolic;
 mod teacher;
 mod trainer;
 
@@ -48,5 +49,10 @@ pub use model_io::{load_checkpoint, save_checkpoint};
 pub use norm_helpers::layer_norm_const;
 pub use sca::SubtractiveCrossAttention;
 pub use student::{Student, StudentOutput};
+pub use symbolic::{
+    prompt_token_counts, sym_layer_norm_const, sym_pkd_losses, trace_pipeline, trace_student_loss,
+    Fault, SymPkdLosses, SymSca, SymStudent, SymStudentOutput, SymTeacher, SymTeacherOutput,
+    SymbolicPipeline,
+};
 pub use teacher::{render_prompts, CrossModalityTeacher, TeacherOutput};
 pub use trainer::{EpochStats, TimeKd};

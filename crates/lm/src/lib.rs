@@ -18,6 +18,7 @@ mod config;
 mod frozen;
 mod model;
 mod pretrain;
+pub mod symbolic;
 mod tokenizer;
 
 pub use calibration::{calibrated_mask, causal_only_mask, NEG_INF};
@@ -28,4 +29,5 @@ pub use pretrain::{
     install_numeracy_prior, pretrain_lm, sample_corpus_example, sample_corpus_prompt,
     CorpusExample, PretrainConfig, PretrainReport,
 };
+pub use symbolic::{trace_frozen_lm, SymCausalLm};
 pub use tokenizer::{Modality, PromptPiece, PromptTokenizer, Token, BIN_MAX, BIN_RESOLUTION};

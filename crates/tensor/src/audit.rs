@@ -110,6 +110,8 @@ impl std::fmt::Display for AuditIssue {
 pub struct GraphStats {
     /// Total reachable nodes.
     pub nodes: usize,
+    /// Total recorded parent edges across reachable nodes.
+    pub edges: usize,
     /// Leaves (constants and parameters).
     pub leaves: usize,
     /// Trainable leaves.
@@ -158,6 +160,7 @@ impl GraphAudit {
             }
             depth.insert(t.id(), d);
             stats.nodes += 1;
+            stats.edges += t.parents().len();
             stats.max_depth = stats.max_depth.max(d);
             let expected = t.num_elements();
             stats.data_bytes += t.data_len() * std::mem::size_of::<f32>();

@@ -53,6 +53,7 @@ pub mod rng;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
 mod shape;
+pub mod symbolic;
 mod tensor;
 
 pub use audit::{AuditIssue, GraphAudit, GraphStats, NodeSummary};
@@ -60,4 +61,8 @@ pub use grad_check::{assert_gradients_close, check_gradient, GradCheckReport};
 pub use init::{sample_standard_normal, seeded_rng};
 pub use rng::SeededRng;
 pub use shape::{IndexIter, Shape};
+pub use symbolic::{
+    find_path, graph_stats, reachable_params, render_dims, ShapeError, SymCtx, SymDim,
+    SymGraphStats, SymbolicTensor,
+};
 pub use tensor::{is_grad_disabled, no_grad, Tensor};

@@ -1,0 +1,1145 @@
+//! Symbolic graph IR: shape inference and gradient-flow analysis without
+//! executing kernels.
+//!
+//! A [`SymbolicTensor`] mirrors one autograd node — op name, shape, parents,
+//! `requires_grad` — but carries *named* dimensions ([`SymDim`]) instead of
+//! data, so a whole model forward can be traced in microseconds and
+//! type-checked for every configuration. The op set matches the real
+//! [`Tensor`](crate::Tensor) ops one-for-one, including the tracking rule of
+//! `Tensor::from_op`: a node produced under [`SymCtx::no_grad`] or with no
+//! grad-requiring parent records no *gradient* edges (it becomes a frontier
+//! leaf exactly as the real engine's untracked nodes do), though full
+//! provenance parents are always retained for error messages.
+//!
+//! Three analyses build on the IR:
+//! - every op returns `Result<_, ShapeError>`, so shape inference is the
+//!   trace itself — a mismatch surfaces with a provenance chain naming the
+//!   offending op;
+//! - [`reachable_params`] walks gradient edges from a loss root, yielding
+//!   the set of parameters the backward pass would update — the basis for
+//!   loss→parameter flow matrices and frozen-parameter proofs;
+//! - [`graph_stats`] reproduces the counts of the dynamic
+//!   [`GraphAudit`](crate::GraphAudit) (nodes, edges, leaves, params, depth)
+//!   so symbolic and executed graphs can be cross-checked for agreement.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// A named symbolic dimension with a concrete size for the configuration
+/// being verified, e.g. `d_model(32)` or `N(7)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymDim {
+    /// Human-readable dimension name (`"B"`, `"L"`, `"N"`, `"d_model"`, …).
+    pub name: String,
+    /// Concrete size under the traced configuration.
+    pub size: usize,
+}
+
+impl SymDim {
+    /// Builds a named dimension.
+    pub fn new(name: impl Into<String>, size: usize) -> SymDim {
+        SymDim {
+            name: name.into(),
+            size,
+        }
+    }
+
+    /// An anonymous dimension (shown as just its size).
+    pub fn anon(size: usize) -> SymDim {
+        SymDim {
+            name: String::new(),
+            size,
+        }
+    }
+}
+
+impl fmt::Display for SymDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.size)
+        } else {
+            write!(f, "{}({})", self.name, self.size)
+        }
+    }
+}
+
+/// Renders a symbolic shape as `[L(96), d_model(32)]`.
+pub fn render_dims(dims: &[SymDim]) -> String {
+    let parts: Vec<String> = dims.iter().map(|d| d.to_string()).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// A static shape-inference failure, carrying the op that rejected its
+/// inputs and the provenance chain that produced them.
+#[derive(Clone, Debug)]
+pub struct ShapeError {
+    /// Op that rejected its inputs.
+    pub op: String,
+    /// Component label of the op (e.g. `"teacher.sca.phi_q"`).
+    pub label: String,
+    /// Human-readable description of the mismatch.
+    pub message: String,
+    /// First-parent lineage of the offending inputs, outermost first.
+    pub provenance: Vec<String>,
+}
+
+impl ShapeError {
+    fn new(op: &str, label: &str, message: String, inputs: &[&SymbolicTensor]) -> ShapeError {
+        let mut provenance = Vec::new();
+        for t in inputs {
+            provenance.extend(t.provenance_lines(8));
+        }
+        ShapeError {
+            op: op.to_string(),
+            label: label.to_string(),
+            message,
+            provenance,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "shape error in `{}` at `{}`: {}",
+            self.op, self.label, self.message
+        )?;
+        for line in &self.provenance {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+struct SymNode {
+    id: u64,
+    op: &'static str,
+    label: String,
+    dims: Vec<SymDim>,
+    /// Full provenance parents — always recorded, even when untracked.
+    parents: Vec<SymbolicTensor>,
+    /// Mirrors `Tensor::requires_grad` under the `from_op` tracking rule.
+    requires_grad: bool,
+    /// Mirrors `backward.is_some()`: true only for tracked op nodes.
+    has_backward: bool,
+    /// True for trainable leaves registered via [`SymCtx::param`].
+    is_param: bool,
+    /// True for parameters created inside a [`SymCtx::frozen`] scope.
+    pub(crate) frozen: bool,
+}
+
+/// A node of the symbolic graph. Cheap to clone (reference-counted).
+#[derive(Clone)]
+pub struct SymbolicTensor {
+    node: Rc<SymNode>,
+    ctx: SymCtx,
+}
+
+impl fmt::Debug for SymbolicTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {} {} @{}",
+            self.node.id,
+            self.node.op,
+            render_dims(&self.node.dims),
+            self.node.label
+        )
+    }
+}
+
+struct CtxInner {
+    next_id: u64,
+    no_grad_depth: usize,
+    frozen_depth: usize,
+    scope: Vec<String>,
+    params: Vec<SymbolicTensor>,
+}
+
+/// Tracing context: id allocation, `no_grad`/frozen scopes, component
+/// labels, and the registry of parameters created during the trace.
+#[derive(Clone)]
+pub struct SymCtx {
+    inner: Rc<RefCell<CtxInner>>,
+}
+
+impl fmt::Debug for SymCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "SymCtx {{ nodes: {}, params: {} }}",
+            inner.next_id,
+            inner.params.len()
+        )
+    }
+}
+
+impl Default for SymCtx {
+    fn default() -> Self {
+        SymCtx::new()
+    }
+}
+
+impl SymCtx {
+    /// Fresh context with no nodes.
+    pub fn new() -> SymCtx {
+        SymCtx {
+            inner: Rc::new(RefCell::new(CtxInner {
+                next_id: 0,
+                no_grad_depth: 0,
+                frozen_depth: 0,
+                scope: Vec::new(),
+                params: Vec::new(),
+            })),
+        }
+    }
+
+    fn next_id(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        id
+    }
+
+    fn grad_disabled(&self) -> bool {
+        self.inner.borrow().no_grad_depth > 0
+    }
+
+    fn current_label(&self) -> String {
+        self.inner.borrow().scope.join(".")
+    }
+
+    fn scoped_label(&self, name: &str) -> String {
+        let base = self.current_label();
+        if base.is_empty() {
+            name.to_string()
+        } else if name.is_empty() {
+            base
+        } else {
+            format!("{base}.{name}")
+        }
+    }
+
+    /// Runs `f` with `name` pushed onto the component-label scope, so nodes
+    /// created inside report labels like `student.encoder.layer0.ln1`.
+    pub fn scoped<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.inner.borrow_mut().scope.push(name.to_string());
+        let out = f();
+        self.inner.borrow_mut().scope.pop();
+        out
+    }
+
+    /// Runs `f` with the scope replaced by the absolute `path`. Module
+    /// mirrors capture their construction path and re-enter it in their
+    /// forward methods so ops report the same component labels as the
+    /// parameters they touch.
+    pub fn with_label<R>(&self, path: &str, f: impl FnOnce() -> R) -> R {
+        let saved = std::mem::take(&mut self.inner.borrow_mut().scope);
+        if !path.is_empty() {
+            self.inner.borrow_mut().scope.push(path.to_string());
+        }
+        let out = f();
+        self.inner.borrow_mut().scope = saved;
+        out
+    }
+
+    /// The current component label (joined scope stack).
+    pub fn label(&self) -> String {
+        self.current_label()
+    }
+
+    /// Joins the current scope with `name` (how leaf labels are formed).
+    pub fn label_for(&self, name: &str) -> String {
+        self.scoped_label(name)
+    }
+
+    /// Runs `f` with gradient tracking disabled, mirroring
+    /// [`no_grad`](crate::no_grad): ops created inside record no gradient
+    /// edges and do not require grad.
+    pub fn no_grad<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.inner.borrow_mut().no_grad_depth += 1;
+        let out = f();
+        self.inner.borrow_mut().no_grad_depth -= 1;
+        out
+    }
+
+    /// Runs `f` with the frozen flag set: parameters created inside are
+    /// marked frozen (e.g. the pretrained CLM weights), which the
+    /// gradient-flow pass uses to prove no loss can update them.
+    pub fn frozen<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.inner.borrow_mut().frozen_depth += 1;
+        let out = f();
+        self.inner.borrow_mut().frozen_depth -= 1;
+        out
+    }
+
+    fn leaf(
+        &self,
+        op: &'static str,
+        name: &str,
+        dims: Vec<SymDim>,
+        is_param: bool,
+    ) -> SymbolicTensor {
+        let frozen = self.inner.borrow().frozen_depth > 0;
+        let t = SymbolicTensor {
+            node: Rc::new(SymNode {
+                id: self.next_id(),
+                op,
+                label: self.scoped_label(name),
+                dims,
+                parents: Vec::new(),
+                // `Tensor::param` sets requires_grad unconditionally.
+                requires_grad: is_param,
+                has_backward: false,
+                is_param,
+                frozen,
+            }),
+            ctx: self.clone(),
+        };
+        if is_param {
+            self.inner.borrow_mut().params.push(t.clone());
+        }
+        t
+    }
+
+    /// Registers a trainable parameter leaf (mirrors `Tensor::param`).
+    pub fn param(&self, name: &str, dims: Vec<SymDim>) -> SymbolicTensor {
+        self.leaf("param", name, dims, true)
+    }
+
+    /// Creates a constant leaf (mirrors `Tensor::from_vec`).
+    pub fn constant(&self, name: &str, dims: Vec<SymDim>) -> SymbolicTensor {
+        self.leaf("leaf", name, dims, false)
+    }
+
+    /// Scalar constant leaf (mirrors `Tensor::scalar`).
+    pub fn scalar(&self, name: &str) -> SymbolicTensor {
+        self.leaf("leaf", name, Vec::new(), false)
+    }
+
+    /// All parameters registered during the trace, in creation order.
+    pub fn params(&self) -> Vec<SymbolicTensor> {
+        self.inner.borrow().params.clone()
+    }
+}
+
+type SymResult = Result<SymbolicTensor, ShapeError>;
+
+impl SymbolicTensor {
+    fn from_op(
+        ctx: &SymCtx,
+        op: &'static str,
+        dims: Vec<SymDim>,
+        parents: Vec<SymbolicTensor>,
+    ) -> SymbolicTensor {
+        // Mirrors `Tensor::from_op`: track only outside no_grad and when
+        // some parent requires grad. Untracked nodes keep provenance
+        // parents but expose no gradient edges.
+        let track = !ctx.grad_disabled() && parents.iter().any(|p| p.node.requires_grad);
+        SymbolicTensor {
+            node: Rc::new(SymNode {
+                id: ctx.next_id(),
+                op,
+                label: ctx.current_label(),
+                dims,
+                parents,
+                requires_grad: track,
+                has_backward: track,
+                is_param: false,
+                frozen: false,
+            }),
+            ctx: ctx.clone(),
+        }
+    }
+
+    /// Unique node id within its context.
+    pub fn id(&self) -> u64 {
+        self.node.id
+    }
+
+    /// The tracing context this node belongs to.
+    pub fn ctx(&self) -> &SymCtx {
+        &self.ctx
+    }
+
+    /// Producing op name (`"leaf"` / `"param"` for leaves).
+    pub fn op_name(&self) -> &'static str {
+        self.node.op
+    }
+
+    /// Component label recorded at creation (e.g. `"student.projection"`).
+    pub fn label(&self) -> &str {
+        &self.node.label
+    }
+
+    /// Symbolic shape.
+    pub fn dims(&self) -> &[SymDim] {
+        &self.node.dims
+    }
+
+    /// Concrete sizes of the symbolic shape.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.node.dims.iter().map(|d| d.size).collect()
+    }
+
+    /// Product of all dimension sizes.
+    pub fn num_elements(&self) -> usize {
+        self.node.dims.iter().map(|d| d.size).product()
+    }
+
+    /// Mirrors `Tensor::requires_grad`.
+    pub fn requires_grad(&self) -> bool {
+        self.node.requires_grad
+    }
+
+    /// Mirrors `Tensor::is_leaf` (`backward.is_none()`): true for leaves
+    /// *and* untracked op nodes.
+    pub fn is_leaf(&self) -> bool {
+        !self.node.has_backward
+    }
+
+    /// True for trainable parameter leaves.
+    pub fn is_param(&self) -> bool {
+        self.node.is_param
+    }
+
+    /// True for parameters created in a [`SymCtx::frozen`] scope.
+    pub fn is_frozen(&self) -> bool {
+        self.node.frozen
+    }
+
+    /// Provenance parents (always recorded, even for untracked nodes).
+    pub fn parents(&self) -> &[SymbolicTensor] {
+        &self.node.parents
+    }
+
+    /// Gradient-edge parents: what the real engine records. Empty for
+    /// leaves and untracked nodes, mirroring `Tensor::parents`.
+    pub fn grad_parents(&self) -> &[SymbolicTensor] {
+        if self.node.has_backward {
+            &self.node.parents
+        } else {
+            const EMPTY: &[SymbolicTensor] = &[];
+            EMPTY
+        }
+    }
+
+    fn describe(&self) -> String {
+        let grad = if self.node.requires_grad { " grad" } else { "" };
+        if self.node.label.is_empty() {
+            format!(
+                "#{} {} {}{grad}",
+                self.node.id,
+                self.node.op,
+                render_dims(&self.node.dims)
+            )
+        } else {
+            format!(
+                "#{} {} {} @{}{grad}",
+                self.node.id,
+                self.node.op,
+                render_dims(&self.node.dims),
+                self.node.label
+            )
+        }
+    }
+
+    /// First-parent lineage as display lines, mirroring
+    /// `Tensor::provenance` (at most `max_hops` entries).
+    pub fn provenance_lines(&self, max_hops: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut cur = self.clone();
+        for _ in 0..max_hops {
+            lines.push(cur.describe());
+            match cur.node.parents.first() {
+                Some(p) => {
+                    let p = p.clone();
+                    cur = p;
+                }
+                None => return lines,
+            }
+        }
+        lines.push("…".to_string());
+        lines
+    }
+
+    fn err(&self, op: &str, message: String, inputs: &[&SymbolicTensor]) -> ShapeError {
+        ShapeError::new(op, &self.ctx.scoped_label(""), message, inputs)
+    }
+
+    // ---- element-wise binary ops (NumPy broadcast) ----
+
+    fn broadcast_dims(
+        &self,
+        other: &SymbolicTensor,
+        op: &'static str,
+    ) -> Result<Vec<SymDim>, ShapeError> {
+        let a = &self.node.dims;
+        let b = &other.node.dims;
+        let rank = a.len().max(b.len());
+        let mut out = Vec::with_capacity(rank);
+        for i in 0..rank {
+            let da = if i < rank - a.len() {
+                None
+            } else {
+                Some(&a[i - (rank - a.len())])
+            };
+            let db = if i < rank - b.len() {
+                None
+            } else {
+                Some(&b[i - (rank - b.len())])
+            };
+            let d = match (da, db) {
+                (Some(x), None) | (None, Some(x)) => x.clone(),
+                (Some(x), Some(y)) if x.size == y.size => {
+                    if x.name.is_empty() {
+                        y.clone()
+                    } else {
+                        x.clone()
+                    }
+                }
+                (Some(x), Some(y)) if x.size == 1 => y.clone(),
+                (Some(x), Some(y)) if y.size == 1 => x.clone(),
+                (Some(x), Some(y)) => {
+                    return Err(self.err(
+                        op,
+                        format!(
+                            "cannot broadcast {} with {}: axis {i} has {x} vs {y}",
+                            render_dims(a),
+                            render_dims(b)
+                        ),
+                        &[self, other],
+                    ));
+                }
+                (None, None) => unreachable!(),
+            };
+            out.push(d);
+        }
+        Ok(out)
+    }
+
+    fn binary(&self, other: &SymbolicTensor, op: &'static str) -> SymResult {
+        let dims = self.broadcast_dims(other, op)?;
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            op,
+            dims,
+            vec![self.clone(), other.clone()],
+        ))
+    }
+
+    /// Mirrors `Tensor::add`.
+    pub fn add(&self, other: &SymbolicTensor) -> SymResult {
+        self.binary(other, "add")
+    }
+
+    /// Mirrors `Tensor::sub`.
+    pub fn sub(&self, other: &SymbolicTensor) -> SymResult {
+        self.binary(other, "sub")
+    }
+
+    /// Mirrors `Tensor::mul`.
+    pub fn mul(&self, other: &SymbolicTensor) -> SymResult {
+        self.binary(other, "mul")
+    }
+
+    /// Mirrors `Tensor::div`.
+    pub fn div(&self, other: &SymbolicTensor) -> SymResult {
+        self.binary(other, "div")
+    }
+
+    /// Mirrors `Tensor::smooth_l1` — requires identical shapes.
+    pub fn smooth_l1(&self, target: &SymbolicTensor) -> SymResult {
+        if self.sizes() != target.sizes() {
+            return Err(self.err(
+                "smooth_l1",
+                format!(
+                    "prediction {} and target {} must have identical shapes",
+                    render_dims(self.dims()),
+                    render_dims(target.dims())
+                ),
+                &[self, target],
+            ));
+        }
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            "smooth_l1",
+            self.node.dims.clone(),
+            vec![self.clone(), target.clone()],
+        ))
+    }
+
+    // ---- element-wise unary ops ----
+
+    fn unary(&self, op: &'static str) -> SymbolicTensor {
+        SymbolicTensor::from_op(&self.ctx, op, self.node.dims.clone(), vec![self.clone()])
+    }
+
+    /// Mirrors `Tensor::add_scalar`.
+    pub fn add_scalar(&self) -> SymbolicTensor {
+        self.unary("add_scalar")
+    }
+
+    /// Mirrors `Tensor::mul_scalar`.
+    pub fn mul_scalar(&self) -> SymbolicTensor {
+        self.unary("mul_scalar")
+    }
+
+    /// Mirrors `Tensor::rsqrt`.
+    pub fn rsqrt(&self) -> SymbolicTensor {
+        self.unary("rsqrt")
+    }
+
+    /// Mirrors `Tensor::square`.
+    pub fn square(&self) -> SymbolicTensor {
+        self.unary("square")
+    }
+
+    /// Mirrors `Tensor::relu`.
+    pub fn relu(&self) -> SymbolicTensor {
+        self.unary("relu")
+    }
+
+    /// Mirrors `Tensor::gelu`.
+    pub fn gelu(&self) -> SymbolicTensor {
+        self.unary("gelu")
+    }
+
+    /// Mirrors `Tensor::softmax_last`.
+    pub fn softmax_last(&self) -> SymbolicTensor {
+        self.unary("softmax_last")
+    }
+
+    // ---- reductions ----
+
+    /// Mirrors `Tensor::sum` (scalar output).
+    pub fn sum(&self) -> SymbolicTensor {
+        SymbolicTensor::from_op(&self.ctx, "sum", Vec::new(), vec![self.clone()])
+    }
+
+    /// Mirrors `Tensor::mean` = `sum` + `mul_scalar` (two nodes).
+    pub fn mean(&self) -> SymbolicTensor {
+        self.sum().mul_scalar()
+    }
+
+    /// Mirrors `Tensor::sum_axis`.
+    pub fn sum_axis(&self, axis: usize, keepdim: bool) -> SymResult {
+        if axis >= self.node.dims.len() {
+            return Err(self.err(
+                "sum_axis",
+                format!("axis {axis} out of range for {}", render_dims(self.dims())),
+                &[self],
+            ));
+        }
+        let mut dims = self.node.dims.clone();
+        if keepdim {
+            dims[axis] = SymDim::anon(1);
+        } else {
+            dims.remove(axis);
+        }
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            "sum_axis",
+            dims,
+            vec![self.clone()],
+        ))
+    }
+
+    /// Mirrors `Tensor::mean_axis` = `sum_axis` + `mul_scalar`.
+    pub fn mean_axis(&self, axis: usize, keepdim: bool) -> SymResult {
+        Ok(self.sum_axis(axis, keepdim)?.mul_scalar())
+    }
+
+    // ---- matmul (rank dispatch mirrors `Tensor::matmul`) ----
+
+    /// Mirrors `Tensor::matmul`: `[M,K]@[K,N]`, `[B,M,K]@[B,K,N]`, or
+    /// `[B,M,K]@[K,N]`.
+    pub fn matmul(&self, other: &SymbolicTensor) -> SymResult {
+        let a = &self.node.dims;
+        let b = &other.node.dims;
+        match (a.len(), b.len()) {
+            (2, 2) => {
+                self.check_inner("matmul_2d", &a[1], &b[0], other)?;
+                Ok(SymbolicTensor::from_op(
+                    &self.ctx,
+                    "matmul_2d",
+                    vec![a[0].clone(), b[1].clone()],
+                    vec![self.clone(), other.clone()],
+                ))
+            }
+            (3, 3) => {
+                if a[0].size != b[0].size {
+                    return Err(self.err(
+                        "matmul_batched",
+                        format!("batch dims differ: {} vs {}", a[0], b[0]),
+                        &[self, other],
+                    ));
+                }
+                self.check_inner("matmul_batched", &a[2], &b[1], other)?;
+                Ok(SymbolicTensor::from_op(
+                    &self.ctx,
+                    "matmul_batched",
+                    vec![a[0].clone(), a[1].clone(), b[2].clone()],
+                    vec![self.clone(), other.clone()],
+                ))
+            }
+            (3, 2) => {
+                self.check_inner("matmul_3d_2d", &a[2], &b[0], other)?;
+                Ok(SymbolicTensor::from_op(
+                    &self.ctx,
+                    "matmul_3d_2d",
+                    vec![a[0].clone(), a[1].clone(), b[1].clone()],
+                    vec![self.clone(), other.clone()],
+                ))
+            }
+            (ra, rb) => Err(self.err(
+                "matmul",
+                format!(
+                    "unsupported rank combination {ra}x{rb} ({} @ {})",
+                    render_dims(a),
+                    render_dims(b)
+                ),
+                &[self, other],
+            )),
+        }
+    }
+
+    fn check_inner(
+        &self,
+        op: &str,
+        lhs: &SymDim,
+        rhs: &SymDim,
+        other: &SymbolicTensor,
+    ) -> Result<(), ShapeError> {
+        if lhs.size != rhs.size {
+            return Err(self.err(
+                op,
+                format!(
+                    "inner dimensions disagree: {} @ {} ({lhs} != {rhs})",
+                    render_dims(self.dims()),
+                    render_dims(other.dims())
+                ),
+                &[self, other],
+            ));
+        }
+        Ok(())
+    }
+
+    // ---- shape surgery ----
+
+    /// Mirrors `Tensor::reshape` — element count must be preserved, which
+    /// is what catches a head dim that does not divide the model dim.
+    pub fn reshape(&self, dims: Vec<SymDim>) -> SymResult {
+        let new: usize = dims.iter().map(|d| d.size).product();
+        if new != self.num_elements() {
+            return Err(self.err(
+                "reshape",
+                format!(
+                    "cannot reshape {} ({} elements) into {} ({} elements)",
+                    render_dims(self.dims()),
+                    self.num_elements(),
+                    render_dims(&dims),
+                    new
+                ),
+                &[self],
+            ));
+        }
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            "reshape",
+            dims,
+            vec![self.clone()],
+        ))
+    }
+
+    /// Mirrors `Tensor::permute`.
+    pub fn permute(&self, perm: &[usize]) -> SymResult {
+        let rank = self.node.dims.len();
+        let mut seen = vec![false; rank];
+        if perm.len() != rank
+            || perm
+                .iter()
+                .any(|&p| p >= rank || std::mem::replace(&mut seen[p], true))
+        {
+            return Err(self.err(
+                "permute",
+                format!(
+                    "invalid permutation {perm:?} for {}",
+                    render_dims(self.dims())
+                ),
+                &[self],
+            ));
+        }
+        let dims = perm.iter().map(|&p| self.node.dims[p].clone()).collect();
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            "permute",
+            dims,
+            vec![self.clone()],
+        ))
+    }
+
+    /// Mirrors `Tensor::transpose_last` (a permute swapping the last two
+    /// axes).
+    pub fn transpose_last(&self) -> SymResult {
+        let rank = self.node.dims.len();
+        if rank < 2 {
+            return Err(self.err(
+                "permute",
+                format!(
+                    "transpose_last needs rank >= 2, got {}",
+                    render_dims(self.dims())
+                ),
+                &[self],
+            ));
+        }
+        let mut perm: Vec<usize> = (0..rank).collect();
+        perm.swap(rank - 2, rank - 1);
+        self.permute(&perm)
+    }
+
+    /// Mirrors `Tensor::slice`.
+    pub fn slice(&self, axis: usize, start: usize, len: usize, name: &str) -> SymResult {
+        if axis >= self.node.dims.len() || start + len > self.node.dims[axis].size {
+            return Err(self.err(
+                "slice",
+                format!(
+                    "slice axis {axis} range {start}..{} out of bounds for {}",
+                    start + len,
+                    render_dims(self.dims())
+                ),
+                &[self],
+            ));
+        }
+        let mut dims = self.node.dims.clone();
+        dims[axis] = SymDim::new(name, len);
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            "slice",
+            dims,
+            vec![self.clone()],
+        ))
+    }
+
+    /// Mirrors `Tensor::concat` along `axis`.
+    pub fn concat(tensors: &[SymbolicTensor], axis: usize, name: &str) -> SymResult {
+        let first = tensors.first().expect("concat of zero tensors");
+        let rank = first.node.dims.len();
+        let mut total = 0usize;
+        for t in tensors {
+            if t.node.dims.len() != rank || axis >= rank {
+                return Err(first.err(
+                    "concat",
+                    format!(
+                        "rank mismatch in concat: {} vs {}",
+                        render_dims(first.dims()),
+                        render_dims(t.dims())
+                    ),
+                    &[first, t],
+                ));
+            }
+            for (i, (a, b)) in first.node.dims.iter().zip(t.node.dims.iter()).enumerate() {
+                if i != axis && a.size != b.size {
+                    return Err(first.err(
+                        "concat",
+                        format!(
+                            "non-concat axis {i} differs: {} vs {}",
+                            render_dims(first.dims()),
+                            render_dims(t.dims())
+                        ),
+                        &[first, t],
+                    ));
+                }
+            }
+            total += t.node.dims[axis].size;
+        }
+        let mut dims = first.node.dims.clone();
+        dims[axis] = SymDim::new(name, total);
+        Ok(SymbolicTensor::from_op(
+            &first.ctx,
+            "concat",
+            dims,
+            tensors.to_vec(),
+        ))
+    }
+
+    /// Mirrors `Tensor::index_select_rows` on a rank-2 table.
+    pub fn index_select_rows(&self, num_indices: usize, name: &str) -> SymResult {
+        if self.node.dims.len() != 2 {
+            return Err(self.err(
+                "index_select_rows",
+                format!("expects a rank-2 table, got {}", render_dims(self.dims())),
+                &[self],
+            ));
+        }
+        let dims = vec![SymDim::new(name, num_indices), self.node.dims[1].clone()];
+        Ok(SymbolicTensor::from_op(
+            &self.ctx,
+            "index_select_rows",
+            dims,
+            vec![self.clone()],
+        ))
+    }
+
+    /// Mirrors `Tensor::detach`: a fresh constant leaf. Provenance parents
+    /// are kept so error chains can cross the detach, but no gradient edge
+    /// exists (the real detach returns a `from_vec` leaf).
+    pub fn detach(&self) -> SymbolicTensor {
+        SymbolicTensor {
+            node: Rc::new(SymNode {
+                id: self.ctx.next_id(),
+                op: "leaf",
+                label: self.ctx.scoped_label("detach"),
+                dims: self.node.dims.clone(),
+                parents: vec![self.clone()],
+                requires_grad: false,
+                has_backward: false,
+                is_param: false,
+                frozen: false,
+            }),
+            ctx: self.ctx.clone(),
+        }
+    }
+}
+
+/// Aggregate statistics over the symbolic graph reachable from `root`
+/// through *gradient* edges — directly comparable with the dynamic
+/// [`GraphStats`](crate::GraphStats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SymGraphStats {
+    /// Total reachable nodes.
+    pub nodes: usize,
+    /// Total gradient edges (sum of recorded parents per node).
+    pub edges: usize,
+    /// Leaves: constants, params, and untracked frontier nodes.
+    pub leaves: usize,
+    /// Trainable leaves.
+    pub params: usize,
+    /// Longest root-to-leaf path length in edges.
+    pub max_depth: usize,
+}
+
+/// Walks the gradient graph reachable from `root`, reproducing the node,
+/// edge, leaf, param and depth accounting of the dynamic
+/// [`GraphAudit`](crate::GraphAudit).
+pub fn graph_stats(root: &SymbolicTensor) -> SymGraphStats {
+    let mut stats = SymGraphStats::default();
+    let mut depth: HashMap<u64, usize> = HashMap::new();
+    let mut stack = vec![(root.clone(), 0usize)];
+    while let Some((t, d)) = stack.pop() {
+        match depth.get(&t.id()) {
+            Some(&seen) if seen >= d => continue,
+            Some(_) => {
+                depth.insert(t.id(), d);
+                for p in t.grad_parents() {
+                    stack.push((p.clone(), d + 1));
+                }
+                continue;
+            }
+            None => {}
+        }
+        depth.insert(t.id(), d);
+        stats.nodes += 1;
+        stats.edges += t.grad_parents().len();
+        stats.max_depth = stats.max_depth.max(d);
+        if t.is_leaf() {
+            stats.leaves += 1;
+            if t.requires_grad() {
+                stats.params += 1;
+            }
+        }
+        for p in t.grad_parents() {
+            stack.push((p.clone(), d + 1));
+        }
+    }
+    stats
+}
+
+/// All parameter leaves reachable from `root` through gradient edges — the
+/// set the real backward pass would deposit gradients on.
+pub fn reachable_params(root: &SymbolicTensor) -> Vec<SymbolicTensor> {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut out = Vec::new();
+    let mut stack = vec![root.clone()];
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t.id()) {
+            continue;
+        }
+        if t.is_param() {
+            out.push(t.clone());
+        }
+        for p in t.grad_parents() {
+            stack.push(p.clone());
+        }
+    }
+    out.sort_by_key(|t| t.id());
+    out
+}
+
+/// Shortest gradient path from `root` down to the node with `target_id`,
+/// as display lines (root first). `None` when unreachable.
+pub fn find_path(root: &SymbolicTensor, target_id: u64) -> Option<Vec<String>> {
+    // BFS parent-pointer reconstruction over gradient edges.
+    let mut prev: HashMap<u64, SymbolicTensor> = HashMap::new();
+    let mut by_id: HashMap<u64, SymbolicTensor> = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    by_id.insert(root.id(), root.clone());
+    queue.push_back(root.clone());
+    while let Some(t) = queue.pop_front() {
+        if t.id() == target_id {
+            let mut chain = vec![t.describe()];
+            let mut cur = t.id();
+            while let Some(p) = prev.get(&cur) {
+                chain.push(p.describe());
+                cur = p.id();
+            }
+            chain.reverse();
+            return Some(chain);
+        }
+        for p in t.grad_parents() {
+            if let std::collections::hash_map::Entry::Vacant(e) = by_id.entry(p.id()) {
+                e.insert(p.clone());
+                prev.insert(p.id(), t.clone());
+                queue.push_back(p.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(name: &str, size: usize) -> SymDim {
+        SymDim::new(name, size)
+    }
+
+    #[test]
+    fn matmul_shape_inference() {
+        let ctx = SymCtx::new();
+        let x = ctx.constant("x", vec![d("L", 96), d("N", 7)]);
+        let w = ctx.param("w", vec![d("N", 7), d("d", 32)]);
+        let y = x.matmul(&w).unwrap();
+        assert_eq!(y.sizes(), vec![96, 32]);
+        assert_eq!(y.op_name(), "matmul_2d");
+    }
+
+    #[test]
+    fn matmul_mismatch_has_provenance() {
+        let ctx = SymCtx::new();
+        let x = ctx.constant("x", vec![d("L", 96), d("N", 7)]);
+        let w = ctx.param("w", vec![d("d", 32), d("d", 32)]);
+        let err = ctx.scoped("student.embed", || x.matmul(&w)).unwrap_err();
+        assert_eq!(err.op, "matmul_2d");
+        assert_eq!(err.label, "student.embed");
+        assert!(err.message.contains("N(7)"), "{}", err.message);
+        assert!(err.message.contains("d(32)"), "{}", err.message);
+        assert!(!err.provenance.is_empty());
+    }
+
+    #[test]
+    fn broadcast_matches_engine_rules() {
+        let ctx = SymCtx::new();
+        let a = ctx.constant("a", vec![d("L", 4), d("N", 3)]);
+        let b = ctx.constant("b", vec![SymDim::anon(1), d("N", 3)]);
+        assert_eq!(a.add(&b).unwrap().sizes(), vec![4, 3]);
+        let c = ctx.constant("c", vec![d("M", 5)]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn tracking_mirrors_from_op() {
+        let ctx = SymCtx::new();
+        let p = ctx.param("p", vec![d("n", 4)]);
+        let c = ctx.constant("c", vec![d("n", 4)]);
+        // Constant-only op: untracked, counts as a leaf.
+        let cc = c.mul_scalar();
+        assert!(!cc.requires_grad() && cc.is_leaf());
+        assert!(cc.grad_parents().is_empty());
+        // Param-involving op: tracked.
+        let y = p.add(&c).unwrap();
+        assert!(y.requires_grad() && !y.is_leaf());
+        // Under no_grad nothing tracks.
+        let z = ctx.no_grad(|| p.mul_scalar());
+        assert!(!z.requires_grad() && z.is_leaf());
+    }
+
+    #[test]
+    fn stats_match_dynamic_audit_on_tiny_graph() {
+        // Mirror of audit::tests::tiny_graph: param -> mul_scalar -> sum.
+        let ctx = SymCtx::new();
+        let p = ctx.param("p", vec![d("n", 3)]);
+        let loss = p.mul_scalar().sum();
+        let s = graph_stats(&loss);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.params, 1);
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn detach_blocks_gradient_reachability() {
+        let ctx = SymCtx::new();
+        let p = ctx.param("p", vec![d("n", 3)]);
+        let reachable = p.mul_scalar().sum();
+        let blocked = p.mul_scalar().detach().sum();
+        assert_eq!(reachable_params(&reachable).len(), 1);
+        assert_eq!(reachable_params(&blocked).len(), 0);
+        // Provenance still crosses the detach for error reporting.
+        assert!(blocked.parents()[0].parents()[0].parents().len() == 1);
+    }
+
+    #[test]
+    fn find_path_names_route() {
+        let ctx = SymCtx::new();
+        let p = ctx.scoped("enc", || ctx.param("w", vec![d("n", 2)]));
+        let loss = p.relu().sum();
+        let path = find_path(&loss, p.id()).unwrap();
+        assert_eq!(path.len(), 3);
+        assert!(path[0].contains("sum"));
+        assert!(path[2].contains("enc.w"));
+        assert!(find_path(&loss, 9999).is_none());
+    }
+
+    #[test]
+    fn frozen_scope_marks_params() {
+        let ctx = SymCtx::new();
+        let f = ctx.frozen(|| ctx.param("tok", vec![d("V", 10), d("D", 4)]));
+        let t = ctx.param("w", vec![d("D", 4)]);
+        assert!(f.is_frozen() && !t.is_frozen());
+        assert_eq!(ctx.params().len(), 2);
+    }
+
+    #[test]
+    fn reshape_rejects_element_count_change() {
+        let ctx = SymCtx::new();
+        let x = ctx.constant("x", vec![d("t", 5), d("d", 6)]);
+        assert!(x.reshape(vec![d("t", 5), d("h", 2), d("dh", 3)]).is_ok());
+        let err = x
+            .reshape(vec![d("t", 5), d("h", 4), d("dh", 1)])
+            .unwrap_err();
+        assert!(err.message.contains("30 elements"), "{}", err.message);
+    }
+
+    #[test]
+    fn slice_and_concat_shapes() {
+        let ctx = SymCtx::new();
+        let x = ctx.constant("x", vec![d("s", 10), d("d", 4)]);
+        let last = x.slice(0, 9, 1, "last").unwrap();
+        assert_eq!(last.sizes(), vec![1, 4]);
+        assert!(x.slice(0, 8, 3, "oob").is_err());
+        let rows: Vec<SymbolicTensor> = (0..3)
+            .map(|_| ctx.constant("r", vec![SymDim::anon(1), d("d", 4)]))
+            .collect();
+        let cat = SymbolicTensor::concat(&rows, 0, "N").unwrap();
+        assert_eq!(cat.sizes(), vec![3, 4]);
+    }
+}

@@ -12,8 +12,14 @@ else
   echo "==> cargo fmt not available; skipping format check"
 fi
 
-echo "==> timekd-check (lints + graph audits)"
-cargo run -q -p timekd-check
+echo "==> timekd-check --lints (source rules, allowlist, tracked artifacts)"
+cargo run -q -p timekd-check -- --lints --strict
+
+echo "==> timekd-check --verify (symbolic shape + gradient-flow proofs)"
+cargo run -q -p timekd-check -- --verify
+
+echo "==> timekd-check --graph (dynamic audits + symbolic cross-check)"
+cargo run -q -p timekd-check -- --graph
 
 echo "==> release build"
 cargo build --release --workspace
