@@ -10,10 +10,21 @@
 //!
 //! | rule | scope | requirement |
 //! |------|-------|-------------|
-//! | `no-unwrap-in-kernels` | `tensor/src/ops/*` | no `.unwrap()` / `.expect(` in hot kernels |
-//! | `no-instant-in-kernels` | `tensor/src/ops/*` | no `Instant::now` timing inside kernels |
+//! | `no-unwrap-in-kernels` | `tensor/src/ops/*`, `tensor/src/parallel.rs` | no `.unwrap()` / `.expect(` in hot kernels |
+//! | `no-instant-in-kernels` | `tensor/src/ops/*`, `tensor/src/parallel.rs` | no `Instant::now` timing inside kernels |
 //! | `no-clone-in-forward` | all crates | no tensor-data copies (`.to_vec()`, `.data().clone()`) inside `forward*` fns |
 //! | `no-grad-in-inference` | all crates | `predict` / `evaluate` fns must run under `no_grad` (directly or by delegating to `predict`) |
+//! | `no-lock-in-worker` | worker loops | no lock/condvar acquisition (`.lock(`, `.wait(`) in per-block worker loops |
+//! | `no-alloc-in-worker` | worker loops | no allocation (`vec![`, `Vec::`, `Box::new`, `.to_vec()`, `.collect()`) in per-block worker loops |
+//! | `no-println-in-worker` | worker loops | no `print!`/`println!`/`dbg!` I/O in per-block worker loops |
+//!
+//! "Worker loops" are the hot per-block functions of the parallel kernel
+//! path — functions in `tensor/src/parallel.rs` or
+//! `tensor/src/ops/matmul.rs` whose name ends in `_block` or is
+//! `drain_tasks` (the naming contract those files document). They run on
+//! pool threads inside a claimed task, where a lock could deadlock the
+//! pool, an allocation serialises on the global allocator, and console
+//! I/O both blocks and interleaves.
 //!
 //! Test modules are exempt from every rule. Justified exceptions go in the
 //! repo-root `lint-allow.txt` allowlist (see [`Allowlist`]).
@@ -225,7 +236,12 @@ struct OpenFn {
 /// un-filtered by any allowlist. `path_label` is used for reporting and
 /// for path-scoped rules, so pass a repo-relative path.
 pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
-    let in_kernels = path_label.contains("tensor/src/ops/");
+    let in_kernels =
+        path_label.contains("tensor/src/ops/") || path_label.contains("tensor/src/parallel.rs");
+    // Files that may define per-block worker-loop fns (`*_block`,
+    // `drain_tasks`) subject to the no-lock/no-alloc/no-println rules.
+    let in_worker_file = path_label.contains("tensor/src/parallel.rs")
+        || path_label.contains("tensor/src/ops/matmul.rs");
     let mut violations = Vec::new();
     let mut depth = 0usize;
     let mut in_block_comment = false;
@@ -279,6 +295,39 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
                     line: lineno,
                     text: trimmed.to_string(),
                 });
+            }
+            let in_worker_fn =
+                in_worker_file && (current_fn.ends_with("_block") || current_fn == "drain_tasks");
+            if in_worker_fn {
+                if code.contains(".lock(") || code.contains(".wait(") {
+                    violations.push(Violation {
+                        rule: "no-lock-in-worker",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                if code.contains("vec![")
+                    || code.contains("Vec::")
+                    || code.contains("Box::new")
+                    || code.contains(".to_vec()")
+                    || code.contains(".collect()")
+                {
+                    violations.push(Violation {
+                        rule: "no-alloc-in-worker",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                if code.contains("println!") || code.contains("print!") || code.contains("dbg!") {
+                    violations.push(Violation {
+                        rule: "no-println-in-worker",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
             }
         }
 

@@ -211,3 +211,85 @@ fn repo_allowlist_file_parses() {
         "lint-allow.txt should have no live entries"
     );
 }
+
+#[test]
+fn lock_in_worker_loop_trips() {
+    let vs = scan_source("crates/tensor/src/ops/matmul.rs", &fixture("bad_worker.rs"));
+    let locks: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-lock-in-worker")
+        .collect();
+    // `.lock(` in evil_row_block (line 6) and `.wait(` in drain_tasks
+    // (line 15); nothing in setup_ranges or the test module.
+    assert_eq!(locks.len(), 2, "{vs:?}");
+    assert_eq!(locks[0].line, 6, "{locks:?}");
+    assert_eq!(locks[1].line, 15, "{locks:?}");
+}
+
+#[test]
+fn alloc_in_worker_loop_trips() {
+    let vs = scan_source("crates/tensor/src/parallel.rs", &fixture("bad_worker.rs"));
+    let allocs: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-alloc-in-worker")
+        .collect();
+    // Only the `vec![` on line 7 — the allocations in setup_ranges (not a
+    // worker fn) and the test module are out of scope.
+    assert_eq!(allocs.len(), 1, "{vs:?}");
+    assert_eq!(allocs[0].line, 7, "{allocs:?}");
+}
+
+#[test]
+fn println_in_worker_loop_trips() {
+    let vs = scan_source("crates/tensor/src/ops/matmul.rs", &fixture("bad_worker.rs"));
+    let prints: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-println-in-worker")
+        .collect();
+    // Only line 8 (inside evil_row_block); the println! in setup_ranges
+    // and the test module must not trip.
+    assert_eq!(prints.len(), 1, "{vs:?}");
+    assert_eq!(prints[0].line, 8, "{prints:?}");
+}
+
+#[test]
+fn worker_rules_do_not_trip_outside_worker_files() {
+    // Same source labelled as a file outside the parallel kernel path:
+    // worker-loop fns there are not subject to the rules.
+    let vs = scan_source("crates/nn/src/bad_worker.rs", &fixture("bad_worker.rs"));
+    assert!(
+        vs.iter().all(|v| !v.rule.ends_with("-in-worker")),
+        "worker rules are scoped to parallel.rs/matmul.rs: {vs:?}"
+    );
+}
+
+#[test]
+fn kernel_rules_cover_parallel_module() {
+    // The no-unwrap/no-instant kernel rules extend to
+    // tensor/src/parallel.rs (the pool shares the kernel hot path).
+    let vs = scan_source("crates/tensor/src/parallel.rs", &fixture("bad_kernel.rs"));
+    let rules = rules_of(&vs);
+    assert!(
+        rules.contains(&"no-unwrap-in-kernels"),
+        "unwrap in parallel.rs must trip: {vs:?}"
+    );
+    assert!(
+        rules.contains(&"no-instant-in-kernels"),
+        "Instant::now in parallel.rs must trip: {vs:?}"
+    );
+}
+
+#[test]
+fn allowlist_suppresses_worker_rules() {
+    let source = fixture("bad_worker.rs");
+    let label = "crates/tensor/src/ops/matmul.rs";
+    let all = scan_source(label, &source);
+    let allow = Allowlist::parse("no-alloc-in-worker matmul.rs scratch\n");
+    let kept: Vec<_> = all.iter().filter(|v| !allow.allows(v)).collect();
+    assert_eq!(
+        kept.len(),
+        all.len() - 1,
+        "exactly the scratch allocation is suppressed: {kept:?}"
+    );
+    assert!(kept.iter().all(|v| v.rule != "no-alloc-in-worker"));
+}

@@ -14,6 +14,10 @@
 //!   gradient scatter;
 //! - reverse-mode autodiff over the recorded DAG with a [`no_grad`]
 //!   inference scope;
+//! - deterministic kernel-level parallelism: the dense matmul kernels fan
+//!   out over a persistent worker pool ([`parallel`], sized by
+//!   `TIMEKD_THREADS`) while the graph itself stays single-threaded, and
+//!   parallel results are bitwise identical to serial ones;
 //! - seedable initialisers and finite-difference gradient-check utilities;
 //! - a compact binary tensor format for model checkpoints ([`io`]);
 //! - graph introspection and auditing ([`GraphAudit`]) plus an opt-in
@@ -49,6 +53,7 @@ mod grad_check;
 mod init;
 pub mod io;
 mod ops;
+pub mod parallel;
 pub mod rng;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;

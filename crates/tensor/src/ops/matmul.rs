@@ -1,33 +1,177 @@
 //! Matrix multiplication: 2-D, batched 3-D, and the `[..., K] @ [K, N]`
 //! contraction used by linear layers.
+//!
+//! The three accumulate kernels (`NN`, `TN`, `NT`) are the hottest code in
+//! the workspace — nearly all teacher/student training wall-clock is
+//! attention and linear-layer GEMMs routed through here. They are:
+//!
+//! - **register-blocked**: the inner loops process four `k`-steps (NN/TN)
+//!   or four-wide partial dot products (NT) with independent accumulators,
+//!   which LLVM vectorises; the dense path has no per-element branches
+//!   (the old `a_ik == 0.0` skip pessimised dense GEMMs, which dominate —
+//!   see the `kernels` bench for the measured comparison);
+//! - **packed**: the TN variant transposes its `[K, M]` operand once per
+//!   call so the hot loop streams contiguous rows, turning TN into the NN
+//!   kernel. NT needs no packing — its `[N, K]` operand is already
+//!   contiguous along the contraction axis;
+//! - **parallel and bitwise deterministic**: work is partitioned into
+//!   disjoint output-row blocks (batched matmul: batch chunks) via
+//!   [`crate::parallel`]; every row is computed by exactly one task
+//!   running the same serial code as the `TIMEKD_THREADS=1` path, so
+//!   parallel results are bitwise identical to serial ones. Sizes below
+//!   [`PARALLEL_MULS_CUTOFF`] never touch the pool.
+//!
+//! Naming contract with `timekd-check`: functions ending in `_block` are
+//! per-block worker loops — no locks, no allocation, no I/O inside them
+//! (enforced by the `no-*-in-worker` lint rules).
 
+use crate::parallel;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
-/// `out[m, n] += a[m, k] * b[k, n]` over dense row-major buffers.
+/// Minimum multiply count (`m * k * n`) before a kernel call fans out to
+/// the worker pool; below this, pool dispatch overhead would exceed the
+/// kernel time, so tiny (test-scale) matrices always run serial.
+const PARALLEL_MULS_CUTOFF: usize = 64 * 64 * 64;
+
+/// Minimum output rows per parallel block, so the split never gets finer
+/// than the register-blocked inner loops can amortise.
+const MIN_ROWS_PER_BLOCK: usize = 4;
+
+/// True when a `[m, k] x [k, n]` product is worth pool dispatch.
+#[inline]
+fn worth_parallel(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= PARALLEL_MULS_CUTOFF
+}
+
+/// Serial NN worker loop: `out_block[i - i0, n] += a[i, k] * b[k, n]` for
+/// rows `i0..i1`. `a` and `b` are the full operands; `out_block` is the
+/// caller's exclusive row block.
 ///
-/// Loop order i-k-j keeps the inner loop streaming over contiguous rows of
-/// `b` and `out`, which is the cache-friendly order for row-major data.
-pub(crate) fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
+/// Four `k`-steps are fused per pass so each streamed element of `out`
+/// receives four fused multiply-adds per load/store, with a single-step
+/// tail for `k % 4` remainders.
+fn mm_row_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i1 {
         let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
+        let out_row = &mut out_block[(i - i0) * n..(i - i0 + 1) * n];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            let b0 = &b[kk * n..(kk + 1) * n];
+            let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+            let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+            let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+            for (o, (((&b0j, &b1j), &b2j), &b3j)) in
+                out_row.iter_mut().zip(b0.iter().zip(b1).zip(b2).zip(b3))
+            {
+                *o += a0 * b0j + a1 * b1j + a2 * b2j + a3 * b3j;
             }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * b_kj;
+            kk += 4;
+        }
+        while kk < k {
+            let a0 = a_row[kk];
+            let b0 = &b[kk * n..(kk + 1) * n];
+            for (o, &b0j) in out_row.iter_mut().zip(b0) {
+                *o += a0 * b0j;
             }
+            kk += 1;
         }
     }
 }
 
+/// Serial NT worker loop: `out_block[i - i0, j] += dot(a[i, :], b[j, :])`
+/// for rows `i0..i1`, contracting over the shared last axis of length `k`.
+/// Four independent accumulators per dot product; their combination order
+/// `(s0 + s1) + (s2 + s3)` is fixed, so results never depend on the
+/// thread split.
+fn mm_nt_row_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out_block[(i - i0) * n..(i - i0 + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (ca, cb) in a_row.chunks_exact(4).zip(b_row.chunks_exact(4)) {
+                s0 += ca[0] * cb[0];
+                s1 += ca[1] * cb[1];
+                s2 += ca[2] * cb[2];
+                s3 += ca[3] * cb[3];
+            }
+            let mut sum = (s0 + s1) + (s2 + s3);
+            let tail = k - k % 4;
+            for (&x, &y) in a_row[tail..].iter().zip(&b_row[tail..]) {
+                sum += x * y;
+            }
+            *o += sum;
+        }
+    }
+}
+
+/// Cache-blocked transpose of a `[rows, cols]` row-major buffer into a
+/// fresh `[cols, rows]` buffer. Used to pack the TN operand once per call
+/// so the hot loop can run the (contiguous-streaming) NN kernel.
+fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    debug_assert_eq!(src.len(), rows * cols);
+    let mut dst = vec![0.0f32; src.len()];
+    const TB: usize = 32;
+    let mut r0 = 0;
+    while r0 < rows {
+        let r1 = (r0 + TB).min(rows);
+        let mut c0 = 0;
+        while c0 < cols {
+            let c1 = (c0 + TB).min(cols);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+            c0 = c1;
+        }
+        r0 = r1;
+    }
+    dst
+}
+
+/// `out[m, n] += a[m, k] * b[k, n]` over dense row-major buffers.
+///
+/// Partitioned across the worker pool by disjoint output-row blocks; each
+/// row is computed by [`mm_row_block`] regardless of the split, so the
+/// result is bitwise identical to the serial (`TIMEKD_THREADS=1`) path.
+pub(crate) fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if !worth_parallel(m, k, n) {
+        mm_row_block(a, b, out, 0, m, k, n);
+        return;
+    }
+    parallel::par_row_blocks(out, m, n, MIN_ROWS_PER_BLOCK, |i0, i1, block| {
+        mm_row_block(a, b, block, i0, i1, k, n);
+    });
+}
+
 /// `out[m, n] += a[k, m]ᵀ * b[k, n]` (contract over the first axis of both).
+///
+/// Packs `a` as `[m, k]` once, then runs the row-blocked NN kernel — the
+/// packed layout streams contiguously where the unpacked loop strided by
+/// `m` on every step.
 pub(crate) fn mm_tn_accumulate(
     a: &[f32],
     b: &[f32],
@@ -39,23 +183,20 @@ pub(crate) fn mm_tn_accumulate(
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for kk in 0..k {
-        let a_row = &a[kk * m..(kk + 1) * m];
-        let b_row = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let a_ki = a_row[i];
-            if a_ki == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ki * b_kj;
-            }
-        }
+    let at = pack_transpose(a, k, m);
+    if !worth_parallel(m, k, n) {
+        mm_row_block(&at, b, out, 0, m, k, n);
+        return;
     }
+    parallel::par_row_blocks(out, m, n, MIN_ROWS_PER_BLOCK, |i0, i1, block| {
+        mm_row_block(&at, b, block, i0, i1, k, n);
+    });
 }
 
 /// `out[m, n] += a[m, k] * b[n, k]ᵀ` (contract over the last axis of both).
+///
+/// No packing: both operands are already contiguous along the contraction
+/// axis, so each output element is a straight dot product of two rows.
 pub(crate) fn mm_nt_accumulate(
     a: &[f32],
     b: &[f32],
@@ -67,16 +208,33 @@ pub(crate) fn mm_nt_accumulate(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            *o += acc;
+    if !worth_parallel(m, k, n) {
+        mm_nt_row_block(a, b, out, 0, m, k, n);
+        return;
+    }
+    parallel::par_row_blocks(out, m, n, MIN_ROWS_PER_BLOCK, |i0, i1, block| {
+        mm_nt_row_block(a, b, block, i0, i1, k, n);
+    });
+}
+
+/// Runs `body(t, chunk_t)` over the `batch` disjoint chunks of `out`,
+/// parallelising over the batch axis when there are at least as many
+/// batches as threads (each per-batch kernel then runs serially inside
+/// its task); otherwise the batch loop stays serial and the per-batch
+/// kernels parallelise internally over rows. Both schedules are bitwise
+/// identical because every output row is computed by the same serial
+/// worker loop either way.
+fn for_each_batch(
+    out: &mut [f32],
+    chunk_len: usize,
+    batch: usize,
+    body: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if batch >= parallel::effective_threads() {
+        parallel::par_chunks(out, chunk_len, batch, body);
+    } else {
+        for (t, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            body(t, chunk);
         }
     }
 }
@@ -147,18 +305,19 @@ impl Tensor {
         assert_eq!(k, k2, "batched matmul: inner dims differ");
         let mut out = vec![0.0f32; ba * m * n];
         {
-            let a = self.data();
-            let b = other.data();
-            for t in 0..ba {
+            let a_ref = self.data();
+            let b_ref = other.data();
+            let (a, b): (&[f32], &[f32]) = (&a_ref, &b_ref);
+            for_each_batch(&mut out, m * n, ba, |t, chunk| {
                 mm_accumulate(
                     &a[t * m * k..(t + 1) * m * k],
                     &b[t * k * n..(t + 1) * k * n],
-                    &mut out[t * m * n..(t + 1) * m * n],
+                    chunk,
                     m,
                     k,
                     n,
                 );
-            }
+            });
         }
         Tensor::from_op(
             "matmul_batched",
@@ -168,35 +327,37 @@ impl Tensor {
             Box::new(move |grad, parents| {
                 let (a, b) = (&parents[0], &parents[1]);
                 if a.requires_grad() {
-                    let b_data = b.data();
+                    let b_ref = b.data();
+                    let b_data: &[f32] = &b_ref;
                     let mut ga = vec![0.0f32; ba * m * k];
-                    for t in 0..ba {
+                    for_each_batch(&mut ga, m * k, ba, |t, chunk| {
                         mm_nt_accumulate(
                             &grad[t * m * n..(t + 1) * m * n],
                             &b_data[t * k * n..(t + 1) * k * n],
-                            &mut ga[t * m * k..(t + 1) * m * k],
+                            chunk,
                             m,
                             n,
                             k,
                         );
-                    }
-                    drop(b_data);
+                    });
+                    drop(b_ref);
                     a.accumulate_grad(&ga);
                 }
                 if b.requires_grad() {
-                    let a_data = a.data();
+                    let a_ref = a.data();
+                    let a_data: &[f32] = &a_ref;
                     let mut gb = vec![0.0f32; ba * k * n];
-                    for t in 0..ba {
+                    for_each_batch(&mut gb, k * n, ba, |t, chunk| {
                         mm_tn_accumulate(
                             &a_data[t * m * k..(t + 1) * m * k],
                             &grad[t * m * n..(t + 1) * m * n],
-                            &mut gb[t * k * n..(t + 1) * k * n],
+                            chunk,
                             k,
                             m,
                             n,
                         );
-                    }
-                    drop(a_data);
+                    });
+                    drop(a_ref);
                     b.accumulate_grad(&gb);
                 }
             }),
@@ -341,5 +502,53 @@ mod tests {
         let mut plain = vec![0.0; 6];
         mm_accumulate(&at, &b, &mut plain, 2, 3, 3);
         assert_eq!(tn, plain);
+    }
+
+    #[test]
+    fn pack_transpose_roundtrip() {
+        // Rectangular transpose, including a shape larger than one 32-wide
+        // transpose tile in each direction.
+        let (rows, cols) = (37, 41);
+        let src: Vec<f32> = (0..rows * cols).map(|v| v as f32).collect();
+        let dst = pack_transpose(&src, rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                assert_eq!(dst[c * rows + r], src[r * cols + c]);
+            }
+        }
+        let back = pack_transpose(&dst, cols, rows);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_reference() {
+        // The register-blocked loops must agree with a plain triple loop on
+        // exactly-representable inputs (integer-valued f32s), where every
+        // summation order yields the same exact result.
+        let (m, k, n) = (5, 7, 6);
+        let a: Vec<f32> = (0..m * k).map(|v| (v % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v % 7) as f32 - 3.0).collect();
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    naive[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        let mut blocked = vec![0.0f32; m * n];
+        mm_accumulate(&a, &b, &mut blocked, m, k, n);
+        assert_eq!(blocked, naive);
+
+        // NT against the same reference with B laid out as [n, k].
+        let mut bt = vec![0.0f32; k * n];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut nt = vec![0.0f32; m * n];
+        mm_nt_accumulate(&a, &bt, &mut nt, m, k, n);
+        assert_eq!(nt, naive);
     }
 }

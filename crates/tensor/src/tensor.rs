@@ -7,9 +7,15 @@
 //! subgraph and propagates gradients. Tensors are reference-counted and
 //! cheap to clone (a clone is a new handle to the same node).
 //!
-//! The engine is single-threaded by design: experiment-level parallelism in
-//! this workspace happens across independent model instances, never across
-//! one graph.
+//! Threading model: the *graph* is single-threaded by design — `Rc`
+//! handles, `RefCell` buffers, one thread per graph; experiment-level
+//! parallelism happens across independent model instances, never across
+//! one graph. The dense *kernels underneath* an op (matmul and friends)
+//! may fan out over the [`crate::parallel`] worker pool, but they
+//! partition work into disjoint output blocks and join before the op
+//! returns, so nothing concurrent ever touches a tensor: ops stay
+//! externally synchronous and bitwise deterministic (`TIMEKD_THREADS=1`
+//! forces the fully serial path and produces identical bits).
 
 use std::cell::{Cell, Ref, RefCell};
 use std::fmt;

@@ -1,0 +1,156 @@
+//! Bitwise determinism of the parallel matmul kernels.
+//!
+//! The contract (see `timekd_tensor::parallel`): kernels partition work by
+//! disjoint output blocks, every row is computed by the same serial code
+//! regardless of the split, so results under any thread count are **bitwise
+//! identical** to the serial path (`with_threads(1)`, the in-process
+//! equivalent of `TIMEKD_THREADS=1`). These tests run forward and both
+//! gradient kernels across rectangular, batched and 3d×2d shapes — all
+//! sized above the parallel cutoff so the pool genuinely engages — and
+//! compare exact bit patterns, not tolerances.
+
+use timekd_tensor::parallel::{block_ranges, with_threads};
+use timekd_tensor::{seeded_rng, Tensor};
+
+/// Bitwise comparison: f32 equality would conflate 0.0 and -0.0 and choke
+/// on NaN; comparing the raw bits is the actual determinism claim.
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Runs `f` serially and under several parallel thread counts (including
+/// deliberately awkward ones) and asserts every returned buffer set is
+/// bitwise identical to the serial one.
+fn check_thread_invariance(what: &str, f: impl Fn() -> Vec<Vec<f32>>) {
+    let serial = with_threads(1, &f);
+    for threads in [2, 3, 4, 7] {
+        let parallel = with_threads(threads, &f);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_bits_eq(s, p, &format!("{what} (threads={threads})"));
+        }
+    }
+}
+
+#[test]
+fn forward_2d_rectangular_is_thread_invariant() {
+    // 67×64 @ 64×70: above the parallel cutoff, with row/col counts that
+    // do not divide evenly by any tested thread count or by the 4-wide
+    // register blocking.
+    let mut rng = seeded_rng(11);
+    let a = Tensor::randn([67, 64], 1.0, &mut rng);
+    let b = Tensor::randn([64, 70], 1.0, &mut rng);
+    check_thread_invariance("matmul_2d forward", || vec![a.matmul(&b).to_vec()]);
+}
+
+#[test]
+fn gradients_2d_are_thread_invariant() {
+    // Loss = sum(A@B ⊙ M) with a random mask so both gradient kernels
+    // (gA = gC@Bᵀ via NT, gB = Aᵀ@gC via TN) see non-uniform upstream
+    // gradients at parallel-worthy sizes.
+    let mut rng = seeded_rng(12);
+    let a0 = Tensor::randn([67, 64], 1.0, &mut rng).to_vec();
+    let b0 = Tensor::randn([64, 70], 1.0, &mut rng).to_vec();
+    let mask = Tensor::randn([67, 70], 1.0, &mut rng);
+    check_thread_invariance("matmul_2d gradients", || {
+        let a = Tensor::param(a0.clone(), [67, 64]);
+        let b = Tensor::param(b0.clone(), [64, 70]);
+        a.matmul(&b).mul(&mask).sum().backward();
+        vec![a.grad().expect("gA"), b.grad().expect("gB")]
+    });
+}
+
+#[test]
+fn forward_and_grad_batched_are_thread_invariant() {
+    // 5 batches: more batches than some tested thread counts and fewer
+    // than others, so both branches of the batch-axis scheduler run.
+    let mut rng = seeded_rng(13);
+    let a0 = Tensor::randn([5, 40, 64], 1.0, &mut rng).to_vec();
+    let b0 = Tensor::randn([5, 64, 41], 1.0, &mut rng).to_vec();
+    let mask = Tensor::randn([5, 40, 41], 1.0, &mut rng);
+    check_thread_invariance("matmul_batched forward+grad", || {
+        let a = Tensor::param(a0.clone(), [5, 40, 64]);
+        let b = Tensor::param(b0.clone(), [5, 64, 41]);
+        let c = a.matmul(&b);
+        let out = c.to_vec();
+        c.mul(&mask).sum().backward();
+        vec![out, a.grad().expect("gA"), b.grad().expect("gB")]
+    });
+}
+
+#[test]
+fn forward_and_grad_3d_2d_are_thread_invariant() {
+    // [4, 33, 64] @ [64, 40] runs as one [132, 64] @ [64, 40] product; the
+    // gB kernel contracts over all 132 flattened rows.
+    let mut rng = seeded_rng(14);
+    let x0 = Tensor::randn([4, 33, 64], 1.0, &mut rng).to_vec();
+    let w0 = Tensor::randn([64, 40], 1.0, &mut rng).to_vec();
+    let mask = Tensor::randn([4, 33, 40], 1.0, &mut rng);
+    check_thread_invariance("matmul_3d_2d forward+grad", || {
+        let x = Tensor::param(x0.clone(), [4, 33, 64]);
+        let w = Tensor::param(w0.clone(), [64, 40]);
+        let y = x.matmul(&w);
+        let out = y.to_vec();
+        y.mul(&mask).sum().backward();
+        vec![out, x.grad().expect("gX"), w.grad().expect("gW")]
+    });
+}
+
+#[test]
+fn seeded_shape_sweep_is_thread_invariant() {
+    // Seeded property-style sweep over rectangular geometries, including
+    // k % 4 tails, single-row and single-column extremes.
+    let shapes: [(usize, usize, usize); 6] = [
+        (64, 65, 66),
+        (127, 33, 65),
+        (1, 70, 4096),
+        (130, 64, 1),
+        (96, 2, 2048),
+        (65, 127, 35),
+    ];
+    for (si, &(m, k, n)) in shapes.iter().enumerate() {
+        let mut rng = seeded_rng(100 + si as u64);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        check_thread_invariance(&format!("sweep {m}x{k}x{n}"), || {
+            vec![a.matmul(&b).to_vec()]
+        });
+    }
+}
+
+#[test]
+fn odd_row_split_covers_every_row_exactly_once() {
+    // The issue's adversarial case: 7 rows over 4 threads must cover every
+    // row exactly once with contiguous, ordered, non-overlapping blocks.
+    let ranges = block_ranges(7, 4);
+    assert_eq!(ranges, vec![(0, 2), (2, 4), (4, 6), (6, 7)]);
+
+    // And in general: any (rows, threads) split partitions 0..rows.
+    for rows in 1..40 {
+        for threads in 1..9 {
+            let ranges = block_ranges(rows, threads);
+            let mut covered = vec![0u32; rows];
+            let mut prev_end = 0;
+            for &(s, e) in &ranges {
+                assert_eq!(s, prev_end, "blocks must be contiguous and ordered");
+                assert!(e > s, "no empty blocks");
+                for slot in &mut covered[s..e] {
+                    *slot += 1;
+                }
+                prev_end = e;
+            }
+            assert_eq!(prev_end, rows);
+            assert!(
+                covered.iter().all(|&c| c == 1),
+                "rows={rows} threads={threads}: {ranges:?}"
+            );
+        }
+    }
+}

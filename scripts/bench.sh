@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Perf-baseline smoke gate: runs the kernel bench bin on the QUICK profile
+# into a scratch directory, then re-invokes it with --validate to check the
+# emitted JSON against the timekd-kernel-bench/v1 schema. Fails if the bin
+# crashes, emits nothing, or emits a file that does not conform.
+#
+# Full (committed) baselines are produced by running without QUICK and with
+# no TIMEKD_BENCH_DIR override, which writes BENCH_<unix-seconds>.json at
+# the repo root:
+#   cargo run -p timekd-bench --release --bin kernels
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+echo "==> bench smoke run (QUICK, TIMEKD_BENCH_DIR=$out_dir)"
+QUICK=1 TIMEKD_BENCH_DIR="$out_dir" cargo run -q -p timekd-bench --release --bin kernels
+
+emitted=("$out_dir"/BENCH_*.json)
+if [ ! -f "${emitted[0]}" ]; then
+  echo "bench.sh: no BENCH_*.json emitted into $out_dir" >&2
+  exit 1
+fi
+
+echo "==> validating ${emitted[0]##*/} against the kernel-bench schema"
+cargo run -q -p timekd-bench --release --bin kernels -- --validate "${emitted[0]}"
+
+echo "bench gate passed."

@@ -27,4 +27,7 @@ cargo build --release --workspace
 echo "==> tests"
 cargo test -q --workspace
 
+echo "==> bench smoke (QUICK kernel bench + schema validation)"
+scripts/bench.sh
+
 echo "CI gate passed."
