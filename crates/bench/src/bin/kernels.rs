@@ -3,7 +3,9 @@
 //! Measures the hot matmul kernels (forward and backward) serial vs
 //! parallel, a naive-kernel reference (the pre-optimisation triple loop
 //! with the `a_ik == 0.0` skip, kept here so the register-blocking win
-//! stays measurable), and teacher/student epoch times, then emits a
+//! stays measurable), the fused attention kernel against the composed op
+//! chain it replaced (per LM size + encoder geometry, forward and
+//! training step), and teacher/student epoch times, then emits a
 //! machine-readable `BENCH_<unix-seconds>.json` at the repo root so the
 //! perf trajectory is tracked across PRs.
 //!
@@ -128,6 +130,177 @@ fn shapes(quick: bool) -> Vec<ShapeSpec> {
         });
     }
     s
+}
+
+/// An attention geometry: `[H, T_q, dh]` queries against `[H, T_k, dh]`
+/// keys/values, optionally through a causal mask (as in the CLM blocks).
+struct AttnShapeSpec {
+    name: &'static str,
+    heads: usize,
+    tq: usize,
+    tk: usize,
+    dh: usize,
+    causal: bool,
+    iters: u32,
+}
+
+/// The attention shapes that actually occur in this repo: one per LM size
+/// (`LmConfig::for_size` dims at a typical prompt length, causal like the
+/// CLM blocks) plus the student/teacher encoder geometry (core config:
+/// dim 32, 4 heads, over the input window).
+fn attention_shapes(quick: bool) -> Vec<AttnShapeSpec> {
+    let mut s = vec![
+        AttnShapeSpec {
+            name: "attn_lm_small",
+            heads: 2,
+            tq: 32,
+            tk: 32,
+            dh: 12,
+            causal: true,
+            iters: if quick { 5 } else { 40 },
+        },
+        AttnShapeSpec {
+            name: "attn_lm_base",
+            heads: 4,
+            tq: 32,
+            tk: 32,
+            dh: 8,
+            causal: true,
+            iters: if quick { 5 } else { 40 },
+        },
+        AttnShapeSpec {
+            name: "attn_lm_large",
+            heads: 4,
+            tq: 48,
+            tk: 48,
+            dh: 12,
+            causal: true,
+            iters: if quick { 5 } else { 40 },
+        },
+        AttnShapeSpec {
+            name: "attn_encoder_48",
+            heads: 4,
+            tq: 48,
+            tk: 48,
+            dh: 8,
+            causal: false,
+            iters: if quick { 5 } else { 40 },
+        },
+    ];
+    if !quick {
+        s.push(AttnShapeSpec {
+            name: "attn_encoder_96",
+            heads: 4,
+            tq: 96,
+            tk: 96,
+            dh: 8,
+            causal: false,
+            iters: 20,
+        });
+    }
+    s
+}
+
+/// Builds a causal additive mask (as `timekd_nn::causal_mask` does) on raw
+/// data, so the bench stays at the tensor layer.
+fn causal_mask_tensor(t: usize) -> Tensor {
+    let mut data = vec![0.0f32; t * t];
+    for i in 0..t {
+        for j in (i + 1)..t {
+            data[i * t + j] = -1e9;
+        }
+    }
+    Tensor::from_vec(data, [t, t])
+}
+
+/// One attention-shape measurement: the fused kernel against the composed
+/// op chain it replaced (matmul → scale → mask → softmax → matmul → merge
+/// + head-averaged map), forward-only and forward+backward.
+fn bench_attention_shape(spec: &AttnShapeSpec) -> Json {
+    let AttnShapeSpec {
+        name,
+        heads,
+        tq,
+        tk,
+        dh,
+        causal,
+        iters,
+    } = *spec;
+    let mut rng = seeded_rng(0xA77E ^ (heads * tq * dh) as u64);
+    let q0 = Tensor::randn([heads, tq, dh], 1.0, &mut rng).to_vec();
+    let k0 = Tensor::randn([heads, tk, dh], 1.0, &mut rng).to_vec();
+    let v0 = Tensor::randn([heads, tk, dh], 1.0, &mut rng).to_vec();
+    let mask = causal.then(|| causal_mask_tensor(tq));
+
+    let composed = |q: &Tensor, k: &Tensor, v: &Tensor| -> (Tensor, Tensor) {
+        let scale = 1.0 / (dh as f32).sqrt();
+        let mut scores = q.matmul(&k.transpose_last()).mul_scalar(scale);
+        if let Some(m) = &mask {
+            scores = scores.add(m);
+        }
+        let attn = scores.softmax_last();
+        let ctx = attn.matmul(v);
+        let merged = ctx.permute(&[1, 0, 2]).reshape([tq, heads * dh]);
+        (merged, attn.mean_axis(0, false))
+    };
+
+    let q = Tensor::from_vec(q0.clone(), [heads, tq, dh]);
+    let k = Tensor::from_vec(k0.clone(), [heads, tk, dh]);
+    let v = Tensor::from_vec(v0.clone(), [heads, tk, dh]);
+    let fused_ms = time_min_ms(iters, || {
+        no_grad(|| {
+            std::hint::black_box(Tensor::fused_attention(
+                std::hint::black_box(&q),
+                &k,
+                &v,
+                mask.as_ref(),
+            ));
+        });
+    });
+    let composed_ms = time_min_ms(iters, || {
+        no_grad(|| {
+            std::hint::black_box(composed(std::hint::black_box(&q), &k, &v));
+        });
+    });
+
+    // Training step: forward + backward through the merged context — the
+    // per-layer hot path (every attention layer trains through its
+    // context; the map is trained through only at the last student layer
+    // by correlation distillation, and that mixed cost is what the
+    // end-to-end epoch rows measure).
+    let fused_train_ms = time_min_ms(iters, || {
+        let q = Tensor::param(q0.clone(), [heads, tq, dh]);
+        let k = Tensor::param(k0.clone(), [heads, tk, dh]);
+        let v = Tensor::param(v0.clone(), [heads, tk, dh]);
+        let (out, _map) = Tensor::fused_attention(&q, &k, &v, mask.as_ref());
+        out.sum().backward();
+    });
+    let composed_train_ms = time_min_ms(iters, || {
+        let q = Tensor::param(q0.clone(), [heads, tq, dh]);
+        let k = Tensor::param(k0.clone(), [heads, tk, dh]);
+        let v = Tensor::param(v0.clone(), [heads, tk, dh]);
+        let (out, _map) = composed(&q, &k, &v);
+        out.sum().backward();
+    });
+
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("heads", Json::num(heads as f64)),
+        ("tq", Json::num(tq as f64)),
+        ("tk", Json::num(tk as f64)),
+        ("dh", Json::num(dh as f64)),
+        ("causal", Json::Bool(causal)),
+        ("iters", Json::num(f64::from(iters))),
+        ("fused_ms", Json::num(fused_ms)),
+        ("composed_ms", Json::num(composed_ms)),
+        ("speedup_fused", Json::num(composed_ms / fused_ms)),
+        ("fused_train_ms", Json::num(fused_train_ms)),
+        ("composed_train_ms", Json::num(composed_train_ms)),
+        (
+            "speedup_fused_train",
+            Json::num(composed_train_ms / fused_train_ms),
+        ),
+    ])
 }
 
 /// One kernel-shape measurement: forward serial/parallel/naive, plus a
@@ -364,6 +537,23 @@ fn main() {
         kernels.push(row);
     }
 
+    let mut attention = Vec::new();
+    for spec in attention_shapes(quick) {
+        let row = bench_attention_shape(&spec);
+        let fmt = |key: &str| row.get(key).and_then(Json::as_num).unwrap_or(f64::NAN);
+        println!(
+            "  {:<22} fused {:>9.3} ms  composed {:>9.3} ms  x{:<5.2}  (train: fused {:>9.3} ms, composed {:>9.3} ms, x{:.2})",
+            spec.name,
+            fmt("fused_ms"),
+            fmt("composed_ms"),
+            fmt("speedup_fused"),
+            fmt("fused_train_ms"),
+            fmt("composed_train_ms"),
+            fmt("speedup_fused_train"),
+        );
+        attention.push(row);
+    }
+
     println!("  end-to-end teacher/student epochs …");
     let end_to_end = bench_end_to_end(quick, threads);
     for key in ["speedup_teacher", "speedup_student"] {
@@ -380,7 +570,7 @@ fn main() {
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let doc = Json::obj(vec![
-        ("schema", Json::str("timekd-kernel-bench/v1")),
+        ("schema", Json::str("timekd-kernel-bench/v2")),
         ("created_unix_s", Json::num(created as f64)),
         ("quick", Json::Bool(quick)),
         (
@@ -391,6 +581,7 @@ fn main() {
             ]),
         ),
         ("kernels", Json::Arr(kernels)),
+        ("attention", Json::Arr(attention)),
         ("end_to_end", end_to_end),
     ]);
     if let Err(problems) = validate_kernel_bench(&doc) {

@@ -348,7 +348,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Checks a parsed document against the `timekd-kernel-bench/v1` schema
+/// Checks a parsed document against the `timekd-kernel-bench/v2` schema
 /// emitted by `cargo run -p timekd-bench --bin kernels`. Returns every
 /// problem found (not just the first) so a broken baseline is diagnosable
 /// in one pass.
@@ -374,9 +374,9 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
     }
 
     match doc.get("schema").map(Json::as_str) {
-        Some(Some("timekd-kernel-bench/v1")) => {}
+        Some(Some("timekd-kernel-bench/v2")) => {}
         Some(other) => problems.push(format!(
-            "`schema` must be \"timekd-kernel-bench/v1\", got {other:?}"
+            "`schema` must be \"timekd-kernel-bench/v2\", got {other:?}"
         )),
         None => problems.push("missing key `schema`".to_string()),
     }
@@ -418,6 +418,40 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
         _ => problems.push("missing key `kernels`".to_string()),
     }
 
+    // v2: fused-vs-composed attention timings.
+    match doc.get("attention").map(Json::as_arr) {
+        Some(Some(rows)) if !rows.is_empty() => {
+            for (i, row) in rows.iter().enumerate() {
+                if row.get("name").and_then(Json::as_str).is_none() {
+                    problems.push(format!("`attention[{i}].name` missing or not a string"));
+                }
+                if !matches!(row.get("causal"), Some(Json::Bool(_))) {
+                    problems.push(format!("`attention[{i}].causal` must be a boolean"));
+                }
+                for key in [
+                    "heads",
+                    "tq",
+                    "tk",
+                    "dh",
+                    "iters",
+                    "fused_ms",
+                    "composed_ms",
+                    "speedup_fused",
+                    "fused_train_ms",
+                    "composed_train_ms",
+                    "speedup_fused_train",
+                ] {
+                    match row.get(key).map(Json::as_num) {
+                        Some(Some(v)) if v.is_finite() => {}
+                        _ => problems.push(format!("`attention[{i}].{key}` missing or not finite")),
+                    }
+                }
+            }
+        }
+        Some(Some(_)) => problems.push("`attention` must be a non-empty array".to_string()),
+        _ => problems.push("missing key `attention`".to_string()),
+    }
+
     if problems.is_empty() {
         Ok(())
     } else {
@@ -432,7 +466,7 @@ mod tests {
     #[test]
     fn roundtrip_bench_shape() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v1")),
+            ("schema", Json::str("timekd-kernel-bench/v2")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -456,7 +490,7 @@ mod tests {
         );
         assert_eq!(
             parsed.get_path("schema").and_then(Json::as_str),
-            Some("timekd-kernel-bench/v1")
+            Some("timekd-kernel-bench/v2")
         );
     }
 
@@ -507,8 +541,26 @@ mod tests {
         ];
         let mut row = vec![("name", Json::str("mm_64"))];
         row.extend(kernel_keys.iter().map(|k| (*k, Json::num(1.0))));
+        let attn_keys = [
+            "heads",
+            "tq",
+            "tk",
+            "dh",
+            "iters",
+            "fused_ms",
+            "composed_ms",
+            "speedup_fused",
+            "fused_train_ms",
+            "composed_train_ms",
+            "speedup_fused_train",
+        ];
+        let mut attn_row = vec![
+            ("name", Json::str("attn_lm_base")),
+            ("causal", Json::Bool(true)),
+        ];
+        attn_row.extend(attn_keys.iter().map(|k| (*k, Json::num(1.0))));
         Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v1")),
+            ("schema", Json::str("timekd-kernel-bench/v2")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -519,6 +571,7 @@ mod tests {
                 ]),
             ),
             ("kernels", Json::Arr(vec![Json::obj(row)])),
+            ("attention", Json::Arr(vec![Json::obj(attn_row)])),
             (
                 "end_to_end",
                 Json::obj(vec![
@@ -576,5 +629,43 @@ mod tests {
         let problems = validate_kernel_bench(&doc).expect_err("must fail");
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("kernels[0].speedup_parallel"));
+    }
+
+    #[test]
+    fn validator_rejects_incomplete_attention_row() {
+        let mut doc = minimal_valid_doc();
+        if let Some(Json::Arr(rows)) = match &mut doc {
+            Json::Obj(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "attention")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Json::Obj(row) = &mut rows[0] {
+                row.retain(|(k, _)| k != "speedup_fused" && k != "causal");
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("attention[0].causal")));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("attention[0].speedup_fused")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validator_requires_attention_section() {
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "attention");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert!(
+            problems.iter().any(|p| p.contains("`attention`")),
+            "{problems:?}"
+        );
     }
 }

@@ -19,9 +19,10 @@
 //! | `no-println-in-worker` | worker loops | no `print!`/`println!`/`dbg!` I/O in per-block worker loops |
 //!
 //! "Worker loops" are the hot per-block functions of the parallel kernel
-//! path — functions in `tensor/src/parallel.rs` or
-//! `tensor/src/ops/matmul.rs` whose name ends in `_block` or is
-//! `drain_tasks` (the naming contract those files document). They run on
+//! path — functions in `tensor/src/parallel.rs`,
+//! `tensor/src/ops/matmul.rs` or `tensor/src/ops/attention.rs` whose name
+//! ends in `_block` or is `drain_tasks` (the naming contract those files
+//! document). They run on
 //! pool threads inside a claimed task, where a lock could deadlock the
 //! pool, an allocation serialises on the global allocator, and console
 //! I/O both blocks and interleaves.
@@ -241,7 +242,8 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
     // Files that may define per-block worker-loop fns (`*_block`,
     // `drain_tasks`) subject to the no-lock/no-alloc/no-println rules.
     let in_worker_file = path_label.contains("tensor/src/parallel.rs")
-        || path_label.contains("tensor/src/ops/matmul.rs");
+        || path_label.contains("tensor/src/ops/matmul.rs")
+        || path_label.contains("tensor/src/ops/attention.rs");
     let mut violations = Vec::new();
     let mut depth = 0usize;
     let mut in_block_comment = false;

@@ -280,6 +280,78 @@ fn kernel_rules_cover_parallel_module() {
 }
 
 #[test]
+fn attention_kernel_rules_trip() {
+    // ops/attention.rs is a kernel file: the unwrap/expect and
+    // Instant::now bans apply file-wide.
+    let vs = scan_source(
+        "crates/tensor/src/ops/attention.rs",
+        &fixture("bad_attention.rs"),
+    );
+    let unwraps: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-unwrap-in-kernels")
+        .collect();
+    // `.unwrap()` on line 9 (worker fn) and `.expect(` on line 22
+    // (non-worker fn — the kernel rules are path-scoped, not fn-scoped).
+    assert_eq!(unwraps.len(), 2, "{vs:?}");
+    assert_eq!(unwraps[0].line, 9, "{unwraps:?}");
+    assert_eq!(unwraps[1].line, 22, "{unwraps:?}");
+    let instants: Vec<_> = vs
+        .iter()
+        .filter(|v| v.rule == "no-instant-in-kernels")
+        .collect();
+    assert_eq!(instants.len(), 1, "{vs:?}");
+    assert_eq!(instants[0].line, 10, "{instants:?}");
+}
+
+#[test]
+fn attention_worker_rules_trip() {
+    // The worker-loop rules now cover ops/attention.rs `_block` fns: the
+    // lock (line 6), the allocation (line 7) and the println (line 8)
+    // inside attn_fwd_row_block each trip exactly once; the allocation and
+    // println in plan_attention (not a worker fn) stay quiet.
+    let vs = scan_source(
+        "crates/tensor/src/ops/attention.rs",
+        &fixture("bad_attention.rs"),
+    );
+    let of_rule = |rule: &str| -> Vec<usize> {
+        vs.iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    };
+    assert_eq!(of_rule("no-lock-in-worker"), vec![6], "{vs:?}");
+    assert_eq!(of_rule("no-alloc-in-worker"), vec![7], "{vs:?}");
+    assert_eq!(of_rule("no-println-in-worker"), vec![8], "{vs:?}");
+}
+
+#[test]
+fn attention_test_module_is_exempt() {
+    let vs = scan_source(
+        "crates/tensor/src/ops/attention.rs",
+        &fixture("bad_attention.rs"),
+    );
+    assert!(
+        vs.iter().all(|v| v.line < 26),
+        "violations inside #[cfg(test)] must be exempt: {vs:?}"
+    );
+}
+
+#[test]
+fn attention_rules_do_not_trip_outside_kernel_files() {
+    // Same source labelled outside the kernel/worker paths: no rule
+    // applies (the fixture has no forward/predict fns).
+    let vs = scan_source(
+        "crates/nn/src/bad_attention.rs",
+        &fixture("bad_attention.rs"),
+    );
+    assert!(
+        vs.is_empty(),
+        "kernel and worker rules are path-scoped: {vs:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_worker_rules() {
     let source = fixture("bad_worker.rs");
     let label = "crates/tensor/src/ops/matmul.rs";

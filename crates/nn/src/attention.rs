@@ -68,7 +68,39 @@ impl MultiHeadAttention {
     /// `kv_in` `[T_k, D]`. `mask` is an optional additive bias `[T_q, T_k]`
     /// applied to the pre-softmax scores (use large negatives to forbid
     /// positions, per the paper's Eq. 4–5).
+    ///
+    /// The attention core is the fused kernel (`Tensor::fused_attention`):
+    /// one graph node for `softmax(QK^T/√dh + mask)V` with head-merge
+    /// folded in, plus one node for the differentiable head-averaged map.
+    /// [`attend_composed`](Self::attend_composed) keeps the original
+    /// op-by-op chain as a reference.
     pub fn attend(&self, q_in: &Tensor, kv_in: &Tensor, mask: Option<&Tensor>) -> AttentionOutput {
+        assert_eq!(q_in.shape().rank(), 2, "attention expects [T, D] inputs");
+        assert_eq!(kv_in.shape().rank(), 2, "attention expects [T, D] inputs");
+        let tq = q_in.dims()[0];
+        let tk = kv_in.dims()[0];
+        if let Some(m) = mask {
+            assert_eq!(m.dims(), &[tq, tk], "mask shape mismatch");
+        }
+        let q = self.split_heads(&self.wq.forward(q_in)); // [H, Tq, dh]
+        let k = self.split_heads(&self.wk.forward(kv_in)); // [H, Tk, dh]
+        let v = self.split_heads(&self.wv.forward(kv_in)); // [H, Tk, dh]
+        let (ctx, attention) = Tensor::fused_attention(&q, &k, &v, mask);
+        let output = self.wo.forward(&ctx);
+        AttentionOutput { output, attention }
+    }
+
+    /// The pre-fusion reference implementation: the same attention built
+    /// from composed autograd ops (matmul / scale / softmax / matmul /
+    /// merge). Kept public so equivalence tests and benchmarks can compare
+    /// the fused kernel against it; production paths use
+    /// [`attend`](Self::attend).
+    pub fn attend_composed(
+        &self,
+        q_in: &Tensor,
+        kv_in: &Tensor,
+        mask: Option<&Tensor>,
+    ) -> AttentionOutput {
         assert_eq!(q_in.shape().rank(), 2, "attention expects [T, D] inputs");
         assert_eq!(kv_in.shape().rank(), 2, "attention expects [T, D] inputs");
         let tq = q_in.dims()[0];
@@ -237,5 +269,101 @@ mod tests {
     fn indivisible_heads_panic() {
         let mut rng = seeded_rng(0);
         let _ = MultiHeadAttention::new(6, 4, &mut rng);
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol,
+                "{what}: index {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    /// Forward and backward equivalence of the fused `attend` against the
+    /// composed reference, per satellite spec: multiple head counts,
+    /// rectangular `T_q != T_k`, and causal / dense additive masks.
+    #[test]
+    fn fused_matches_composed_across_configs() {
+        for (seed, heads, tq, tk, masked) in [
+            (10u64, 1usize, 4usize, 4usize, false),
+            (11, 2, 3, 7, false),
+            (12, 4, 6, 6, true), // causal (square only)
+            (13, 2, 5, 3, false),
+        ] {
+            let mut rng = seeded_rng(seed);
+            let mha = MultiHeadAttention::new(8, heads, &mut rng);
+            let q_in = Tensor::randn([tq, 8], 1.0, &mut rng);
+            let kv_in = Tensor::randn([tk, 8], 1.0, &mut rng);
+            let mask = if masked { Some(causal_mask(tq)) } else { None };
+
+            let run = |fused: bool| {
+                for p in mha.params() {
+                    p.zero_grad();
+                }
+                let out = if fused {
+                    mha.attend(&q_in, &kv_in, mask.as_ref())
+                } else {
+                    mha.attend_composed(&q_in, &kv_in, mask.as_ref())
+                };
+                out.output
+                    .square()
+                    .sum()
+                    .add(&out.attention.square().sum())
+                    .backward();
+                let grads: Vec<Vec<f32>> = mha
+                    .params()
+                    .iter()
+                    .map(|p| p.grad().expect("param missing grad"))
+                    .collect();
+                (out.output.to_vec(), out.attention.to_vec(), grads)
+            };
+            let (fo, fm, fg) = run(true);
+            let (co, cm, cg) = run(false);
+            let tag = format!("heads={heads} tq={tq} tk={tk} masked={masked}");
+            assert_close(&fo, &co, 1e-4, &format!("{tag} output"));
+            assert_close(&fm, &cm, 1e-4, &format!("{tag} map"));
+            for (gi, (f, c)) in fg.iter().zip(&cg).enumerate() {
+                assert_close(f, c, 1e-3, &format!("{tag} grad[{gi}]"));
+            }
+        }
+    }
+
+    /// Dense random additive mask (not just causal) through both paths.
+    #[test]
+    fn fused_matches_composed_with_additive_mask() {
+        let mut rng = seeded_rng(14);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let q_in = Tensor::randn([4, 8], 1.0, &mut rng);
+        let kv_in = Tensor::randn([6, 8], 1.0, &mut rng);
+        let mask = Tensor::randn([4, 6], 1.0, &mut rng);
+        let f = mha.attend(&q_in, &kv_in, Some(&mask));
+        let c = mha.attend_composed(&q_in, &kv_in, Some(&mask));
+        assert_close(&f.output.to_vec(), &c.output.to_vec(), 1e-4, "output");
+        assert_close(&f.attention.to_vec(), &c.attention.to_vec(), 1e-4, "map");
+    }
+
+    /// Grad-checks every projection (wq/wk/wv/wo) through the fused path,
+    /// with a loss that mixes the output and the attention map.
+    #[test]
+    fn grad_check_all_projections_through_fused() {
+        let mut rng = seeded_rng(15);
+        let mha = MultiHeadAttention::new(4, 2, &mut rng);
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        for (i, p) in mha.params().iter().enumerate() {
+            timekd_tensor::assert_gradients_close(
+                p,
+                || {
+                    let out = mha.forward(&x, None);
+                    out.output
+                        .square()
+                        .mean()
+                        .add(&out.attention.square().mean())
+                },
+                2e-2,
+            );
+            let _ = i;
+        }
     }
 }

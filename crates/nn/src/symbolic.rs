@@ -205,7 +205,6 @@ pub struct SymMultiHeadAttention {
     wo: SymLinear,
     num_heads: usize,
     head_dim: usize,
-    dim: usize,
 }
 
 /// Output of a symbolic attention call.
@@ -244,7 +243,6 @@ impl SymMultiHeadAttention {
             wo: SymLinear::new_no_bias(ctx, "wo", dim, dim),
             num_heads,
             head_dim,
-            dim,
         })
     }
 
@@ -256,12 +254,6 @@ impl SymMultiHeadAttention {
             SymDim::new("dh", self.head_dim),
         ])?
         .permute(&[1, 0, 2])
-    }
-
-    fn merge_heads(&self, x: &SymbolicTensor) -> SymResult {
-        let t = x.dims()[1].clone();
-        x.permute(&[1, 0, 2])?
-            .reshape(vec![t, SymDim::new("d_model", self.dim)])
     }
 
     /// Mirrors `MultiHeadAttention::attend` node-for-node.
@@ -298,14 +290,8 @@ impl SymMultiHeadAttention {
         let q = self.split_heads(&self.wq.forward(q_in)?)?;
         let k = self.split_heads(&self.wk.forward(kv_in)?)?;
         let v = self.split_heads(&self.wv.forward(kv_in)?)?;
-        let mut scores = q.matmul(&k.transpose_last()?)?.mul_scalar();
-        if let Some(m) = mask {
-            scores = scores.add(m)?;
-        }
-        let attn = scores.softmax_last();
-        let ctx_t = attn.matmul(&v)?;
-        let output = self.wo.forward(&self.merge_heads(&ctx_t)?)?;
-        let attention = attn.mean_axis(0, false)?;
+        let (ctx_t, attention) = SymbolicTensor::fused_attention(&q, &k, &v, mask)?;
+        let output = self.wo.forward(&ctx_t)?;
         Ok(SymAttentionOutput { output, attention })
     }
 

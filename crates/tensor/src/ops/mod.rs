@@ -6,6 +6,7 @@
 //! element per operand via precomputed offset tables, which the backward
 //! pass reuses to scatter gradients.
 
+pub(crate) mod attention;
 pub(crate) mod elementwise;
 pub(crate) mod matmul;
 pub(crate) mod reduce;

@@ -869,6 +869,90 @@ impl SymbolicTensor {
         ))
     }
 
+    /// Mirrors `Tensor::fused_attention`: one fused node for
+    /// `softmax(QK^T/√dh + mask)V` over `[H, T, dh]` inputs.
+    ///
+    /// Returns the merged context `[T_q, H·dh]` (grad parents `[q, k, v]`)
+    /// and the head-averaged map `[T_q, T_k]` (grad parents `[q, k]`).
+    /// Like the dynamic op, the mask is captured data, not a parent, so
+    /// node/edge counts stay in lockstep with the runtime graph.
+    pub fn fused_attention(
+        q: &SymbolicTensor,
+        k: &SymbolicTensor,
+        v: &SymbolicTensor,
+        mask: Option<&SymbolicTensor>,
+    ) -> Result<(SymbolicTensor, SymbolicTensor), ShapeError> {
+        if q.node.dims.len() != 3 || k.node.dims.len() != 3 {
+            return Err(q.err(
+                "fused_attention",
+                format!(
+                    "q and k must be [H, T, dh], got {} and {}",
+                    render_dims(q.dims()),
+                    render_dims(k.dims())
+                ),
+                &[q, k],
+            ));
+        }
+        let (heads, tq, dh) = (q.node.dims[0].size, &q.node.dims[1], q.node.dims[2].size);
+        let tk = &k.node.dims[1];
+        if k.node.dims[0].size != heads || k.node.dims[2].size != dh {
+            return Err(q.err(
+                "fused_attention",
+                format!(
+                    "q {} and k {} disagree on heads or head dim",
+                    render_dims(q.dims()),
+                    render_dims(k.dims())
+                ),
+                &[q, k],
+            ));
+        }
+        if v.sizes() != k.sizes() {
+            return Err(k.err(
+                "fused_attention",
+                format!(
+                    "k {} and v {} must have identical shapes",
+                    render_dims(k.dims()),
+                    render_dims(v.dims())
+                ),
+                &[k, v],
+            ));
+        }
+        if let Some(m) = mask {
+            if m.sizes() != vec![tq.size, tk.size] {
+                return Err(m.err(
+                    "fused_attention",
+                    format!(
+                        "mask {} does not match scores [{}, {}]",
+                        render_dims(m.dims()),
+                        tq.size,
+                        tk.size
+                    ),
+                    &[q, k, m],
+                ));
+            }
+            if m.requires_grad() {
+                return Err(m.err(
+                    "fused_attention",
+                    "the additive mask must not require gradients".to_string(),
+                    &[m],
+                ));
+            }
+        }
+        let out = SymbolicTensor::from_op(
+            &q.ctx,
+            "fused_attention",
+            vec![tq.clone(), SymDim::new("d_model", heads * dh)],
+            vec![q.clone(), k.clone(), v.clone()],
+        );
+        let map = SymbolicTensor::from_op(
+            &q.ctx,
+            "fused_attention_map",
+            vec![tq.clone(), tk.clone()],
+            vec![q.clone(), k.clone()],
+        );
+        Ok((out, map))
+    }
+
     /// Mirrors `Tensor::index_select_rows` on a rank-2 table.
     pub fn index_select_rows(&self, num_indices: usize, name: &str) -> SymResult {
         if self.node.dims.len() != 2 {

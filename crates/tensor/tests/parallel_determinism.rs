@@ -125,6 +125,90 @@ fn seeded_shape_sweep_is_thread_invariant() {
     }
 }
 
+/// Parallel-worthy fused-attention geometry: `H·T_q·T_k·dh = 4·80·80·32 =
+/// 819 200 ≥ 64³`, so the pool genuinely engages under every tested thread
+/// count; 80 rows also split unevenly across 3 and 7 threads.
+const ATTN: (usize, usize, usize, usize) = (4, 80, 80, 32);
+
+fn attn_inputs(seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Tensor) {
+    let (h, tq, tk, dh) = ATTN;
+    let mut rng = seeded_rng(seed);
+    (
+        Tensor::randn([h, tq, dh], 0.5, &mut rng).to_vec(),
+        Tensor::randn([h, tk, dh], 0.5, &mut rng).to_vec(),
+        Tensor::randn([h, tk, dh], 0.5, &mut rng).to_vec(),
+        Tensor::randn([tq, tk], 0.5, &mut rng),
+    )
+}
+
+#[test]
+fn fused_attention_forward_is_thread_invariant() {
+    let (h, tq, tk, dh) = ATTN;
+    let (q0, k0, v0, mask) = attn_inputs(21);
+    let q = Tensor::from_vec(q0, [h, tq, dh]);
+    let k = Tensor::from_vec(k0, [h, tk, dh]);
+    let v = Tensor::from_vec(v0, [h, tk, dh]);
+    check_thread_invariance("fused_attention forward", || {
+        let (out, map) = Tensor::fused_attention(&q, &k, &v, Some(&mask));
+        vec![out.to_vec(), map.to_vec()]
+    });
+}
+
+#[test]
+fn fused_attention_backward_is_thread_invariant() {
+    // Loss touches both outputs (merged context and averaged map), so the
+    // two independent backward closures — and both passes of each — run.
+    let (h, tq, tk, dh) = ATTN;
+    let (q0, k0, v0, mask) = attn_inputs(22);
+    check_thread_invariance("fused_attention backward", || {
+        let q = Tensor::param(q0.clone(), [h, tq, dh]);
+        let k = Tensor::param(k0.clone(), [h, tk, dh]);
+        let v = Tensor::param(v0.clone(), [h, tk, dh]);
+        let (out, map) = Tensor::fused_attention(&q, &k, &v, Some(&mask));
+        out.square().sum().add(&map.square().sum()).backward();
+        vec![
+            q.grad().expect("dq"),
+            k.grad().expect("dk"),
+            v.grad().expect("dv"),
+        ]
+    });
+}
+
+#[test]
+fn fused_attention_epoch_is_thread_invariant() {
+    // End-to-end mini-epoch: several SGD steps where each iteration's
+    // inputs are the previous iteration's updated parameters, so any
+    // nondeterministic bit anywhere would compound and show up in the final
+    // weights. Threads {1, 4} per the issue spec (the per-op tests above
+    // cover the awkward counts).
+    let (h, tq, tk, dh) = ATTN;
+    let (q0, k0, v0, mask) = attn_inputs(23);
+    let run_epoch = || {
+        let q = Tensor::param(q0.clone(), [h, tq, dh]);
+        let k = Tensor::param(k0.clone(), [h, tk, dh]);
+        let v = Tensor::param(v0.clone(), [h, tk, dh]);
+        for _ in 0..3 {
+            let (out, map) = Tensor::fused_attention(&q, &k, &v, Some(&mask));
+            out.square().mean().add(&map.square().mean()).backward();
+            for p in [&q, &k, &v] {
+                let g = p.grad().expect("grad after backward");
+                let mut w = p.to_vec();
+                for (wi, gi) in w.iter_mut().zip(&g) {
+                    *wi -= 0.05 * gi;
+                }
+                p.copy_from_slice(&w);
+                p.zero_grad();
+            }
+        }
+        vec![q.to_vec(), k.to_vec(), v.to_vec()]
+    };
+    let serial = with_threads(1, run_epoch);
+    let parallel = with_threads(4, run_epoch);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_bits_eq(s, p, &format!("fused_attention epoch param {i}"));
+    }
+}
+
 #[test]
 fn odd_row_split_covers_every_row_exactly_once() {
     // The issue's adversarial case: 7 rows over 4 threads must cover every
