@@ -15,7 +15,12 @@
 //! cargo run -p timekd-bench --release --bin kernels            # run + emit JSON
 //! QUICK=1 cargo run -p timekd-bench --release --bin kernels    # smoke-sized run
 //! cargo run -p timekd-bench --release --bin kernels -- --validate <file.json>
+//! cargo run -p timekd-bench --release --bin kernels -- --validate-trace <trace.json>
 //! ```
+//!
+//! `--validate-trace` checks a `timekd-trace/v1` report (as emitted by
+//! `TIMEKD_TRACE=1 TIMEKD_TRACE_OUT=… cargo run --example quickstart`)
+//! for both schema shape and pipeline coverage.
 //!
 //! `TIMEKD_THREADS` sizes the worker pool (the "parallel" columns);
 //! "serial" numbers are taken in-process via
@@ -28,7 +33,8 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use timekd::TimeKd;
 use timekd_bench::{
-    json::Json, run_windows, timekd_config, validate_kernel_bench, Profile, SharedLm,
+    json::Json, run_windows, timekd_config, validate_kernel_bench, validate_trace_coverage,
+    validate_trace_report, Profile, SharedLm,
 };
 use timekd_data::{DatasetKind, SplitDataset};
 use timekd_lm::LmSize;
@@ -498,6 +504,39 @@ fn run_validate(path: &str) -> i32 {
     }
 }
 
+fn run_validate_trace(path: &str) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate-trace: cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("validate-trace: {path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let mut problems = validate_trace_report(&doc).err().unwrap_or_default();
+    if problems.is_empty() {
+        problems = validate_trace_coverage(&doc).err().unwrap_or_default();
+    }
+    if problems.is_empty() {
+        println!(
+            "validate-trace: {path} conforms to {} with full pipeline coverage",
+            timekd_bench::TRACE_SCHEMA
+        );
+        0
+    } else {
+        for p in &problems {
+            eprintln!("validate-trace: {path}: {p}");
+        }
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--validate") {
@@ -507,8 +546,15 @@ fn main() {
         };
         std::process::exit(run_validate(path));
     }
+    if args.first().map(String::as_str) == Some("--validate-trace") {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: kernels --validate-trace <trace.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(run_validate_trace(path));
+    }
     if !args.is_empty() {
-        eprintln!("usage: kernels [--validate <BENCH_*.json>]");
+        eprintln!("usage: kernels [--validate <BENCH_*.json> | --validate-trace <trace.json>]");
         std::process::exit(2);
     }
 

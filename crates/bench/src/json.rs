@@ -613,6 +613,19 @@ mod tests {
     }
 
     #[test]
+    fn validator_rejects_missing_schema_field_alone() {
+        // A report that is complete except for `schema` must fail with
+        // exactly that diagnostic — the schema key is load-bearing for
+        // forward compatibility and must never be optional.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "schema");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems, vec!["missing key `schema`".to_string()]);
+    }
+
+    #[test]
     fn validator_rejects_incomplete_kernel_row() {
         let mut doc = minimal_valid_doc();
         if let Some(Json::Arr(rows)) = match &mut doc {

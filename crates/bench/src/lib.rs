@@ -37,6 +37,7 @@ pub mod json;
 mod profile;
 mod runner;
 mod tables;
+pub mod trace;
 
 pub use alloc::PeakAlloc;
 pub use json::{validate_kernel_bench, Json};
@@ -47,3 +48,4 @@ pub use runner::{
     SharedLm,
 };
 pub use tables::{argmin, experiments_dir, f3, render_heatmap, secs, ResultTable};
+pub use trace::{trace_report, validate_trace_coverage, validate_trace_report, TRACE_SCHEMA};

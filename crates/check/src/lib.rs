@@ -17,6 +17,7 @@
 //! | `no-lock-in-worker` | worker loops | no lock/condvar acquisition (`.lock(`, `.wait(`) in per-block worker loops |
 //! | `no-alloc-in-worker` | worker loops | no allocation (`vec![`, `Vec::`, `Box::new`, `.to_vec()`, `.collect()`) in per-block worker loops |
 //! | `no-println-in-worker` | worker loops | no `print!`/`println!`/`dbg!` I/O in per-block worker loops |
+//! | `no-span-in-worker` | worker loops | no `timekd_obs` span/count hooks in per-block worker loops |
 //!
 //! "Worker loops" are the hot per-block functions of the parallel kernel
 //! path — functions in `tensor/src/parallel.rs`,
@@ -325,6 +326,19 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
                 if code.contains("println!") || code.contains("print!") || code.contains("dbg!") {
                     violations.push(Violation {
                         rule: "no-println-in-worker",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                // Observability hooks stay at the job boundary (worker_loop,
+                // parallel_for): a span records through a thread-local trie
+                // and an op count through a thread-local map, both of which
+                // may allocate on first touch — never inside a claimed
+                // block. Counter `.add(` is a lone atomic and stays legal.
+                if code.contains("obs::span(") || code.contains("obs::count_op(") {
+                    violations.push(Violation {
+                        rule: "no-span-in-worker",
                         path: path_label.to_string(),
                         line: lineno,
                         text: trimmed.to_string(),

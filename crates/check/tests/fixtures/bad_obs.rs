@@ -1,0 +1,39 @@
+// Lint fixture (never compiled): observability hooks inside per-block
+// worker-loop functions. The no-span-in-worker rule must trip on the
+// span/count_op calls in worker fns and nowhere else. Line numbers
+// matter — trip.rs asserts them.
+fn traced_row_block(out: &mut [f32]) {
+    let _span = timekd_obs::span("kernel.block");
+    timekd_obs::count_op("row_block");
+    for v in out.iter_mut() {
+        *v += 1.0;
+    }
+}
+
+fn drain_tasks(queue: &JobQueue) {
+    let _span = obs::span("pool.drain");
+    queue.run_claimed();
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    // The job boundary is not a `*_block`/`drain_tasks` fn: spans and
+    // counter hooks belong here and must not trip.
+    let _span = timekd_obs::span("pool.job");
+    timekd_obs::count_op("pool.job");
+    timekd_obs::POOL_JOBS.add(1);
+    let _ = (shared, id);
+}
+
+fn fast_path_block(out: &mut [f32]) {
+    // Bare atomic counters are a single relaxed add: legal in workers.
+    timekd_obs::POOL_TASKS.add(out.len() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper_block() {
+        // Inside a test module the same hooks are exempt.
+        let _span = timekd_obs::span("exempt");
+        timekd_obs::count_op("exempt");
+    }
+}

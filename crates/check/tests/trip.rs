@@ -352,6 +352,52 @@ fn attention_rules_do_not_trip_outside_kernel_files() {
 }
 
 #[test]
+fn obs_hooks_in_worker_loop_trip() {
+    let vs = scan_source("crates/tensor/src/parallel.rs", &fixture("bad_obs.rs"));
+    let spans: Vec<usize> = vs
+        .iter()
+        .filter(|v| v.rule == "no-span-in-worker")
+        .map(|v| v.line)
+        .collect();
+    // span + count_op inside traced_row_block (lines 6-7) and the aliased
+    // `obs::span(` in drain_tasks (line 14). The same hooks in worker_loop
+    // (the job boundary, not a worker fn) and the test module are legal,
+    // as is the bare counter add in fast_path_block.
+    assert_eq!(spans, vec![6, 7, 14], "{vs:?}");
+    assert!(
+        vs.iter()
+            .all(|v| v.rule != "no-span-in-worker" || !v.text.contains(".add(")),
+        "counter adds are a lone atomic and must stay legal: {vs:?}"
+    );
+}
+
+#[test]
+fn obs_rule_does_not_trip_outside_worker_files() {
+    // Same source labelled outside the parallel kernel path: the rule is
+    // scoped to worker files, and instrumented library code (nn, lm, core)
+    // uses these hooks freely.
+    let vs = scan_source("crates/nn/src/bad_obs.rs", &fixture("bad_obs.rs"));
+    assert!(
+        vs.iter().all(|v| v.rule != "no-span-in-worker"),
+        "no-span-in-worker is scoped to worker files: {vs:?}"
+    );
+}
+
+#[test]
+fn real_parallel_module_passes_obs_rule() {
+    // The actual pool instruments worker_loop and parallel_for (legal)
+    // but never drain_tasks or a `*_block` fn — the shipped source must
+    // stay clean under its own lint.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tensor/src/parallel.rs");
+    let source = std::fs::read_to_string(&path).expect("read parallel.rs");
+    let vs = scan_source("crates/tensor/src/parallel.rs", &source);
+    assert!(
+        vs.iter().all(|v| v.rule != "no-span-in-worker"),
+        "shipped pool violates its own obs lint: {vs:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_worker_rules() {
     let source = fixture("bad_worker.rs");
     let label = "crates/tensor/src/ops/matmul.rs";

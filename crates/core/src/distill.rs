@@ -38,11 +38,13 @@ pub fn pkd_losses(
 ) -> PkdLosses {
     let ab = config.ablation;
     let correlation = if ab.correlation_distillation {
+        let _span = timekd_obs::span("pkd.correlation");
         smooth_l1_loss(student_attention, &teacher_attention.detach())
     } else {
         Tensor::scalar(0.0)
     };
     let feature = if ab.feature_distillation {
+        let _span = timekd_obs::span("pkd.feature");
         smooth_l1_loss(student_embedding, &teacher_embedding.detach())
     } else {
         Tensor::scalar(0.0)

@@ -62,6 +62,7 @@ impl Student {
 
     /// Full forward pass on one history window `[H, N]`.
     pub fn forward(&self, x: &Tensor) -> StudentOutput {
+        let _span = timekd_obs::span("student.forward");
         assert_eq!(
             x.dims(),
             &[self.input_len, self.num_vars],
@@ -84,6 +85,7 @@ impl Student {
 
     /// Inference-only prediction (no attention/embedding export, no graph).
     pub fn predict(&self, x: &Tensor) -> Tensor {
+        let _span = timekd_obs::span("student.predict");
         timekd_tensor::no_grad(|| self.forward(x).forecast)
     }
 

@@ -79,6 +79,7 @@ impl CrossModalityTeacher {
     /// Last-token prompt embeddings `[N, D]` via the frozen CLM + trainable
     /// projection.
     fn clm_embeddings(&self, prompts: &[Vec<timekd_lm::Token>]) -> Tensor {
+        let _span = timekd_obs::span("teacher.clm_embed");
         let calibrated = self.config.ablation.calibrated_attention;
         let lm_dim = self.frozen_lm.model().config().dim;
         let n = prompts.len();
@@ -96,6 +97,7 @@ impl CrossModalityTeacher {
     /// `x` is the history `[H, N]`, `y` the ground truth `[M, N]`
     /// (privileged, training only), and `prompts` their textual renderings.
     pub fn forward(&self, x: &Tensor, y: &Tensor, prompts: &WindowPrompts) -> TeacherOutput {
+        let _span = timekd_obs::span("teacher.forward");
         let ab = self.config.ablation;
         let n = x.dims()[1];
         assert_eq!(x.dims()[0], self.input_len, "history length mismatch");
@@ -125,10 +127,13 @@ impl CrossModalityTeacher {
             (l_gt, l_hd)
         };
         debug_assert_eq!(l_gt.dims(), &[n, self.config.dim]);
-        let refined = if ab.use_sca {
-            self.sca.forward(&l_gt, &l_hd)
-        } else {
-            self.sca.forward_direct(&l_gt, &l_hd)
+        let refined = {
+            let _span = timekd_obs::span("teacher.sca");
+            if ab.use_sca {
+                self.sca.forward(&l_gt, &l_hd)
+            } else {
+                self.sca.forward_direct(&l_gt, &l_hd)
+            }
         };
         let enc = self.pt_encoder.forward(&refined, None);
         let recon = self.recon_head.forward(&enc.output).transpose_last(); // [M, N]

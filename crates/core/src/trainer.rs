@@ -158,6 +158,7 @@ impl TimeKd {
     /// **Algorithm 1**: one pass training the cross-modality teacher on
     /// the reconstruction objective (Eq. 16). Returns the mean `L_recon`.
     pub fn train_teacher_epoch(&mut self, windows: &[ForecastWindow]) -> f32 {
+        let _span = timekd_obs::span("epoch.teacher");
         assert!(!windows.is_empty(), "no training windows");
         let params = self.teacher.params();
         let mut total = 0.0f32;
@@ -183,6 +184,7 @@ impl TimeKd {
     /// `λ_p·(λ_c·L_cd + λ_e·L_fd) + λ_f·L_fcst` against the (frozen for
     /// this pass) teacher's privileged outputs.
     pub fn train_student_epoch(&mut self, windows: &[ForecastWindow]) -> EpochStats {
+        let _span = timekd_obs::span("epoch.student");
         assert!(!windows.is_empty(), "no training windows");
         let params = self.student.params();
         let mut agg = EpochStats {

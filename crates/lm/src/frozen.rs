@@ -84,19 +84,26 @@ impl FrozenLm {
     /// A digest hit only counts as a cache hit after the stored full key
     /// matches the query; colliding entries are recomputed and replaced.
     pub fn embed(&self, tokens: &[Token], calibrated: bool) -> Tensor {
+        let _span = timekd_obs::span("lm.embed");
         let caching = self.caching_enabled.get();
         let key = cache_key(tokens, calibrated);
         if caching {
             if let Some(entry) = self.cache.borrow().get(&key) {
                 if entry.matches(tokens, calibrated) {
                     self.hits.set(self.hits.get() + 1);
+                    timekd_obs::LM_CACHE_HITS.add(1);
                     return Tensor::from_vec(entry.data.clone(), [self.lm.config().dim]);
                 }
                 self.collisions.set(self.collisions.get() + 1);
+                timekd_obs::LM_CACHE_COLLISIONS.add(1);
             }
         }
         self.misses.set(self.misses.get() + 1);
-        let emb = no_grad(|| self.lm.last_token_embedding(tokens, calibrated));
+        timekd_obs::LM_CACHE_MISSES.add(1);
+        let emb = {
+            let _span = timekd_obs::span("lm.forward");
+            no_grad(|| self.lm.last_token_embedding(tokens, calibrated))
+        };
         let data = emb.to_vec();
         if caching {
             self.cache.borrow_mut().insert(

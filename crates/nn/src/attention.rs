@@ -75,6 +75,7 @@ impl MultiHeadAttention {
     /// [`attend_composed`](Self::attend_composed) keeps the original
     /// op-by-op chain as a reference.
     pub fn attend(&self, q_in: &Tensor, kv_in: &Tensor, mask: Option<&Tensor>) -> AttentionOutput {
+        let _span = timekd_obs::span("nn.attention");
         assert_eq!(q_in.shape().rank(), 2, "attention expects [T, D] inputs");
         assert_eq!(kv_in.shape().rank(), 2, "attention expects [T, D] inputs");
         let tq = q_in.dims()[0];

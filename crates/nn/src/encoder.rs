@@ -148,6 +148,7 @@ impl TransformerEncoder {
 
     /// Encodes `x` `[T, D]`; exports the last layer's attention map.
     pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> EncoderOutput {
+        let _span = timekd_obs::span("nn.encoder");
         let mut h = x.clone();
         let mut last_attention = None;
         for layer in &self.layers {

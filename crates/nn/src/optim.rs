@@ -81,6 +81,7 @@ impl AdamW {
     /// then leaves gradients untouched (call `zero_grad` before the next
     /// backward).
     pub fn step(&mut self, params: &[Tensor]) {
+        let _span = timekd_obs::span("optim.step");
         self.step_count += 1;
         let t = self.step_count as f32;
         let c = self.config;

@@ -134,6 +134,10 @@ fn run_tasks(total: usize, worth: bool, task: impl Fn(usize) + Sync) {
     if worth {
         parallel::parallel_for(total, task);
     } else {
+        // Below-cutoff calls are a serial fallback too: count them so the
+        // pool counters reflect every dispatch decision, even on hosts
+        // where nothing ever crosses the parallel threshold.
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         for t in 0..total {
             task(t);
         }

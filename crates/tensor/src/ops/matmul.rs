@@ -159,6 +159,7 @@ pub(crate) fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: 
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     if !worth_parallel(m, k, n) {
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         mm_row_block(a, b, out, 0, m, k, n);
         return;
     }
@@ -185,6 +186,7 @@ pub(crate) fn mm_tn_accumulate(
     debug_assert_eq!(out.len(), m * n);
     let at = pack_transpose(a, k, m);
     if !worth_parallel(m, k, n) {
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         mm_row_block(&at, b, out, 0, m, k, n);
         return;
     }
@@ -209,6 +211,7 @@ pub(crate) fn mm_nt_accumulate(
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
     if !worth_parallel(m, k, n) {
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         mm_nt_row_block(a, b, out, 0, m, k, n);
         return;
     }

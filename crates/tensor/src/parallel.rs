@@ -210,7 +210,7 @@ fn ensure_workers(want: usize) {
         let builder = std::thread::Builder::new().name(format!("timekd-kernel-{id}"));
         // Worker threads are detached by design: they live for the whole
         // process and exit with it.
-        if builder.spawn(move || worker_loop(shared())).is_err() {
+        if builder.spawn(move || worker_loop(shared(), id)).is_err() {
             // Spawn failure (resource limits): fall back to fewer workers;
             // the submitting thread still drains every task itself.
             st.spawned -= 1;
@@ -219,7 +219,7 @@ fn ensure_workers(want: usize) {
     }
 }
 
-fn worker_loop(sh: &'static Shared) {
+fn worker_loop(sh: &'static Shared, id: usize) {
     // Anything a worker runs is by definition inside a parallel region;
     // kernels it calls must take their serial path.
     IN_PARALLEL_REGION.with(|c| c.set(true));
@@ -244,7 +244,17 @@ fn worker_loop(sh: &'static Shared) {
                 }
             }
         };
-        drain_tasks(&job);
+        // Busy-time accounting stays out of `drain_tasks` (the lint-guarded
+        // hot loop): one clock pair per job, and only while tracing is on.
+        // `timekd_obs::now_ns` wraps the monotonic clock so this file never
+        // names `Instant` (kernel-scope lint).
+        if timekd_obs::enabled() {
+            let t0 = timekd_obs::now_ns();
+            drain_tasks(&job);
+            timekd_obs::worker_busy_add(id, timekd_obs::now_ns().saturating_sub(t0));
+        } else {
+            drain_tasks(&job);
+        }
         let _st = lock_state(sh);
         // SAFETY: detach under the lock; the submitter only frees the job
         // after observing `attached == 0` under this same lock.
@@ -323,11 +333,14 @@ impl Drop for JobGuard<'_> {
 pub(crate) fn parallel_for<F: Fn(usize) + Sync>(total: usize, task: F) {
     let threads = effective_threads();
     if total <= 1 || threads <= 1 || in_parallel_region() {
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         for t in 0..total {
             task(t);
         }
         return;
     }
+    timekd_obs::POOL_JOBS.add(1);
+    timekd_obs::POOL_TASKS.add(total as u64);
     ensure_workers(threads.min(total) - 1);
 
     let next = AtomicUsize::new(0);
@@ -350,6 +363,7 @@ pub(crate) fn parallel_for<F: Fn(usize) + Sync>(total: usize, task: F) {
         while st.slot.is_some() {
             // Another thread's job is in flight; wait for the slot. The
             // owner always clears it, so this cannot deadlock.
+            timekd_obs::POOL_SLOT_WAITS.add(1);
             st = sh.done_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         st.epoch += 1;
@@ -401,6 +415,7 @@ pub(crate) fn par_row_blocks(
         return;
     }
     if max_blocks <= 1 || threads <= 1 || in_parallel_region() {
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         body(0, rows, out);
         return;
     }
@@ -435,6 +450,7 @@ pub(crate) fn par_chunks(
         return;
     }
     if effective_threads() <= 1 || chunks == 1 || in_parallel_region() {
+        timekd_obs::POOL_SERIAL_FALLBACK.add(1);
         for (t, chunk) in out.chunks_mut(chunk_len).enumerate() {
             body(t, chunk);
         }

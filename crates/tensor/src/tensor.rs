@@ -161,6 +161,7 @@ impl Tensor {
         assert_eq!(data.len(), shape.num_elements());
         #[cfg(feature = "sanitize")]
         crate::sanitize::check_op_output(op, &data, &parents);
+        timekd_obs::count_op(op);
         let track = !is_grad_disabled() && parents.iter().any(|p| p.requires_grad());
         Tensor {
             inner: Rc::new(TensorInner {
@@ -425,6 +426,7 @@ impl Tensor {
             self.requires_grad(),
             "backward() on a tensor that does not require grad"
         );
+        let _span = timekd_obs::span("tensor.backward");
         let order = self.topo_order();
         self.accumulate_grad(&[1.0]);
         for node in order.iter().rev() {

@@ -28,6 +28,17 @@ echo "==> tests"
 cargo test -q --workspace
 
 echo "==> bench smoke (QUICK kernel bench + schema validation)"
-scripts/bench.sh
+# Explicit propagation: a validator failure inside the smoke must fail CI
+# even if this script is ever sourced or run without `set -e` semantics.
+if ! scripts/bench.sh; then
+  echo "ci.sh: bench smoke failed (bench crash or schema-validator rejection)" >&2
+  exit 1
+fi
+
+echo "==> observability gate (golden trace + overhead guard + traced quickstart)"
+if ! scripts/trace.sh; then
+  echo "ci.sh: observability gate failed" >&2
+  exit 1
+fi
 
 echo "CI gate passed."

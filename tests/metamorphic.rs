@@ -1,0 +1,188 @@
+//! Metamorphic test pack: properties that must hold between *pairs* of
+//! runs, rather than against fixed expected values.
+//!
+//! - RevIN shift/scale invariance: the student normalizes per-channel
+//!   statistics away on entry and restores them on exit, so an affine
+//!   change of the input must produce the same affine change of the
+//!   forecast (§IV-C, Eq. 17/28).
+//! - Permutation equivariance: the inverted channel embedding treats each
+//!   variable as one token with shared weights, and the encoder has no
+//!   positional encoding, so permuting input channels must permute the
+//!   embedding rows, the attention map, and the forecast columns.
+//! - Row-stochasticity: the fused attention kernel's exported map is a
+//!   head-average of per-row softmaxes, so every row must sum to one.
+//!
+//! All loops are seeded (`seeded_rng`), no external property-test crates.
+
+use timekd::{Student, TimeKdConfig};
+use timekd_nn::{causal_mask, Module, MultiHeadAttention};
+use timekd_tensor::{no_grad, seeded_rng, SeededRng, Tensor};
+
+#[allow(clippy::field_reassign_with_default)]
+fn student(seed: u64, input_len: usize, horizon: usize, num_vars: usize) -> Student {
+    let mut cfg = TimeKdConfig::default();
+    cfg.dim = 16;
+    cfg.ffn_hidden = 32;
+    cfg.num_heads = 2;
+    let mut rng = seeded_rng(seed);
+    Student::new(&cfg, input_len, horizon, num_vars, &mut rng)
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+#[test]
+fn revin_makes_student_shift_and_scale_invariant() {
+    // predict(a·x + b) ≈ a·predict(x) + b for a > 0: RevIN removes the
+    // input's per-channel mean/std before the network sees it and
+    // reapplies them to the forecast, so the network body observes the
+    // identical normalized sequence in both runs (up to the eps in the
+    // std estimate).
+    let (h, m, n) = (24, 8, 5);
+    let s = student(7, h, m, n);
+    let mut rng = seeded_rng(11);
+    for case in 0..6 {
+        let x = Tensor::randn([h, n], 1.0, &mut rng);
+        let a = rng.gen_range(0.5f32..3.0);
+        let b = rng.gen_range(-5.0f32..5.0);
+        let base = s.predict(&x).to_vec();
+        let shifted_in = x.mul_scalar(a).add_scalar(b);
+        let shifted_out = s.predict(&shifted_in).to_vec();
+        let expected: Vec<f32> = base.iter().map(|v| a * v + b).collect();
+        let err = max_abs_diff(&shifted_out, &expected);
+        // Scale of the outputs is O(a·|pred| + b) ≲ 15 here; 1e-2 leaves
+        // room for the eps-perturbed std while catching any real leak of
+        // un-normalized scale into the network.
+        assert!(
+            err < 1e-2,
+            "case {case}: a={a} b={b}: max deviation {err} from affine equivariance"
+        );
+    }
+}
+
+/// Applies `perm` to the columns (variables) of a `[T, N]` matrix.
+fn permute_cols(x: &Tensor, perm: &[usize]) -> Tensor {
+    let dims = x.dims().to_vec();
+    let (t, n) = (dims[0], dims[1]);
+    assert_eq!(perm.len(), n);
+    let src = x.to_vec();
+    let mut out = vec![0.0f32; t * n];
+    for r in 0..t {
+        for (j, &p) in perm.iter().enumerate() {
+            out[r * n + j] = src[r * n + p];
+        }
+    }
+    Tensor::from_vec(out, [t, n])
+}
+
+/// Applies `perm` to the rows of a `[N, D]` matrix.
+fn permute_rows(x: &Tensor, perm: &[usize]) -> Tensor {
+    let dims = x.dims().to_vec();
+    let (n, d) = (dims[0], dims[1]);
+    let src = x.to_vec();
+    let mut out = vec![0.0f32; n * d];
+    for (i, &p) in perm.iter().enumerate() {
+        out[i * d..(i + 1) * d].copy_from_slice(&src[p * d..(p + 1) * d]);
+    }
+    Tensor::from_vec(out, [n, d])
+}
+
+/// Applies `perm` to both rows and columns of a `[N, N]` matrix.
+fn permute_square(x: &Tensor, perm: &[usize]) -> Tensor {
+    permute_cols(&permute_rows(x, perm), perm)
+}
+
+fn shuffled_perm(n: usize, rng: &mut SeededRng) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0.0f32..(i + 1) as f32) as usize;
+        perm.swap(i, j.min(i));
+    }
+    perm
+}
+
+#[test]
+fn inverted_channel_embedding_is_permutation_equivariant() {
+    // Permuting the input variables must permute the student's per-variable
+    // embedding rows, its [N, N] attention map, and its forecast columns —
+    // nothing in the inverted-embedding pipeline may depend on channel
+    // order. Tolerance is loose-ish (1e-3) because softmax/mean reductions
+    // inside attention run in a different summation order after the
+    // permutation.
+    let (h, m, n) = (24, 8, 6);
+    let s = student(13, h, m, n);
+    let mut rng = seeded_rng(17);
+    for case in 0..6 {
+        let x = Tensor::randn([h, n], 1.0, &mut rng);
+        let perm = shuffled_perm(n, &mut rng);
+        let (base_emb, base_attn, base_fcst) = no_grad(|| {
+            let o = s.forward(&x);
+            (o.embedding, o.attention, o.forecast)
+        });
+        let (perm_emb, perm_attn, perm_fcst) = no_grad(|| {
+            let o = s.forward(&permute_cols(&x, &perm));
+            (o.embedding, o.attention, o.forecast)
+        });
+        let e_err = max_abs_diff(&perm_emb.to_vec(), &permute_rows(&base_emb, &perm).to_vec());
+        let a_err = max_abs_diff(
+            &perm_attn.to_vec(),
+            &permute_square(&base_attn, &perm).to_vec(),
+        );
+        let f_err = max_abs_diff(
+            &perm_fcst.to_vec(),
+            &permute_cols(&base_fcst, &perm).to_vec(),
+        );
+        assert!(
+            e_err < 1e-3 && a_err < 1e-3 && f_err < 1e-3,
+            "case {case} perm {perm:?}: emb {e_err}, attn {a_err}, fcst {f_err}"
+        );
+    }
+}
+
+#[test]
+fn fused_attention_map_rows_are_stochastic() {
+    // The exported head-averaged attention map is an average of per-row
+    // softmax distributions, so every row must sum to 1 — for self- and
+    // cross-attention, with and without a causal mask.
+    let mut rng = seeded_rng(23);
+    for case in 0..8 {
+        let dim = 16;
+        let heads = if case % 2 == 0 { 2 } else { 4 };
+        let tq = 3 + case % 5;
+        let tk = if case % 3 == 0 { tq } else { 4 + case % 4 };
+        let causal = case % 3 == 0 && tq == tk;
+        let mha = MultiHeadAttention::new(dim, heads, &mut rng);
+        let q_in = Tensor::randn([tq, dim], 1.0, &mut rng);
+        let kv_in = Tensor::randn([tk, dim], 1.0, &mut rng);
+        let mask = causal.then(|| causal_mask(tq));
+        let map = no_grad(|| mha.attend(&q_in, &kv_in, mask.as_ref()).attention);
+        assert_eq!(map.dims(), &[tq, tk]);
+        let data = map.to_vec();
+        for r in 0..tq {
+            let row = &data[r * tk..(r + 1) * tk];
+            let sum: f32 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-4,
+                "case {case} row {r}: sums to {sum}, not 1"
+            );
+            assert!(
+                row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)),
+                "case {case} row {r}: entries outside [0, 1]: {row:?}"
+            );
+            if causal {
+                for (c, &p) in row.iter().enumerate().skip(r + 1) {
+                    assert!(
+                        p < 1e-6,
+                        "case {case}: causal mask leaked attention to future position {c}: {p}"
+                    );
+                }
+            }
+        }
+        let _ = mha.params(); // keep Module import exercised
+    }
+}
