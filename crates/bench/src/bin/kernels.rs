@@ -5,7 +5,9 @@
 //! with the `a_ik == 0.0` skip, kept here so the register-blocking win
 //! stays measurable), the fused attention kernel against the composed op
 //! chain it replaced (per LM size + encoder geometry, forward and
-//! training step), and teacher/student epoch times, then emits a
+//! training step), the compiled student plan against the dynamic graph
+//! engine (per-window predict and a full inference-epoch sweep), and
+//! teacher/student epoch times, then emits a
 //! machine-readable `BENCH_<unix-seconds>.json` at the repo root so the
 //! perf trajectory is tracked across PRs.
 //!
@@ -31,7 +33,7 @@
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use timekd::TimeKd;
+use timekd::{PlannedStudent, Student, TimeKd, TimeKdConfig};
 use timekd_bench::{
     json::Json, run_windows, timekd_config, validate_kernel_bench, validate_trace_coverage,
     validate_trace_report, Profile, SharedLm,
@@ -467,6 +469,85 @@ fn bench_end_to_end(quick: bool, threads: usize) -> Json {
     ])
 }
 
+/// Planned vs dynamic student predict: per-window forecast latency plus a
+/// full inference-epoch sweep over a batch of windows. "Dynamic" runs
+/// [`Student::predict`] through the graph engine (worker pool at
+/// `threads`); "planned" replays the compiled static plan (fixed schedule,
+/// liveness-colored arena, zero allocation) through
+/// [`PlannedStudent::predict_into`]. The two are bitwise identical — this
+/// row measures what the plan compiler buys, not what it changes.
+fn bench_planned_student(quick: bool, threads: usize) -> Json {
+    let (input_len, horizon, num_vars) = (48usize, 24usize, 7usize);
+    let config = TimeKdConfig::default();
+    let mut rng = seeded_rng(0x1A7E);
+    let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+    let mut planned = PlannedStudent::new(&student, &config).expect("student plan compiles");
+
+    let windows: Vec<Tensor> = (0..if quick { 8 } else { 32 })
+        .map(|_| Tensor::randn([input_len, num_vars], 1.0, &mut rng))
+        .collect();
+    let iters = if quick { 5 } else { 40 };
+    let epoch_iters = if quick { 2 } else { 8 };
+
+    // Sanity: the plan must reproduce the dynamic forecast bitwise before
+    // its timings mean anything.
+    let reference = student.predict(&windows[0]).to_vec();
+    assert_eq!(
+        planned.predict(&windows[0]).to_vec(),
+        reference,
+        "planned forecast diverged from the dynamic engine"
+    );
+
+    let x = &windows[0];
+    let predict_dynamic_ms = with_threads(threads, || {
+        time_min_ms(iters, || {
+            std::hint::black_box(student.predict(std::hint::black_box(x)));
+        })
+    });
+    let mut out = vec![0.0f32; horizon * num_vars];
+    let predict_planned_ms = time_min_ms(iters, || {
+        planned.predict_into(std::hint::black_box(x), &mut out);
+        std::hint::black_box(&out);
+    });
+
+    let epoch_dynamic_ms = with_threads(threads, || {
+        time_min_ms(epoch_iters, || {
+            for w in &windows {
+                std::hint::black_box(student.predict(w));
+            }
+        })
+    });
+    let epoch_planned_ms = time_min_ms(epoch_iters, || {
+        for w in &windows {
+            planned.predict_into(w, &mut out);
+        }
+        std::hint::black_box(&out);
+    });
+
+    let plan = planned.plan();
+    Json::obj(vec![
+        ("input_len", Json::num(input_len as f64)),
+        ("horizon", Json::num(horizon as f64)),
+        ("num_vars", Json::num(num_vars as f64)),
+        ("windows", Json::num(windows.len() as f64)),
+        ("iters", Json::num(f64::from(iters))),
+        ("predict_dynamic_ms", Json::num(predict_dynamic_ms)),
+        ("predict_planned_ms", Json::num(predict_planned_ms)),
+        (
+            "speedup_planned_predict",
+            Json::num(predict_dynamic_ms / predict_planned_ms),
+        ),
+        ("epoch_dynamic_ms", Json::num(epoch_dynamic_ms)),
+        ("epoch_planned_ms", Json::num(epoch_planned_ms)),
+        (
+            "speedup_planned_epoch",
+            Json::num(epoch_dynamic_ms / epoch_planned_ms),
+        ),
+        ("plan_steps", Json::num(plan.steps().len() as f64)),
+        ("plan_arena_f32", Json::num(plan.arena_len() as f64)),
+    ])
+}
+
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -600,6 +681,26 @@ fn main() {
         attention.push(row);
     }
 
+    println!("  planned vs dynamic student predict …");
+    let planned_student = bench_planned_student(quick, threads);
+    {
+        let fmt = |key: &str| {
+            planned_student
+                .get(key)
+                .and_then(Json::as_num)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "    predict: dynamic {:>9.3} ms  planned {:>9.3} ms  x{:<5.2}  (epoch: dynamic {:>9.3} ms, planned {:>9.3} ms, x{:.2})",
+            fmt("predict_dynamic_ms"),
+            fmt("predict_planned_ms"),
+            fmt("speedup_planned_predict"),
+            fmt("epoch_dynamic_ms"),
+            fmt("epoch_planned_ms"),
+            fmt("speedup_planned_epoch"),
+        );
+    }
+
     println!("  end-to-end teacher/student epochs …");
     let end_to_end = bench_end_to_end(quick, threads);
     for key in ["speedup_teacher", "speedup_student"] {
@@ -616,7 +717,7 @@ fn main() {
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let doc = Json::obj(vec![
-        ("schema", Json::str("timekd-kernel-bench/v2")),
+        ("schema", Json::str("timekd-kernel-bench/v3")),
         ("created_unix_s", Json::num(created as f64)),
         ("quick", Json::Bool(quick)),
         (
@@ -628,6 +729,7 @@ fn main() {
         ),
         ("kernels", Json::Arr(kernels)),
         ("attention", Json::Arr(attention)),
+        ("planned_student", planned_student),
         ("end_to_end", end_to_end),
     ]);
     if let Err(problems) = validate_kernel_bench(&doc) {

@@ -348,7 +348,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Checks a parsed document against the `timekd-kernel-bench/v2` schema
+/// Checks a parsed document against the `timekd-kernel-bench/v3` schema
 /// emitted by `cargo run -p timekd-bench --bin kernels`. Returns every
 /// problem found (not just the first) so a broken baseline is diagnosable
 /// in one pass.
@@ -373,10 +373,30 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
         need_num(&format!("end_to_end.{key}"));
     }
 
+    // v3: the planned-vs-dynamic student predict section. A missing
+    // section reports one `missing key` problem per expected field.
+    for key in [
+        "input_len",
+        "horizon",
+        "num_vars",
+        "windows",
+        "iters",
+        "predict_dynamic_ms",
+        "predict_planned_ms",
+        "speedup_planned_predict",
+        "epoch_dynamic_ms",
+        "epoch_planned_ms",
+        "speedup_planned_epoch",
+        "plan_steps",
+        "plan_arena_f32",
+    ] {
+        need_num(&format!("planned_student.{key}"));
+    }
+
     match doc.get("schema").map(Json::as_str) {
-        Some(Some("timekd-kernel-bench/v2")) => {}
+        Some(Some("timekd-kernel-bench/v3")) => {}
         Some(other) => problems.push(format!(
-            "`schema` must be \"timekd-kernel-bench/v2\", got {other:?}"
+            "`schema` must be \"timekd-kernel-bench/v3\", got {other:?}"
         )),
         None => problems.push("missing key `schema`".to_string()),
     }
@@ -466,7 +486,7 @@ mod tests {
     #[test]
     fn roundtrip_bench_shape() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v2")),
+            ("schema", Json::str("timekd-kernel-bench/v3")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -490,7 +510,7 @@ mod tests {
         );
         assert_eq!(
             parsed.get_path("schema").and_then(Json::as_str),
-            Some("timekd-kernel-bench/v2")
+            Some("timekd-kernel-bench/v3")
         );
     }
 
@@ -559,8 +579,25 @@ mod tests {
             ("causal", Json::Bool(true)),
         ];
         attn_row.extend(attn_keys.iter().map(|k| (*k, Json::num(1.0))));
+        let planned_keys = [
+            "input_len",
+            "horizon",
+            "num_vars",
+            "windows",
+            "iters",
+            "predict_dynamic_ms",
+            "predict_planned_ms",
+            "speedup_planned_predict",
+            "epoch_dynamic_ms",
+            "epoch_planned_ms",
+            "speedup_planned_epoch",
+            "plan_steps",
+            "plan_arena_f32",
+        ];
+        let planned_row: Vec<(&str, Json)> =
+            planned_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
         Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v2")),
+            ("schema", Json::str("timekd-kernel-bench/v3")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -572,6 +609,7 @@ mod tests {
             ),
             ("kernels", Json::Arr(vec![Json::obj(row)])),
             ("attention", Json::Arr(vec![Json::obj(attn_row)])),
+            ("planned_student", Json::obj(planned_row)),
             (
                 "end_to_end",
                 Json::obj(vec![
@@ -667,6 +705,42 @@ mod tests {
                 .any(|p| p.contains("attention[0].speedup_fused")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn validator_requires_planned_student_section() {
+        // v3 gate: a v2-shaped doc (no planned_student) must fail with one
+        // missing-key diagnostic per expected planned field.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "planned_student");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("planned_student.speedup_planned_epoch")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_planned_field() {
+        let mut doc = minimal_valid_doc();
+        if let Some(Json::Obj(row)) = match &mut doc {
+            Json::Obj(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "planned_student")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Some((_, v)) = row.iter_mut().find(|(k, _)| k == "predict_planned_ms") {
+                *v = Json::str("fast");
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("planned_student.predict_planned_ms"));
     }
 
     #[test]

@@ -27,7 +27,8 @@
 //! (`cargo run -p timekd-bench --release --bin kernels`): the perf
 //! baseline runner. It times the matmul kernels serial vs parallel
 //! (see `TIMEKD_THREADS`), compares them against the naive triple-loop
-//! reference, measures teacher/student epoch wall time, and writes a
+//! reference, measures the compiled student plan against the dynamic
+//! graph engine and teacher/student epoch wall time, and writes a
 //! machine-readable `BENCH_<unix-seconds>.json` validated against the
 //! schema in [`json::validate_kernel_bench`]. `scripts/bench.sh` wraps
 //! a QUICK smoke run plus schema validation for CI.

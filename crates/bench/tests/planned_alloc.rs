@@ -1,0 +1,52 @@
+//! Proves the compiled-plan student predict path is allocation-free.
+//!
+//! Installs [`PeakAlloc`] as this binary's global allocator and measures
+//! the heap around a batch of [`PlannedStudent::predict_into`] calls:
+//! after the warm-up call, live bytes must not move and the peak must not
+//! rise — i.e. the hot loop performs **zero** allocations, as the
+//! `*-in-plan-loop` lint rules promise statically.
+//!
+//! Built with `harness = false`: the libtest harness runs a second thread
+//! whose own bookkeeping allocates sporadically, which would show up in
+//! the global counters. A plain single-threaded `main` makes the
+//! measurement window deterministic.
+
+use timekd::{PlannedStudent, Student, TimeKdConfig};
+use timekd_bench::PeakAlloc;
+use timekd_tensor::{seeded_rng, Tensor};
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc::new();
+
+fn main() {
+    let config = TimeKdConfig::default();
+    let (input_len, horizon, num_vars) = (48, 24, 7);
+    let mut rng = seeded_rng(0xA110C);
+    let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+    let mut planned = PlannedStudent::new(&student, &config).expect("student plan compiles");
+
+    let x = Tensor::randn([input_len, num_vars], 1.0, &mut rng);
+    let mut out = vec![0.0f32; horizon * num_vars];
+
+    // Warm-up: any lazy one-time setup happens outside the window.
+    planned.predict_into(&x, &mut out);
+
+    let live_before = ALLOC.live_bytes();
+    ALLOC.reset_peak();
+    for _ in 0..64 {
+        planned.predict_into(&x, &mut out);
+    }
+    let live_after = ALLOC.live_bytes();
+    let peak_after = ALLOC.peak_bytes();
+
+    assert_eq!(
+        live_after, live_before,
+        "planned predict must not leak or allocate"
+    );
+    assert_eq!(
+        peak_after, live_before,
+        "planned predict must not allocate even transiently"
+    );
+    assert!(out.iter().all(|v| v.is_finite()), "forecast must be finite");
+    println!("planned_alloc: 64 predict_into calls, zero heap movement ({live_before} live bytes)");
+}

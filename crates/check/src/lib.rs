@@ -18,6 +18,9 @@
 //! | `no-alloc-in-worker` | worker loops | no allocation (`vec![`, `Vec::`, `Box::new`, `.to_vec()`, `.collect()`) in per-block worker loops |
 //! | `no-println-in-worker` | worker loops | no `print!`/`println!`/`dbg!` I/O in per-block worker loops |
 //! | `no-span-in-worker` | worker loops | no `timekd_obs` span/count hooks in per-block worker loops |
+//! | `no-alloc-in-plan-loop` | plan loops | no allocation (`vec![`, `Vec::`, `.push(`, `Box::new`, `.to_vec()`, `.collect()`) in the plan executor's step loop |
+//! | `no-unwrap-in-plan-loop` | plan loops | no `.unwrap()` / `.expect(` in the plan executor's step loop |
+//! | `no-span-in-plan-loop` | plan loops | no `timekd_obs` span/count hooks in the plan executor's step loop |
 //!
 //! "Worker loops" are the hot per-block functions of the parallel kernel
 //! path — functions in `tensor/src/parallel.rs`,
@@ -27,6 +30,13 @@
 //! pool threads inside a claimed task, where a lock could deadlock the
 //! pool, an allocation serialises on the global allocator, and console
 //! I/O both blocks and interleaves.
+//!
+//! "Plan loops" are the hot schedule-replay functions of the static plan
+//! executor — functions in `tensor/src/plan.rs` whose name ends in
+//! `_plan_loop` (the naming contract that file documents). The executor's
+//! whole point is zero per-call allocation and zero instrumentation; a
+//! stray `Vec::push`, panic path, or span there silently voids the
+//! plan's performance contract.
 //!
 //! Test modules are exempt from every rule. Justified exceptions go in the
 //! repo-root `lint-allow.txt` allowlist (see [`Allowlist`]).
@@ -41,6 +51,7 @@
 )]
 #![warn(missing_docs)]
 
+pub mod plan;
 pub mod verify;
 
 use std::fmt;
@@ -245,6 +256,9 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
     let in_worker_file = path_label.contains("tensor/src/parallel.rs")
         || path_label.contains("tensor/src/ops/matmul.rs")
         || path_label.contains("tensor/src/ops/attention.rs");
+    // Files that may define plan-executor hot loops (`*_plan_loop`),
+    // subject to the no-alloc/no-unwrap/no-span plan rules.
+    let in_plan_file = path_label.contains("tensor/src/plan.rs");
     let mut violations = Vec::new();
     let mut depth = 0usize;
     let mut in_block_comment = false;
@@ -339,6 +353,41 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
                 if code.contains("obs::span(") || code.contains("obs::count_op(") {
                     violations.push(Violation {
                         rule: "no-span-in-worker",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+            }
+            // The plan executor's schedule-replay loop promises zero
+            // per-call allocation, no panic paths, and no instrumentation
+            // — that promise is the whole reason the plan exists.
+            if in_plan_file && current_fn.ends_with("_plan_loop") {
+                if code.contains("vec![")
+                    || code.contains("Vec::")
+                    || code.contains(".push(")
+                    || code.contains("Box::new")
+                    || code.contains(".to_vec()")
+                    || code.contains(".collect()")
+                {
+                    violations.push(Violation {
+                        rule: "no-alloc-in-plan-loop",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                if code.contains(".unwrap()") || code.contains(".expect(") {
+                    violations.push(Violation {
+                        rule: "no-unwrap-in-plan-loop",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                if code.contains("obs::span(") || code.contains("obs::count_op(") {
+                    violations.push(Violation {
+                        rule: "no-span-in-plan-loop",
                         path: path_label.to_string(),
                         line: lineno,
                         text: trimmed.to_string(),

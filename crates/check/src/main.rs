@@ -10,7 +10,12 @@
 //! - `--graph`: dynamic autograd-graph sanity checks — a [`GraphAudit`]
 //!   over a real student loss graph, the frozen-LM invariant after a
 //!   genuine backward pass, and a symbolic-vs-dynamic cross-check that the
-//!   traced graph agrees with the executed one on node/edge counts.
+//!   traced graph agrees with the executed one on node/edge counts;
+//! - `--plan`: the execution-plan verifier (`timekd_check::plan`) —
+//!   independently re-derives liveness over each compiled student plan and
+//!   proves slot interference soundness, def-before-use, the arena bound,
+//!   and a clean diff against the symbolic graph and dynamic execution,
+//!   for the whole configuration matrix.
 //!
 //! Modifiers: `--json` renders the verifier report as stable, diffable
 //! JSON; `--strict` turns stale-allowlist warnings into failures.
@@ -23,6 +28,7 @@ use std::process::{Command, ExitCode};
 use std::rc::Rc;
 
 use timekd::{trace_student_loss, Forecaster, TimeKd, TimeKdConfig};
+use timekd_check::plan::verify_plans;
 use timekd_check::verify::verify_all;
 use timekd_check::{scan_workspace_with_stale, Allowlist};
 use timekd_data::{DatasetKind, Split, SplitDataset};
@@ -44,6 +50,7 @@ struct Options {
     lints: bool,
     graph: bool,
     verify: bool,
+    plan: bool,
     json: bool,
     strict: bool,
 }
@@ -55,20 +62,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--lints" => opts.lints = true,
             "--graph" => opts.graph = true,
             "--verify" => opts.verify = true,
+            "--plan" => opts.plan = true,
             "--json" => opts.json = true,
             "--strict" => opts.strict = true,
             other => {
                 return Err(format!(
                     "unknown flag `{other}`\nusage: timekd-check [--lints] [--graph] \
-                     [--verify] [--json] [--strict]\n(no selection flag runs all layers)"
+                     [--verify] [--plan] [--json] [--strict]\n(no selection flag runs all layers)"
                 ));
             }
         }
     }
-    if !opts.lints && !opts.graph && !opts.verify {
+    if !opts.lints && !opts.graph && !opts.verify && !opts.plan {
         opts.lints = true;
         opts.graph = true;
         opts.verify = true;
+        opts.plan = true;
     }
     Ok(opts)
 }
@@ -160,6 +169,25 @@ fn run_verify(json: bool) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("verify: {} finding(s)", report.findings.len()))
+    }
+}
+
+fn run_plan_checks() -> Result<(), String> {
+    let report = verify_plans();
+    println!(
+        "plan: verified {} compiled plans ({} geometries executed against the dynamic engine)",
+        report.configs_checked, report.geometries_executed
+    );
+    for f in &report.findings {
+        print!("plan: {f}");
+    }
+    for p in &report.proofs {
+        println!("plan: proved {p}");
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("plan: {} finding(s)", report.findings.len()))
     }
 }
 
@@ -275,6 +303,9 @@ fn main() -> ExitCode {
     }
     if opts.graph {
         results.push(run_graph_checks());
+    }
+    if opts.plan {
+        results.push(run_plan_checks());
     }
     let mut failed = false;
     for result in results {

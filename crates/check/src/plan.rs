@@ -1,0 +1,686 @@
+//! The execution-plan verifier — `timekd-check --plan`.
+//!
+//! [`Plan::compile`](timekd_tensor::Plan) performs liveness analysis and
+//! slot coloring; this module **re-derives everything from scratch** and
+//! refuses to trust any field the compiler wrote. Four passes per
+//! configuration, none of which reuses the compiler's analysis:
+//!
+//! 1. **slot-overlap** — recompute def/use intervals over the schedule and
+//!    prove no two simultaneously-live values share an arena slot, and no
+//!    two slots overlap in the arena (interference soundness).
+//! 2. **use-before-def** — walk the schedule in order and prove every
+//!    step's operands are parameters, the input, or outputs of *earlier*
+//!    steps (derived by scanning the schedule, not by trusting the
+//!    recorded producer index), that no value is produced twice, and that
+//!    the root is produced at all (topological validity).
+//! 3. **arena-bound-mismatch** — recompute each slot's required extent
+//!    from the values assigned to it and prove the packing is a gapless
+//!    prefix-sum whose total equals the declared arena length (the
+//!    executor allocates exactly that).
+//! 4. **graph-diff** — re-trace the symbolic graph and prove the plan is a
+//!    bijection of it: every symbolic node maps to exactly one plan value,
+//!    every op's schedule entry carries the same op name and the same
+//!    dependency edges in order, and the only synthesized steps are the
+//!    RevIN stat lowerings. The gradient subgraph derived from the plan's
+//!    `tracked` flags must then agree node-for-node (counts and depth)
+//!    with both the symbolic [`graph_stats`] and a dynamic [`GraphAudit`]
+//!    over a real seeded student forward — the same three-way agreement
+//!    the `--graph` layer enforces for the loss graph.
+//!
+//! A final execution cross-check replays each distinct student geometry
+//! through [`PlannedStudent`] and requires bitwise equality with the
+//! dynamic `Student::predict`.
+//!
+//! Each pass has a fault-injection test (via
+//! [`PlanFault`](timekd_tensor::PlanFault)) proving it actually fires.
+
+use std::collections::{HashMap, HashSet};
+
+use timekd::{student_plan_spec, trace_student_forecast, PlannedStudent, Student, TimeKdConfig};
+use timekd_tensor::{
+    graph_stats, seeded_rng, GraphAudit, Plan, SymbolicTensor, Tensor, ValueSource,
+};
+
+use crate::verify::{config_matrix, Finding};
+
+fn finding(kind: &'static str, config: &str, message: String) -> Finding {
+    Finding {
+        pass: "plan",
+        kind,
+        config: config.to_string(),
+        message,
+        provenance: Vec::new(),
+    }
+}
+
+/// Def/use intervals re-derived purely from the schedule: `def[v]` is the
+/// first step producing `v`, `last[v]` the last step consuming it (the
+/// root is pinned live through the end of the schedule).
+fn derive_intervals(plan: &Plan) -> (Vec<Option<usize>>, Vec<usize>) {
+    let n = plan.values().len();
+    let mut def: Vec<Option<usize>> = vec![None; n];
+    let mut last: Vec<usize> = vec![0; n];
+    for (t, step) in plan.steps().iter().enumerate() {
+        if def[step.output].is_none() {
+            def[step.output] = Some(t);
+        }
+        for &v in &step.inputs {
+            last[v] = last[v].max(t);
+        }
+    }
+    last[plan.root()] = plan.steps().len();
+    (def, last)
+}
+
+/// Pass 1: no two live values share a slot; no two slots share arena bytes.
+pub fn check_slot_interference(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let (def, last) = derive_intervals(plan);
+    let vals = plan.values();
+    for i in 0..vals.len() {
+        let (Some(si), Some(di)) = (vals[i].slot, def[i]) else {
+            continue;
+        };
+        let li = last[i].max(di);
+        for j in (i + 1)..vals.len() {
+            let (Some(sj), Some(dj)) = (vals[j].slot, def[j]) else {
+                continue;
+            };
+            if si != sj {
+                continue;
+            }
+            let lj = last[j].max(dj);
+            if di <= lj && dj <= li {
+                out.push(finding(
+                    "slot-overlap",
+                    config,
+                    format!(
+                        "values `{}` (live {di}..={li}) and `{}` (live {dj}..={lj}) both \
+                         occupy slot {si}",
+                        vals[i].label, vals[j].label
+                    ),
+                ));
+            }
+        }
+    }
+    let slots = plan.slots();
+    for a in 0..slots.len() {
+        for b in (a + 1)..slots.len() {
+            let (sa, sb) = (slots[a], slots[b]);
+            if sa.offset < sb.offset + sb.size && sb.offset < sa.offset + sa.size {
+                out.push(finding(
+                    "slot-overlap",
+                    config,
+                    format!(
+                        "slots {a} [{}, {}) and {b} [{}, {}) overlap in the arena",
+                        sa.offset,
+                        sa.offset + sa.size,
+                        sb.offset,
+                        sb.offset + sb.size
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Pass 2: every operand is defined before its use, in schedule order.
+pub fn check_topo_validity(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let vals = plan.values();
+    let mut produced = vec![false; vals.len()];
+    for (t, step) in plan.steps().iter().enumerate() {
+        for &v in &step.inputs {
+            let external = matches!(vals[v].source, ValueSource::Input | ValueSource::Param);
+            if !external && !produced[v] {
+                out.push(finding(
+                    "use-before-def",
+                    config,
+                    format!(
+                        "step {t} (`{}`) consumes `{}` before any earlier step produces it",
+                        vals[step.output].label, vals[v].label
+                    ),
+                ));
+            }
+        }
+        if produced[step.output] {
+            out.push(finding(
+                "use-before-def",
+                config,
+                format!(
+                    "step {t} re-produces `{}` (already defined)",
+                    vals[step.output].label
+                ),
+            ));
+        }
+        produced[step.output] = true;
+    }
+    if !produced[plan.root()] {
+        out.push(finding(
+            "use-before-def",
+            config,
+            format!("root `{}` is never produced", vals[plan.root()].label),
+        ));
+    }
+    out
+}
+
+/// Pass 3: the declared arena length equals the bound the analysis implies.
+pub fn check_arena_bound(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let vals = plan.values();
+    let slots = plan.slots();
+    // Required extent of each slot, from the values assigned to it.
+    let mut required = vec![0usize; slots.len()];
+    for v in vals {
+        if let Some(s) = v.slot {
+            if s >= slots.len() {
+                out.push(finding(
+                    "arena-bound-mismatch",
+                    config,
+                    format!("value `{}` names slot {s} of {}", v.label, slots.len()),
+                ));
+                continue;
+            }
+            required[s] = required[s].max(v.len());
+        }
+    }
+    let mut expect_offset = 0usize;
+    for (i, slot) in slots.iter().enumerate() {
+        if slot.size != required[i] {
+            out.push(finding(
+                "arena-bound-mismatch",
+                config,
+                format!(
+                    "slot {i} declares {} elements but its values need {}",
+                    slot.size, required[i]
+                ),
+            ));
+        }
+        if slot.offset != expect_offset {
+            out.push(finding(
+                "arena-bound-mismatch",
+                config,
+                format!(
+                    "slot {i} at offset {} breaks the prefix-sum packing (expected {})",
+                    slot.offset, expect_offset
+                ),
+            ));
+        }
+        expect_offset += slot.size;
+    }
+    if plan.arena_len() != expect_offset {
+        out.push(finding(
+            "arena-bound-mismatch",
+            config,
+            format!(
+                "declared arena of {} elements does not match the analysis bound {}",
+                plan.arena_len(),
+                expect_offset
+            ),
+        ));
+    }
+    out
+}
+
+/// Pass 4 (structural half): the plan is a bijection of the re-traced
+/// symbolic graph — same ops, same dependency edges, stat leaves aside.
+pub fn check_graph_diff(plan: &Plan, root: &SymbolicTensor, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let vals = plan.values();
+
+    // sym node id -> plan value, from the plan's own claim; ids must be
+    // claimed exactly once.
+    let mut val_of: HashMap<u64, usize> = HashMap::new();
+    for (i, v) in vals.iter().enumerate() {
+        for &id in &v.sym_ids {
+            if val_of.insert(id, i).is_some() {
+                out.push(finding(
+                    "graph-diff",
+                    config,
+                    format!("symbolic node #{id} is claimed by two plan values"),
+                ));
+            }
+        }
+    }
+    let step_of: HashMap<u64, usize> = plan
+        .steps()
+        .iter()
+        .enumerate()
+        .filter_map(|(t, s)| s.sym_id.map(|id| (id, t)))
+        .collect();
+
+    let spec = plan.spec();
+    let mut graph_ids: HashSet<u64> = HashSet::new();
+    let mut stack = vec![root.clone()];
+    let mut seen: HashSet<u64> = HashSet::new();
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node.id()) {
+            continue;
+        }
+        graph_ids.insert(node.id());
+        for p in node.parents() {
+            stack.push(p.clone());
+        }
+        let Some(&vid) = val_of.get(&node.id()) else {
+            out.push(finding(
+                "graph-diff",
+                config,
+                format!(
+                    "symbolic `{}` at `{}` has no plan value",
+                    node.op_name(),
+                    node.label()
+                ),
+            ));
+            continue;
+        };
+        match node.op_name() {
+            "param" | "leaf" => {
+                // Stat leaves lower to synthesized steps; everything else
+                // must stay a non-step value.
+                let is_stat = spec.col_mean_leaves.contains(&vals[vid].label)
+                    || spec
+                        .col_std_leaves
+                        .iter()
+                        .any(|(l, _)| *l == vals[vid].label);
+                let is_step = matches!(vals[vid].source, ValueSource::Step(_));
+                if is_step != is_stat && node.label() != spec.input_label {
+                    out.push(finding(
+                        "graph-diff",
+                        config,
+                        format!(
+                            "leaf `{}` lowered inconsistently (stat={is_stat}, step={is_step})",
+                            node.label()
+                        ),
+                    ));
+                }
+            }
+            op => {
+                let Some(&t) = step_of.get(&node.id()) else {
+                    out.push(finding(
+                        "graph-diff",
+                        config,
+                        format!(
+                            "symbolic op `{op}` at `{}` has no schedule entry",
+                            node.label()
+                        ),
+                    ));
+                    continue;
+                };
+                let step = &plan.steps()[t];
+                if step.sym_op != op {
+                    out.push(finding(
+                        "graph-diff",
+                        config,
+                        format!(
+                            "step {t} records op `{}` but the symbolic node is `{op}`",
+                            step.sym_op
+                        ),
+                    ));
+                }
+                if step.output != vid {
+                    out.push(finding(
+                        "graph-diff",
+                        config,
+                        format!("step {t} writes a different value than `{op}` maps to"),
+                    ));
+                }
+                let parents = node.parents();
+                if step.inputs.len() != parents.len() {
+                    out.push(finding(
+                        "graph-diff",
+                        config,
+                        format!(
+                            "step {t} (`{op}` at `{}`) has {} dependency edge(s), symbolic \
+                             node has {}",
+                            node.label(),
+                            step.inputs.len(),
+                            parents.len()
+                        ),
+                    ));
+                } else {
+                    for (slot, (inp, parent)) in step.inputs.iter().zip(parents).enumerate() {
+                        if val_of.get(&parent.id()) != Some(inp) {
+                            out.push(finding(
+                                "graph-diff",
+                                config,
+                                format!(
+                                    "step {t} (`{op}`) edge {slot} disagrees with symbolic \
+                                     parent `{}`",
+                                    parent.label()
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // No phantom structure: every claimed sym id must exist in the graph,
+    // and the only steps without a symbolic identity are stat lowerings.
+    for id in val_of.keys() {
+        if !graph_ids.contains(id) {
+            out.push(finding(
+                "graph-diff",
+                config,
+                format!("plan claims symbolic node #{id}, which the trace does not contain"),
+            ));
+        }
+    }
+    let stat_labels = spec.col_mean_leaves.len() + spec.col_std_leaves.len();
+    let synthesized = plan.steps().iter().filter(|s| s.sym_id.is_none()).count();
+    if synthesized > stat_labels {
+        out.push(finding(
+            "graph-diff",
+            config,
+            format!(
+                "{synthesized} synthesized step(s), but the spec only lowers {stat_labels} \
+                 stat leaf label(s)"
+            ),
+        ));
+    }
+    out
+}
+
+/// The gradient subgraph implied by the plan's `tracked` flags, accounted
+/// exactly like [`graph_stats`] / [`GraphAudit`]: (nodes, edges, leaves,
+/// params, max depth).
+pub fn plan_grad_stats(plan: &Plan) -> (usize, usize, usize, usize, usize) {
+    let vals = plan.values();
+    // Producing *tracked* step per value: untracked producers make the
+    // value a gradient-frontier leaf, exactly as the dynamic engine does.
+    let mut tracked_step: Vec<Option<usize>> = vec![None; vals.len()];
+    for (t, step) in plan.steps().iter().enumerate() {
+        if step.tracked {
+            tracked_step[step.output] = Some(t);
+        }
+    }
+    let (mut nodes, mut edges, mut leaves, mut params, mut max_depth) = (0, 0, 0, 0, 0);
+    let mut depth: HashMap<usize, usize> = HashMap::new();
+    let mut stack = vec![(plan.root(), 0usize)];
+    while let Some((v, d)) = stack.pop() {
+        match depth.get(&v) {
+            Some(&seen) if seen >= d => continue,
+            Some(_) => {
+                // Deeper revisit: update and propagate, but — exactly like
+                // `graph_stats` / `GraphAudit` — only first visits feed
+                // the max-depth accounting.
+                depth.insert(v, d);
+                if let Some(t) = tracked_step[v] {
+                    for &p in &plan.steps()[t].inputs {
+                        stack.push((p, d + 1));
+                    }
+                }
+                continue;
+            }
+            None => {}
+        }
+        depth.insert(v, d);
+        nodes += 1;
+        max_depth = max_depth.max(d);
+        match tracked_step[v] {
+            Some(t) => {
+                edges += plan.steps()[t].inputs.len();
+                for &p in &plan.steps()[t].inputs {
+                    stack.push((p, d + 1));
+                }
+            }
+            None => {
+                leaves += 1;
+                if vals[v].requires_grad {
+                    params += 1;
+                }
+            }
+        }
+    }
+    (nodes, edges, leaves, params, max_depth)
+}
+
+/// Structural verification of one configuration: trace, compile, run the
+/// four static passes.
+pub fn verify_plan_config(
+    cfg: &TimeKdConfig,
+    label: &str,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Vec<Finding> {
+    let (_ctx, forecast) = match trace_student_forecast(cfg, input_len, horizon, num_vars) {
+        Ok(t) => t,
+        Err(e) => {
+            return vec![finding(
+                "plan-compile",
+                label,
+                format!("student trace failed: {e}"),
+            )]
+        }
+    };
+    let plan = match Plan::compile(&forecast, &student_plan_spec()) {
+        Ok(p) => p,
+        Err(e) => return vec![finding("plan-compile", label, e.message)],
+    };
+    let mut out = check_slot_interference(&plan, label);
+    out.extend(check_topo_validity(&plan, label));
+    out.extend(check_arena_bound(&plan, label));
+    out.extend(check_graph_diff(&plan, &forecast, label));
+    out
+}
+
+/// Dynamic agreement for one student geometry: the plan's gradient stats
+/// must match the symbolic trace and a real executed forward, and planned
+/// predict must be bitwise identical to dynamic predict.
+pub fn check_dynamic_agreement(
+    cfg: &TimeKdConfig,
+    label: &str,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let (_ctx, forecast) = match trace_student_forecast(cfg, input_len, horizon, num_vars) {
+        Ok(t) => t,
+        Err(e) => return vec![finding("plan-compile", label, format!("trace failed: {e}"))],
+    };
+    let plan = match Plan::compile(&forecast, &student_plan_spec()) {
+        Ok(p) => p,
+        Err(e) => return vec![finding("plan-compile", label, e.message)],
+    };
+
+    let mut rng = seeded_rng(0xD1CE);
+    let student = Student::new(cfg, input_len, horizon, num_vars, &mut rng);
+    let x = Tensor::randn([input_len, num_vars], 1.0, &mut rng);
+    let audit = GraphAudit::run(&student.forward(&x).forecast);
+    let dy = &audit.stats;
+    let sym = graph_stats(&forecast);
+    let from_plan = plan_grad_stats(&plan);
+    let sym_t = (sym.nodes, sym.edges, sym.leaves, sym.params, sym.max_depth);
+    let dy_t = (dy.nodes, dy.edges, dy.leaves, dy.params, dy.max_depth);
+    if from_plan != sym_t || sym_t != dy_t {
+        out.push(finding(
+            "graph-diff",
+            label,
+            format!(
+                "gradient subgraph disagreement (nodes, edges, leaves, params, depth): \
+                 plan {from_plan:?}, symbolic {sym_t:?}, dynamic {dy_t:?}"
+            ),
+        ));
+    }
+
+    match PlannedStudent::new(&student, cfg) {
+        Ok(mut planned) => {
+            let dynamic = student.predict(&x).to_vec();
+            let via_plan = planned.predict(&x).to_vec();
+            if via_plan != dynamic {
+                let diverging = via_plan
+                    .iter()
+                    .zip(&dynamic)
+                    .filter(|(a, b)| a != b)
+                    .count();
+                out.push(finding(
+                    "exec-divergence",
+                    label,
+                    format!(
+                        "planned predict diverges from dynamic predict on {diverging}/{} \
+                         elements",
+                        dynamic.len()
+                    ),
+                ));
+            }
+        }
+        Err(e) => out.push(finding("plan-compile", label, e.message)),
+    }
+    out
+}
+
+/// Aggregate result of a `--plan` run.
+#[derive(Debug, Default)]
+pub struct PlanReport {
+    /// Configurations whose plans were statically verified.
+    pub configs_checked: usize,
+    /// Distinct student geometries cross-checked against dynamic execution.
+    pub geometries_executed: usize,
+    /// All findings across all passes and configurations.
+    pub findings: Vec<Finding>,
+    /// Invariants proven (only meaningful when clean).
+    pub proofs: Vec<String>,
+}
+
+impl PlanReport {
+    /// True when no pass produced a finding.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Compiles and verifies the student plan for every configuration in the
+/// verification matrix (paper default geometry), then cross-checks each
+/// distinct student geometry against real dynamic execution.
+pub fn verify_plans() -> PlanReport {
+    let (input_len, horizon, num_vars) = (96, 24, 7);
+    let mut report = PlanReport::default();
+    // The student is blind to the LM/prompt axes of the matrix, so dynamic
+    // execution only needs one run per distinct (dim, heads, layers, ffn).
+    let mut executed: HashSet<(usize, usize, usize, usize)> = HashSet::new();
+    for (cfg, label) in config_matrix() {
+        report.configs_checked += 1;
+        report.findings.extend(verify_plan_config(
+            &cfg, &label, input_len, horizon, num_vars,
+        ));
+        let key = (cfg.dim, cfg.num_heads, cfg.num_layers, cfg.ffn_hidden);
+        if executed.insert(key) {
+            report.geometries_executed += 1;
+            report.findings.extend(check_dynamic_agreement(
+                &cfg, &label, input_len, horizon, num_vars,
+            ));
+        }
+    }
+    if report.is_clean() {
+        let n = report.configs_checked;
+        let g = report.geometries_executed;
+        report.proofs = vec![
+            format!("no two live values share an arena slot ({n}/{n} configs)"),
+            format!("every operand is defined before use in the schedule ({n}/{n} configs)"),
+            format!("the declared arena length equals the liveness bound ({n}/{n} configs)"),
+            format!(
+                "the plan diffs clean against the symbolic graph, and its gradient \
+                 subgraph matches symbolic and dynamic accounting ({n}/{n} configs)"
+            ),
+            format!(
+                "planned predict is bitwise identical to dynamic predict ({g}/{g} \
+                 student geometries)"
+            ),
+        ];
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd::compile_student_plan;
+    use timekd_tensor::PlanFault;
+
+    fn tiny_cfg() -> TimeKdConfig {
+        let mut cfg = TimeKdConfig::default();
+        cfg.dim = 16;
+        cfg.num_heads = 2;
+        cfg.ffn_hidden = 32;
+        cfg
+    }
+
+    fn tiny_plan() -> Plan {
+        compile_student_plan(&tiny_cfg(), 24, 8, 3).unwrap()
+    }
+
+    fn all_static_passes(plan: &Plan) -> Vec<Finding> {
+        let mut out = check_slot_interference(plan, "t");
+        out.extend(check_topo_validity(plan, "t"));
+        out.extend(check_arena_bound(plan, "t"));
+        out
+    }
+
+    #[test]
+    fn clean_plan_passes_all_passes() {
+        let cfg = tiny_cfg();
+        let fs = verify_plan_config(&cfg, "tiny", 24, 8, 3);
+        assert!(fs.is_empty(), "{fs:?}");
+        let fs = check_dynamic_agreement(&cfg, "tiny", 24, 8, 3);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn overlap_fault_trips_slot_overlap() {
+        let mut plan = tiny_plan();
+        plan.inject_fault(PlanFault::OverlapSlots);
+        let fs = check_slot_interference(&plan, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "slot-overlap"),
+            "expected a slot-overlap finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn swap_fault_trips_use_before_def() {
+        let mut plan = tiny_plan();
+        plan.inject_fault(PlanFault::SwapSchedule);
+        let fs = check_topo_validity(&plan, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "use-before-def"),
+            "expected a use-before-def finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn shrink_fault_trips_arena_bound() {
+        let mut plan = tiny_plan();
+        plan.inject_fault(PlanFault::ShrinkArena);
+        let fs = check_arena_bound(&plan, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "arena-bound-mismatch"),
+            "expected an arena-bound-mismatch finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn drop_edge_fault_trips_graph_diff() {
+        let cfg = tiny_cfg();
+        let (_ctx, forecast) = trace_student_forecast(&cfg, 24, 8, 3).unwrap();
+        let mut plan = Plan::compile(&forecast, &student_plan_spec()).unwrap();
+        plan.inject_fault(PlanFault::DropEdge);
+        let fs = check_graph_diff(&plan, &forecast, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "graph-diff"),
+            "expected a graph-diff finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn faults_do_not_leak_into_other_passes_cleanliness() {
+        // Each fault must be caught by its own pass — the clean plan must
+        // stay clean under every pass so the named diagnostics are trusted.
+        let plan = tiny_plan();
+        assert!(all_static_passes(&plan).is_empty());
+    }
+}

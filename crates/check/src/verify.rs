@@ -417,7 +417,7 @@ fn all_ablations() -> Vec<AblationConfig> {
 
 /// The verification matrix: LM presets × head counts × prompt budgets ×
 /// ablation arms, over the paper's default window geometry.
-fn config_matrix() -> Vec<(TimeKdConfig, String)> {
+pub(crate) fn config_matrix() -> Vec<(TimeKdConfig, String)> {
     let mut out = Vec::new();
     for lm_size in [LmSize::Small, LmSize::Base, LmSize::Large] {
         for num_heads in [2usize, 4, 8] {

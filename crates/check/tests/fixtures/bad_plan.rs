@@ -1,0 +1,33 @@
+// Lint fixture (never compiled): forbidden constructs inside a plan
+// executor hot loop. The *-in-plan-loop rules must trip on allocation,
+// unwrap/expect, and observability hooks in `*_plan_loop` fns and nowhere
+// else. Line numbers matter — trip.rs asserts them.
+fn evil_plan_loop(&mut self, input: &[f32]) {
+    let mut scratch = vec![0.0f32; input.len()];
+    scratch.push(0.0);
+    let first = self.exec.first().unwrap();
+    let _span = timekd_obs::span("plan.step");
+    for step in &self.exec {
+        scratch[0] += step.out_len as f32;
+    }
+}
+
+fn build_plan(steps: &[Step]) -> Vec<ExecStep> {
+    // Construction-time code is not a plan loop: allocation, expect and
+    // spans are all legal here.
+    let _span = timekd_obs::span("plan.build");
+    let mut out = Vec::with_capacity(steps.len());
+    out.push(ExecStep::default());
+    steps.first().expect("at least one step");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper_plan_loop() {
+        // Inside a test module the same constructs are exempt.
+        let v = vec![1.0f32].first().copied().unwrap();
+        let _span = timekd_obs::span("exempt");
+        let _ = v;
+    }
+}

@@ -398,6 +398,53 @@ fn real_parallel_module_passes_obs_rule() {
 }
 
 #[test]
+fn plan_loop_rules_trip_on_exact_lines() {
+    // The *-in-plan-loop rules are scoped to `*_plan_loop` fns in
+    // tensor/src/plan.rs: the vec! (line 6) and .push( (line 7) trip the
+    // alloc rule, the .unwrap() (line 8) the unwrap rule, and the span
+    // (line 9) the span rule. Nothing in build_plan (construction-time
+    // code) or the test module may trip.
+    let vs = scan_source("crates/tensor/src/plan.rs", &fixture("bad_plan.rs"));
+    let of_rule = |rule: &str| -> Vec<usize> {
+        vs.iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    };
+    assert_eq!(of_rule("no-alloc-in-plan-loop"), vec![6, 7], "{vs:?}");
+    assert_eq!(of_rule("no-unwrap-in-plan-loop"), vec![8], "{vs:?}");
+    assert_eq!(of_rule("no-span-in-plan-loop"), vec![9], "{vs:?}");
+    assert!(
+        vs.iter().all(|v| v.line < 15),
+        "build_plan and the test module are out of scope: {vs:?}"
+    );
+}
+
+#[test]
+fn plan_loop_rules_do_not_trip_outside_plan_file() {
+    // Same source labelled outside tensor/src/plan.rs: the plan rules are
+    // path-scoped, like the worker rules.
+    let vs = scan_source("crates/nn/src/bad_plan.rs", &fixture("bad_plan.rs"));
+    assert!(
+        vs.iter().all(|v| !v.rule.ends_with("-in-plan-loop")),
+        "plan rules are scoped to tensor/src/plan.rs: {vs:?}"
+    );
+}
+
+#[test]
+fn real_plan_module_passes_its_own_lint() {
+    // The shipped executor promises a zero-alloc, unwrap-free,
+    // uninstrumented hot loop — it must stay clean under its own rules.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tensor/src/plan.rs");
+    let source = std::fs::read_to_string(&path).expect("read plan.rs");
+    let vs = scan_source("crates/tensor/src/plan.rs", &source);
+    assert!(
+        vs.is_empty(),
+        "shipped plan executor violates its own lint: {vs:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_worker_rules() {
     let source = fixture("bad_worker.rs");
     let label = "crates/tensor/src/ops/matmul.rs";

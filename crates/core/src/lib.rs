@@ -36,6 +36,7 @@ mod distill;
 mod forecaster;
 mod model_io;
 mod norm_helpers;
+pub mod plan;
 mod sca;
 mod student;
 pub mod symbolic;
@@ -47,12 +48,13 @@ pub use distill::{pkd_losses, PkdLosses};
 pub use forecaster::Forecaster;
 pub use model_io::{load_checkpoint, save_checkpoint};
 pub use norm_helpers::layer_norm_const;
+pub use plan::{compile_student_plan, student_plan_spec, PlannedStudent};
 pub use sca::SubtractiveCrossAttention;
 pub use student::{Student, StudentOutput};
 pub use symbolic::{
-    prompt_token_counts, sym_layer_norm_const, sym_pkd_losses, trace_pipeline, trace_student_loss,
-    Fault, SymPkdLosses, SymSca, SymStudent, SymStudentOutput, SymTeacher, SymTeacherOutput,
-    SymbolicPipeline,
+    prompt_token_counts, sym_layer_norm_const, sym_pkd_losses, trace_pipeline,
+    trace_student_forecast, trace_student_loss, Fault, SymPkdLosses, SymSca, SymStudent,
+    SymStudentOutput, SymTeacher, SymTeacherOutput, SymbolicPipeline,
 };
 pub use teacher::{render_prompts, CrossModalityTeacher, TeacherOutput};
 pub use trainer::{EpochStats, TimeKd};

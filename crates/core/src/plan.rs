@@ -1,0 +1,220 @@
+//! Plan-backed student inference.
+//!
+//! [`PlannedStudent`] compiles the student's symbolic forecast trace into a
+//! static [`Plan`] (fixed schedule + liveness-colored arena), binds the
+//! real [`Student`] parameters to it by label, and replays it with zero
+//! per-call graph construction and zero allocation. Because the plan
+//! executor invokes the same serial row-block kernels the dynamic engine
+//! partitions across the worker pool, planned forecasts are **bitwise
+//! identical** to [`Student::predict`] at any `TIMEKD_THREADS` setting.
+
+use std::collections::HashMap;
+
+use timekd_nn::Module;
+use timekd_tensor::{Plan, PlanError, PlanExecutor, PlanSpec, Tensor};
+
+use crate::config::TimeKdConfig;
+use crate::student::Student;
+use crate::symbolic::trace_student_forecast;
+
+/// The plan spec for the student forecast graph: the history window is the
+/// single runtime input, and the RevIN instance statistics (constant
+/// leaves in the symbolic trace) lower to per-column mean/std steps over
+/// it — with the same `1e-5` epsilon as the real layer.
+pub fn student_plan_spec() -> PlanSpec {
+    PlanSpec {
+        input_label: "x".to_string(),
+        col_mean_leaves: vec!["student.revin.mu".to_string()],
+        col_std_leaves: vec![("student.revin.std".to_string(), 1e-5)],
+    }
+}
+
+/// Traces the student forecast graph for this geometry and compiles it
+/// into a static plan.
+pub fn compile_student_plan(
+    config: &TimeKdConfig,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Result<Plan, PlanError> {
+    let (_ctx, forecast) =
+        trace_student_forecast(config, input_len, horizon, num_vars).map_err(|e| PlanError {
+            message: format!("student trace failed: {e}"),
+        })?;
+    Plan::compile(&forecast, &student_plan_spec())
+}
+
+/// A [`Student`] whose predict path runs a compiled [`Plan`] instead of
+/// the dynamic graph engine.
+#[derive(Debug)]
+pub struct PlannedStudent {
+    plan: Plan,
+    executor: PlanExecutor,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+}
+
+impl PlannedStudent {
+    /// Compiles the plan for `student`'s geometry and binds its parameters.
+    ///
+    /// Binding zips the symbolic trace's parameter registration order with
+    /// [`Module::params`] order (the module mirrors register in lockstep),
+    /// cross-checking label-by-label that every shape agrees.
+    pub fn new(student: &Student, config: &TimeKdConfig) -> Result<PlannedStudent, PlanError> {
+        let (ctx, forecast) = trace_student_forecast(
+            config,
+            student.input_len(),
+            student.horizon(),
+            student.num_vars(),
+        )
+        .map_err(|e| PlanError {
+            message: format!("student trace failed: {e}"),
+        })?;
+        let plan = Plan::compile(&forecast, &student_plan_spec())?;
+
+        let sym_params = ctx.params();
+        let real_params = student.params();
+        if sym_params.len() != real_params.len() {
+            return Err(PlanError {
+                message: format!(
+                    "parameter count mismatch: trace has {}, student has {}",
+                    sym_params.len(),
+                    real_params.len()
+                ),
+            });
+        }
+        let mut by_label: HashMap<String, Tensor> = HashMap::with_capacity(real_params.len());
+        for (sym, real) in sym_params.iter().zip(&real_params) {
+            if sym.sizes() != real.dims() {
+                return Err(PlanError {
+                    message: format!(
+                        "parameter `{}` shape mismatch: trace {:?}, student {:?}",
+                        sym.label(),
+                        sym.sizes(),
+                        real.dims()
+                    ),
+                });
+            }
+            by_label.insert(sym.label().to_string(), real.clone());
+        }
+
+        let executor = PlanExecutor::new(&plan, |label, dims| {
+            by_label
+                .get(label)
+                .filter(|t| t.dims() == dims)
+                .map(|t| t.data().clone())
+        })?;
+
+        Ok(PlannedStudent {
+            plan,
+            executor,
+            input_len: student.input_len(),
+            horizon: student.horizon(),
+            num_vars: student.num_vars(),
+        })
+    }
+
+    /// The compiled plan (for inspection and verification).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Forecast horizon length.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Channel count.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Predicts into a caller-provided `[horizon * num_vars]` buffer with
+    /// zero allocation and zero graph construction.
+    pub fn predict_into(&mut self, x: &Tensor, out: &mut [f32]) {
+        assert_eq!(
+            x.dims(),
+            &[self.input_len, self.num_vars],
+            "planned student input shape"
+        );
+        self.executor.run(&x.data(), out);
+    }
+
+    /// Convenience wrapper returning a `[horizon, num_vars]` tensor.
+    ///
+    /// The executor never touches a `Tensor` op, but the `no_grad` scope
+    /// keeps that guarantee even if one ever sneaks in.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        timekd_tensor::no_grad(|| {
+            let mut out = vec![0.0f32; self.horizon * self.num_vars];
+            self.predict_into(x, &mut out);
+            Tensor::from_vec(out, [self.horizon, self.num_vars])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use timekd_tensor::{parallel, seeded_rng};
+
+    fn small_config() -> TimeKdConfig {
+        let mut config = TimeKdConfig::default();
+        config.dim = 16;
+        config.num_heads = 2;
+        config.num_layers = 2;
+        config.ffn_hidden = 32;
+        config
+    }
+
+    #[test]
+    fn planned_predict_is_bitwise_identical_to_dynamic() {
+        let config = small_config();
+        let (input_len, horizon, num_vars) = (24, 8, 5);
+        let mut rng = seeded_rng(7);
+        let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+        let mut planned = PlannedStudent::new(&student, &config).unwrap();
+
+        let x = Tensor::randn([input_len, num_vars], 1.0, &mut rng);
+        let dynamic = student.predict(&x).to_vec();
+        // The dynamic engine saves RevIN stats during predict; run the
+        // plan afterwards so any (unwanted) state coupling would surface.
+        for threads in [1, 2, 5] {
+            let planned_out = parallel::with_threads(threads, || planned.predict(&x).to_vec());
+            assert_eq!(
+                planned_out, dynamic,
+                "planned forecast must be bitwise identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_into_writes_the_same_bytes() {
+        let config = small_config();
+        let mut rng = seeded_rng(11);
+        let student = Student::new(&config, 16, 4, 3, &mut rng);
+        let mut planned = PlannedStudent::new(&student, &config).unwrap();
+        let x = Tensor::randn([16, 3], 1.0, &mut rng);
+        let mut out = vec![0.0f32; 4 * 3];
+        planned.predict_into(&x, &mut out);
+        assert_eq!(out, student.predict(&x).to_vec());
+    }
+
+    #[test]
+    fn plan_has_no_unlowered_ops_and_reuses_arena() {
+        let config = small_config();
+        let plan = compile_student_plan(&config, 24, 8, 5).unwrap();
+        let total: usize = plan
+            .steps()
+            .iter()
+            .map(|s| plan.values()[s.output].len())
+            .sum();
+        assert!(
+            plan.arena_len() < total / 2,
+            "liveness should reuse slots aggressively: arena {} vs outputs {}",
+            plan.arena_len(),
+            total
+        );
+    }
+}

@@ -73,7 +73,7 @@ pub fn sym_layer_norm_const(x: &SymbolicTensor) -> SymResult {
     let mu = x.mean_axis(rank - 1, true)?;
     let centered = x.sub(&mu)?;
     let var = centered.square().mean_axis(rank - 1, true)?;
-    centered.mul(&var.add_scalar().rsqrt())
+    centered.mul(&var.add_scalar(1e-5).rsqrt())
 }
 
 /// Symbolic [`SubtractiveCrossAttention`](crate::SubtractiveCrossAttention).
@@ -480,7 +480,9 @@ pub fn sym_pkd_losses(
     } else {
         ctx.scalar("zero")
     };
-    let combined = correlation.mul_scalar().add(&feature.mul_scalar())?;
+    let combined = correlation
+        .mul_scalar(config.lambda_cd)
+        .add(&feature.mul_scalar(config.lambda_fd))?;
     Ok(SymPkdLosses {
         correlation,
         feature,
@@ -587,7 +589,8 @@ pub fn trace_pipeline(
     );
 
     let t_out = teacher.forward(&x, &y, &hist_lens, &gt_lens)?;
-    let reconstruction = sym_smooth_l1_loss(&t_out.reconstruction, &y)?.mul_scalar();
+    let reconstruction =
+        sym_smooth_l1_loss(&t_out.reconstruction, &y)?.mul_scalar(config.lambda_recon);
 
     let s_out = student.forward(&x)?;
     let pkd = sym_pkd_losses(
@@ -600,7 +603,10 @@ pub fn trace_pipeline(
         fault,
     )?;
     let forecast = sym_smooth_l1_loss(&s_out.forecast, &y)?;
-    let student_total = pkd.combined.mul_scalar().add(&forecast.mul_scalar())?;
+    let student_total = pkd
+        .combined
+        .mul_scalar(config.lambda_pkd)
+        .add(&forecast.mul_scalar(config.lambda_fcst))?;
 
     Ok(SymbolicPipeline {
         ctx,
@@ -644,6 +650,34 @@ pub fn trace_student_loss(
     let out = student.forward(&x)?;
     let loss = sym_smooth_l1_loss(&out.forecast, &y)?;
     Ok((ctx, loss))
+}
+
+/// Traces only the student *inference* path — `student(x).forecast` with no
+/// loss on top. This is the graph the plan compiler lowers into a static
+/// execution plan, so its root must be exactly what `Student::predict`
+/// returns.
+pub fn trace_student_forecast(
+    config: &TimeKdConfig,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Result<(SymCtx, SymbolicTensor), ShapeError> {
+    let ctx = SymCtx::new();
+    let student = SymStudent::new(
+        &ctx,
+        "student",
+        config,
+        input_len,
+        horizon,
+        num_vars,
+        Fault::None,
+    );
+    let x = ctx.constant(
+        "x",
+        vec![SymDim::new("L", input_len), SymDim::new("N", num_vars)],
+    );
+    let out = student.forward(&x)?;
+    Ok((ctx, out.forecast))
 }
 
 #[cfg(test)]

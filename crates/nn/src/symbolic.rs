@@ -154,7 +154,9 @@ impl SymLayerNorm {
         let mu = x.mean_axis(rank - 1, true)?;
         let centered = x.sub(&mu)?;
         let var = centered.square().mean_axis(rank - 1, true)?;
-        let inv_std = var.add_scalar().rsqrt();
+        // Same epsilon as `LayerNorm::new`, so a compiled plan replays the
+        // real kernel bitwise.
+        let inv_std = var.add_scalar(1e-5).rsqrt();
         centered.mul(&inv_std)?.mul(&self.gamma)?.add(&self.beta)
     }
 }

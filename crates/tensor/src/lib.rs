@@ -54,6 +54,7 @@ mod init;
 pub mod io;
 mod ops;
 pub mod parallel;
+pub mod plan;
 pub mod rng;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
@@ -64,6 +65,10 @@ mod tensor;
 pub use audit::{AuditIssue, GraphAudit, GraphStats, NodeSummary};
 pub use grad_check::{assert_gradients_close, check_gradient, GradCheckReport};
 pub use init::{sample_standard_normal, seeded_rng};
+pub use plan::{
+    Plan, PlanError, PlanExecutor, PlanFault, PlanOp, PlanSlot, PlanSpec, PlanStep, PlanValue,
+    ValueId, ValueSource,
+};
 pub use rng::SeededRng;
 pub use shape::{IndexIter, Shape};
 pub use symbolic::{

@@ -167,7 +167,7 @@ fn plan_blocks(rows: usize, heads_outside: usize, worth: bool) -> usize {
 /// entirely and heads are visited in ascending order, so the map's
 /// cross-head accumulation order is fixed.
 #[allow(clippy::too_many_arguments)]
-fn attn_fwd_row_block(
+pub(crate) fn attn_fwd_row_block(
     q: &[f32],
     k: &[f32],
     v: &[f32],

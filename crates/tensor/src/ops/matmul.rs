@@ -51,7 +51,7 @@ fn worth_parallel(m: usize, k: usize, n: usize) -> bool {
 /// Four `k`-steps are fused per pass so each streamed element of `out`
 /// receives four fused multiply-adds per load/store, with a single-step
 /// tail for `k % 4` remainders.
-fn mm_row_block(
+pub(crate) fn mm_row_block(
     a: &[f32],
     b: &[f32],
     out_block: &mut [f32],

@@ -116,11 +116,36 @@ impl fmt::Display for ShapeError {
 
 impl std::error::Error for ShapeError {}
 
+/// Static operand payload recorded on a symbolic node — the part of an
+/// op's semantics that is not captured by shapes alone. The plan compiler
+/// ([`crate::plan`]) needs these to lower a traced graph into executable
+/// steps; ops whose behaviour is fully determined by input/output shapes
+/// record [`SymAttr::None`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SymAttr {
+    /// No payload beyond the shapes.
+    None,
+    /// Scalar operand of `add_scalar` / `mul_scalar` (and therefore of the
+    /// `mean` family, which lowers to `sum` + `mul_scalar(1/n)` exactly as
+    /// the real kernels do).
+    Scalar(f32),
+    /// Reduced axis of `sum_axis`.
+    Axis {
+        /// Axis index in the input shape.
+        axis: usize,
+        /// Whether the axis is kept with size 1.
+        keepdim: bool,
+    },
+    /// Axis order of `permute`.
+    Perm(Vec<usize>),
+}
+
 struct SymNode {
     id: u64,
     op: &'static str,
     label: String,
     dims: Vec<SymDim>,
+    attr: SymAttr,
     /// Full provenance parents — always recorded, even when untracked.
     parents: Vec<SymbolicTensor>,
     /// Mirrors `Tensor::requires_grad` under the `from_op` tracking rule.
@@ -293,6 +318,7 @@ impl SymCtx {
                 op,
                 label: self.scoped_label(name),
                 dims,
+                attr: SymAttr::None,
                 parents: Vec::new(),
                 // `Tensor::param` sets requires_grad unconditionally.
                 requires_grad: is_param,
@@ -338,6 +364,16 @@ impl SymbolicTensor {
         dims: Vec<SymDim>,
         parents: Vec<SymbolicTensor>,
     ) -> SymbolicTensor {
+        SymbolicTensor::from_op_attr(ctx, op, dims, parents, SymAttr::None)
+    }
+
+    fn from_op_attr(
+        ctx: &SymCtx,
+        op: &'static str,
+        dims: Vec<SymDim>,
+        parents: Vec<SymbolicTensor>,
+        attr: SymAttr,
+    ) -> SymbolicTensor {
         // Mirrors `Tensor::from_op`: track only outside no_grad and when
         // some parent requires grad. Untracked nodes keep provenance
         // parents but expose no gradient edges.
@@ -348,6 +384,7 @@ impl SymbolicTensor {
                 op,
                 label: ctx.current_label(),
                 dims,
+                attr,
                 parents,
                 requires_grad: track,
                 has_backward: track,
@@ -376,6 +413,12 @@ impl SymbolicTensor {
     /// Component label recorded at creation (e.g. `"student.projection"`).
     pub fn label(&self) -> &str {
         &self.node.label
+    }
+
+    /// Static operand payload recorded at creation (scalar constants,
+    /// reduction axes, permutations) — what the plan compiler consumes.
+    pub fn attr(&self) -> &SymAttr {
+        &self.node.attr
     }
 
     /// Symbolic shape.
@@ -581,14 +624,26 @@ impl SymbolicTensor {
         SymbolicTensor::from_op(&self.ctx, op, self.node.dims.clone(), vec![self.clone()])
     }
 
-    /// Mirrors `Tensor::add_scalar`.
-    pub fn add_scalar(&self) -> SymbolicTensor {
-        self.unary("add_scalar")
+    fn unary_attr(&self, op: &'static str, attr: SymAttr) -> SymbolicTensor {
+        SymbolicTensor::from_op_attr(
+            &self.ctx,
+            op,
+            self.node.dims.clone(),
+            vec![self.clone()],
+            attr,
+        )
     }
 
-    /// Mirrors `Tensor::mul_scalar`.
-    pub fn mul_scalar(&self) -> SymbolicTensor {
-        self.unary("mul_scalar")
+    /// Mirrors `Tensor::add_scalar`, recording the scalar operand so a
+    /// compiled plan can replay the op exactly.
+    pub fn add_scalar(&self, c: f32) -> SymbolicTensor {
+        self.unary_attr("add_scalar", SymAttr::Scalar(c))
+    }
+
+    /// Mirrors `Tensor::mul_scalar`, recording the scalar operand so a
+    /// compiled plan can replay the op exactly.
+    pub fn mul_scalar(&self, c: f32) -> SymbolicTensor {
+        self.unary_attr("mul_scalar", SymAttr::Scalar(c))
     }
 
     /// Mirrors `Tensor::rsqrt`.
@@ -623,9 +678,11 @@ impl SymbolicTensor {
         SymbolicTensor::from_op(&self.ctx, "sum", Vec::new(), vec![self.clone()])
     }
 
-    /// Mirrors `Tensor::mean` = `sum` + `mul_scalar` (two nodes).
+    /// Mirrors `Tensor::mean` = `sum` + `mul_scalar(1/n)` (two nodes, with
+    /// the same scalar the real kernel applies).
     pub fn mean(&self) -> SymbolicTensor {
-        self.sum().mul_scalar()
+        let n = self.num_elements();
+        self.sum().mul_scalar(1.0 / n as f32)
     }
 
     /// Mirrors `Tensor::sum_axis`.
@@ -643,17 +700,20 @@ impl SymbolicTensor {
         } else {
             dims.remove(axis);
         }
-        Ok(SymbolicTensor::from_op(
+        Ok(SymbolicTensor::from_op_attr(
             &self.ctx,
             "sum_axis",
             dims,
             vec![self.clone()],
+            SymAttr::Axis { axis, keepdim },
         ))
     }
 
-    /// Mirrors `Tensor::mean_axis` = `sum_axis` + `mul_scalar`.
+    /// Mirrors `Tensor::mean_axis` = `sum_axis` + `mul_scalar(1/count)`.
     pub fn mean_axis(&self, axis: usize, keepdim: bool) -> SymResult {
-        Ok(self.sum_axis(axis, keepdim)?.mul_scalar())
+        let summed = self.sum_axis(axis, keepdim)?;
+        let count = self.node.dims[axis].size;
+        Ok(summed.mul_scalar(1.0 / count as f32))
     }
 
     // ---- matmul (rank dispatch mirrors `Tensor::matmul`) ----
@@ -777,11 +837,12 @@ impl SymbolicTensor {
             ));
         }
         let dims = perm.iter().map(|&p| self.node.dims[p].clone()).collect();
-        Ok(SymbolicTensor::from_op(
+        Ok(SymbolicTensor::from_op_attr(
             &self.ctx,
             "permute",
             dims,
             vec![self.clone()],
+            SymAttr::Perm(perm.to_vec()),
         ))
     }
 
@@ -981,6 +1042,7 @@ impl SymbolicTensor {
                 op: "leaf",
                 label: self.ctx.scoped_label("detach"),
                 dims: self.node.dims.clone(),
+                attr: SymAttr::None,
                 parents: vec![self.clone()],
                 requires_grad: false,
                 has_backward: false,
@@ -1144,14 +1206,14 @@ mod tests {
         let p = ctx.param("p", vec![d("n", 4)]);
         let c = ctx.constant("c", vec![d("n", 4)]);
         // Constant-only op: untracked, counts as a leaf.
-        let cc = c.mul_scalar();
+        let cc = c.mul_scalar(2.0);
         assert!(!cc.requires_grad() && cc.is_leaf());
         assert!(cc.grad_parents().is_empty());
         // Param-involving op: tracked.
         let y = p.add(&c).unwrap();
         assert!(y.requires_grad() && !y.is_leaf());
         // Under no_grad nothing tracks.
-        let z = ctx.no_grad(|| p.mul_scalar());
+        let z = ctx.no_grad(|| p.mul_scalar(2.0));
         assert!(!z.requires_grad() && z.is_leaf());
     }
 
@@ -1160,7 +1222,7 @@ mod tests {
         // Mirror of audit::tests::tiny_graph: param -> mul_scalar -> sum.
         let ctx = SymCtx::new();
         let p = ctx.param("p", vec![d("n", 3)]);
-        let loss = p.mul_scalar().sum();
+        let loss = p.mul_scalar(2.0).sum();
         let s = graph_stats(&loss);
         assert_eq!(s.nodes, 3);
         assert_eq!(s.edges, 2);
@@ -1173,8 +1235,8 @@ mod tests {
     fn detach_blocks_gradient_reachability() {
         let ctx = SymCtx::new();
         let p = ctx.param("p", vec![d("n", 3)]);
-        let reachable = p.mul_scalar().sum();
-        let blocked = p.mul_scalar().detach().sum();
+        let reachable = p.mul_scalar(2.0).sum();
+        let blocked = p.mul_scalar(2.0).detach().sum();
         assert_eq!(reachable_params(&reachable).len(), 1);
         assert_eq!(reachable_params(&blocked).len(), 0);
         // Provenance still crosses the detach for error reporting.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Perf-baseline smoke gate: runs the kernel bench bin on the QUICK profile
 # into a scratch directory, then re-invokes it with --validate to check the
-# emitted JSON against the timekd-kernel-bench/v2 schema. Fails if the bin
+# emitted JSON against the timekd-kernel-bench/v3 schema. Fails if the bin
 # crashes, emits nothing, or emits a file that does not conform.
 #
 # Full (committed) baselines are produced by running without QUICK and with

@@ -21,6 +21,9 @@ cargo run -q -p timekd-check -- --verify
 echo "==> timekd-check --graph (dynamic audits + symbolic cross-check)"
 cargo run -q -p timekd-check -- --graph
 
+echo "==> timekd-check --plan (compiled execution plans: liveness, arena, graph diff)"
+cargo run -q -p timekd-check -- --plan --strict
+
 echo "==> release build"
 cargo build --release --workspace
 
