@@ -6,7 +6,10 @@
 //! stays measurable), the fused attention kernel against the composed op
 //! chain it replaced (per LM size + encoder geometry, forward and
 //! training step), the compiled student plan against the dynamic graph
-//! engine (per-window predict and a full inference-epoch sweep), and
+//! engine (per-window predict and a full inference-epoch sweep), the
+//! compiled *training* plan against the dynamic training idiom (one full
+//! step — forward, reverse schedule, fused AdamW update — and a
+//! multi-window training epoch), and
 //! teacher/student epoch times, then emits a
 //! machine-readable `BENCH_<unix-seconds>.json` at the repo root so the
 //! perf trajectory is tracked across PRs.
@@ -33,15 +36,16 @@
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use timekd::{PlannedStudent, Student, TimeKd, TimeKdConfig};
+use timekd::{PlannedStudent, PlannedTrainer, Student, TimeKd, TimeKdConfig};
 use timekd_bench::{
     json::Json, run_windows, timekd_config, validate_kernel_bench, validate_trace_coverage,
     validate_trace_report, Profile, SharedLm,
 };
 use timekd_data::{DatasetKind, SplitDataset};
 use timekd_lm::LmSize;
+use timekd_nn::{smooth_l1_loss, AdamW, AdamWConfig, Module};
 use timekd_tensor::parallel::{configured_threads, with_threads};
-use timekd_tensor::{no_grad, seeded_rng, Tensor};
+use timekd_tensor::{no_grad, seeded_rng, PlanOptimizer, Tensor};
 
 /// Minimum wall time of `f` in milliseconds over `iters` runs (after one
 /// warmup run). Minimum, not mean: scheduling noise only ever adds time.
@@ -548,6 +552,131 @@ fn bench_planned_student(quick: bool, threads: usize) -> Json {
     ])
 }
 
+/// Planned vs dynamic student *training*: one full step (forward, reverse
+/// schedule, fused optimizer update) and a multi-window epoch. "Dynamic"
+/// runs the graph-engine idiom (`zero_grad` → `forward` → loss →
+/// `backward` → `AdamW::step`, worker pool at `threads`); "planned" replays
+/// the compiled training plan through
+/// [`PlannedTrainer::planned_train_step`] — fixed reverse schedule,
+/// liveness-colored arena shared across forward and backward, zero
+/// allocation. The two produce bitwise-identical parameter updates (the
+/// sanity block asserts it over two steps: the step-2 losses can only
+/// match if the step-1 updates matched), so this row measures scheduling
+/// cost only.
+fn bench_planned_training(quick: bool, threads: usize) -> Json {
+    let (input_len, horizon, num_vars) = (48usize, 24usize, 7usize);
+    let config = TimeKdConfig::default();
+    let optimizer = PlanOptimizer::AdamW {
+        lr: 0.01,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        weight_decay: 0.01,
+    };
+
+    let mut wrng = seeded_rng(0x7EA1);
+    let windows: Vec<(Tensor, Tensor)> = (0..if quick { 4 } else { 16 })
+        .map(|_| {
+            (
+                Tensor::randn([input_len, num_vars], 1.0, &mut wrng),
+                Tensor::randn([horizon, num_vars], 0.5, &mut wrng),
+            )
+        })
+        .collect();
+    let iters = if quick { 3 } else { 20 };
+    let epoch_iters = if quick { 1 } else { 4 };
+
+    // Sanity: the planned step must track the dynamic engine bitwise
+    // before its timings mean anything. Two steps: the second loss agrees
+    // only if the first parameter update already agreed.
+    {
+        let mut rng = seeded_rng(0x1A7E);
+        let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+        let mut trainer =
+            PlannedTrainer::new(&student, &config, optimizer).expect("training plan compiles");
+        let params = student.params();
+        let mut adamw = AdamW::new(0.01, AdamWConfig::default());
+        for (x, y) in windows.iter().take(2) {
+            student.zero_grad();
+            let loss = smooth_l1_loss(&student.forward(x).forecast, y);
+            loss.backward();
+            adamw.step(&params);
+            assert_eq!(
+                trainer.planned_train_step(x, y).to_bits(),
+                loss.item().to_bits(),
+                "planned training step diverged from the dynamic engine"
+            );
+        }
+    }
+
+    // Dynamic timings: a fresh student + optimizer, graph engine on the
+    // worker pool. Each timed call is a genuine step (params move), which
+    // is exactly what an epoch does.
+    let mut rng = seeded_rng(0x1A7E);
+    let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+    let params = student.params();
+    let mut adamw = AdamW::new(0.01, AdamWConfig::default());
+    let (x0, y0) = &windows[0];
+    let train_step_dynamic_ms = with_threads(threads, || {
+        time_min_ms(iters, || {
+            student.zero_grad();
+            let loss = smooth_l1_loss(&student.forward(x0).forecast, y0);
+            loss.backward();
+            adamw.step(&params);
+            std::hint::black_box(loss.item());
+        })
+    });
+    let train_epoch_dynamic_ms = with_threads(threads, || {
+        time_min_ms(epoch_iters, || {
+            for (x, y) in &windows {
+                student.zero_grad();
+                let loss = smooth_l1_loss(&student.forward(x).forecast, y);
+                loss.backward();
+                adamw.step(&params);
+                std::hint::black_box(loss.item());
+            }
+        })
+    });
+
+    // Planned timings: a fresh trainer from the same seed, serial (the
+    // plan executor is single-threaded by design).
+    let mut rng = seeded_rng(0x1A7E);
+    let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+    let mut trainer =
+        PlannedTrainer::new(&student, &config, optimizer).expect("training plan compiles");
+    let train_step_planned_ms = time_min_ms(iters, || {
+        std::hint::black_box(trainer.planned_train_step(x0, y0));
+    });
+    let train_epoch_planned_ms = time_min_ms(epoch_iters, || {
+        for (x, y) in &windows {
+            std::hint::black_box(trainer.planned_train_step(x, y));
+        }
+    });
+
+    let plan = trainer.plan();
+    Json::obj(vec![
+        ("input_len", Json::num(input_len as f64)),
+        ("horizon", Json::num(horizon as f64)),
+        ("num_vars", Json::num(num_vars as f64)),
+        ("windows", Json::num(windows.len() as f64)),
+        ("iters", Json::num(f64::from(iters))),
+        ("train_step_dynamic_ms", Json::num(train_step_dynamic_ms)),
+        ("train_step_planned_ms", Json::num(train_step_planned_ms)),
+        (
+            "speedup_planned_train_step",
+            Json::num(train_step_dynamic_ms / train_step_planned_ms),
+        ),
+        ("train_epoch_dynamic_ms", Json::num(train_epoch_dynamic_ms)),
+        ("train_epoch_planned_ms", Json::num(train_epoch_planned_ms)),
+        (
+            "speedup_planned_train_epoch",
+            Json::num(train_epoch_dynamic_ms / train_epoch_planned_ms),
+        ),
+        ("bwd_steps", Json::num(plan.bwd_steps().len() as f64)),
+        ("update_steps", Json::num(plan.update_steps().len() as f64)),
+    ])
+}
+
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -701,6 +830,26 @@ fn main() {
         );
     }
 
+    println!("  planned vs dynamic student training …");
+    let planned_training = bench_planned_training(quick, threads);
+    {
+        let fmt = |key: &str| {
+            planned_training
+                .get(key)
+                .and_then(Json::as_num)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "    train step: dynamic {:>9.3} ms  planned {:>9.3} ms  x{:<5.2}  (epoch: dynamic {:>9.3} ms, planned {:>9.3} ms, x{:.2})",
+            fmt("train_step_dynamic_ms"),
+            fmt("train_step_planned_ms"),
+            fmt("speedup_planned_train_step"),
+            fmt("train_epoch_dynamic_ms"),
+            fmt("train_epoch_planned_ms"),
+            fmt("speedup_planned_train_epoch"),
+        );
+    }
+
     println!("  end-to-end teacher/student epochs …");
     let end_to_end = bench_end_to_end(quick, threads);
     for key in ["speedup_teacher", "speedup_student"] {
@@ -717,7 +866,7 @@ fn main() {
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let doc = Json::obj(vec![
-        ("schema", Json::str("timekd-kernel-bench/v3")),
+        ("schema", Json::str("timekd-kernel-bench/v4")),
         ("created_unix_s", Json::num(created as f64)),
         ("quick", Json::Bool(quick)),
         (
@@ -730,6 +879,7 @@ fn main() {
         ("kernels", Json::Arr(kernels)),
         ("attention", Json::Arr(attention)),
         ("planned_student", planned_student),
+        ("planned_training", planned_training),
         ("end_to_end", end_to_end),
     ]);
     if let Err(problems) = validate_kernel_bench(&doc) {

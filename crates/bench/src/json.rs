@@ -348,7 +348,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Checks a parsed document against the `timekd-kernel-bench/v3` schema
+/// Checks a parsed document against the `timekd-kernel-bench/v4` schema
 /// emitted by `cargo run -p timekd-bench --bin kernels`. Returns every
 /// problem found (not just the first) so a broken baseline is diagnosable
 /// in one pass.
@@ -393,10 +393,31 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
         need_num(&format!("planned_student.{key}"));
     }
 
+    // v4: the planned-vs-dynamic student *training* section (full step:
+    // forward + reverse schedule + fused optimizer update). A missing
+    // section reports one `missing key` problem per expected field.
+    for key in [
+        "input_len",
+        "horizon",
+        "num_vars",
+        "windows",
+        "iters",
+        "train_step_dynamic_ms",
+        "train_step_planned_ms",
+        "speedup_planned_train_step",
+        "train_epoch_dynamic_ms",
+        "train_epoch_planned_ms",
+        "speedup_planned_train_epoch",
+        "bwd_steps",
+        "update_steps",
+    ] {
+        need_num(&format!("planned_training.{key}"));
+    }
+
     match doc.get("schema").map(Json::as_str) {
-        Some(Some("timekd-kernel-bench/v3")) => {}
+        Some(Some("timekd-kernel-bench/v4")) => {}
         Some(other) => problems.push(format!(
-            "`schema` must be \"timekd-kernel-bench/v3\", got {other:?}"
+            "`schema` must be \"timekd-kernel-bench/v4\", got {other:?}"
         )),
         None => problems.push("missing key `schema`".to_string()),
     }
@@ -486,7 +507,7 @@ mod tests {
     #[test]
     fn roundtrip_bench_shape() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v3")),
+            ("schema", Json::str("timekd-kernel-bench/v4")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -510,7 +531,7 @@ mod tests {
         );
         assert_eq!(
             parsed.get_path("schema").and_then(Json::as_str),
-            Some("timekd-kernel-bench/v3")
+            Some("timekd-kernel-bench/v4")
         );
     }
 
@@ -596,8 +617,25 @@ mod tests {
         ];
         let planned_row: Vec<(&str, Json)> =
             planned_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
+        let training_keys = [
+            "input_len",
+            "horizon",
+            "num_vars",
+            "windows",
+            "iters",
+            "train_step_dynamic_ms",
+            "train_step_planned_ms",
+            "speedup_planned_train_step",
+            "train_epoch_dynamic_ms",
+            "train_epoch_planned_ms",
+            "speedup_planned_train_epoch",
+            "bwd_steps",
+            "update_steps",
+        ];
+        let training_row: Vec<(&str, Json)> =
+            training_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
         Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v3")),
+            ("schema", Json::str("timekd-kernel-bench/v4")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -610,6 +648,7 @@ mod tests {
             ("kernels", Json::Arr(vec![Json::obj(row)])),
             ("attention", Json::Arr(vec![Json::obj(attn_row)])),
             ("planned_student", Json::obj(planned_row)),
+            ("planned_training", Json::obj(training_row)),
             (
                 "end_to_end",
                 Json::obj(vec![
@@ -741,6 +780,64 @@ mod tests {
         let problems = validate_kernel_bench(&doc).expect_err("must fail");
         assert_eq!(problems.len(), 1, "{problems:?}");
         assert!(problems[0].contains("planned_student.predict_planned_ms"));
+    }
+
+    #[test]
+    fn validator_requires_planned_training_section() {
+        // v4 gate: a v3-shaped doc (no planned_training) must fail with
+        // one missing-key diagnostic per expected training field.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "planned_training");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 13, "{problems:?}");
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("planned_training.speedup_planned_train_epoch")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("planned_training.bwd_steps")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_training_field() {
+        let mut doc = minimal_valid_doc();
+        if let Some(Json::Obj(row)) = match &mut doc {
+            Json::Obj(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "planned_training")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Some((_, v)) = row.iter_mut().find(|(k, _)| k == "train_step_planned_ms") {
+                *v = Json::str("fast");
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("planned_training.train_step_planned_ms"));
+    }
+
+    #[test]
+    fn validator_rejects_v3_schema_string() {
+        // The schema bump is load-bearing: an old v3 baseline must be
+        // rejected by name even if it were otherwise field-complete.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema") {
+                *v = Json::str("timekd-kernel-bench/v3");
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("timekd-kernel-bench/v4"));
     }
 
     #[test]

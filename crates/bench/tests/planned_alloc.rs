@@ -1,9 +1,12 @@
-//! Proves the compiled-plan student predict path is allocation-free.
+//! Proves the compiled-plan student predict *and training* paths are
+//! allocation-free.
 //!
 //! Installs [`PeakAlloc`] as this binary's global allocator and measures
-//! the heap around a batch of [`PlannedStudent::predict_into`] calls:
-//! after the warm-up call, live bytes must not move and the peak must not
-//! rise — i.e. the hot loop performs **zero** allocations, as the
+//! the heap around a batch of [`PlannedStudent::predict_into`] calls and
+//! then a batch of [`PlannedTrainer::planned_train_step`] calls: after
+//! the warm-up call, live bytes must not move and the peak must not
+//! rise — i.e. both hot loops (forward replay, reverse schedule, fused
+//! optimizer update) perform **zero** allocations, as the
 //! `*-in-plan-loop` lint rules promise statically.
 //!
 //! Built with `harness = false`: the libtest harness runs a second thread
@@ -11,9 +14,9 @@
 //! the global counters. A plain single-threaded `main` makes the
 //! measurement window deterministic.
 
-use timekd::{PlannedStudent, Student, TimeKdConfig};
+use timekd::{PlannedStudent, PlannedTrainer, Student, TimeKdConfig};
 use timekd_bench::PeakAlloc;
-use timekd_tensor::{seeded_rng, Tensor};
+use timekd_tensor::{seeded_rng, PlanOptimizer, Tensor};
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc::new();
@@ -49,4 +52,46 @@ fn main() {
     );
     assert!(out.iter().all(|v| v.is_finite()), "forecast must be finite");
     println!("planned_alloc: 64 predict_into calls, zero heap movement ({live_before} live bytes)");
+
+    // Same proof for the full training step: forward replay + reverse
+    // schedule + fused AdamW update, all from the one pre-sized arena.
+    let mut trainer = PlannedTrainer::new(
+        &student,
+        &config,
+        PlanOptimizer::AdamW {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        },
+    )
+    .expect("training plan compiles");
+    let y = Tensor::randn([horizon, num_vars], 0.5, &mut rng);
+
+    // Warm-up: binding already happened in `new`; this catches any lazy
+    // first-step setup.
+    trainer.planned_train_step(&x, &y);
+
+    let live_before = ALLOC.live_bytes();
+    ALLOC.reset_peak();
+    let mut last = 0.0f32;
+    for _ in 0..64 {
+        last = trainer.planned_train_step(&x, &y);
+    }
+    let live_after = ALLOC.live_bytes();
+    let peak_after = ALLOC.peak_bytes();
+
+    assert_eq!(
+        live_after, live_before,
+        "planned training step must not leak or allocate"
+    );
+    assert_eq!(
+        peak_after, live_before,
+        "planned training step must not allocate even transiently"
+    );
+    assert!(last.is_finite(), "training loss must be finite");
+    println!(
+        "planned_alloc: 64 planned_train_step calls, zero heap movement ({live_before} live bytes)"
+    );
 }

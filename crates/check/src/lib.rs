@@ -18,9 +18,9 @@
 //! | `no-alloc-in-worker` | worker loops | no allocation (`vec![`, `Vec::`, `Box::new`, `.to_vec()`, `.collect()`) in per-block worker loops |
 //! | `no-println-in-worker` | worker loops | no `print!`/`println!`/`dbg!` I/O in per-block worker loops |
 //! | `no-span-in-worker` | worker loops | no `timekd_obs` span/count hooks in per-block worker loops |
-//! | `no-alloc-in-plan-loop` | plan loops | no allocation (`vec![`, `Vec::`, `.push(`, `Box::new`, `.to_vec()`, `.collect()`) in the plan executor's step loop |
-//! | `no-unwrap-in-plan-loop` | plan loops | no `.unwrap()` / `.expect(` in the plan executor's step loop |
-//! | `no-span-in-plan-loop` | plan loops | no `timekd_obs` span/count hooks in the plan executor's step loop |
+//! | `no-alloc-in-plan-loop` | plan loops | no allocation (`vec![`, `Vec::`, `.push(`, `Box::new`, `.to_vec()`, `.collect()`) in the plan executors' step loops |
+//! | `no-unwrap-in-plan-loop` | plan loops | no `.unwrap()` / `.expect(` in the plan executors' step loops |
+//! | `no-span-in-plan-loop` | plan loops | no `timekd_obs` span/count hooks in the plan executors' step loops |
 //!
 //! "Worker loops" are the hot per-block functions of the parallel kernel
 //! path — functions in `tensor/src/parallel.rs`,
@@ -32,11 +32,13 @@
 //! I/O both blocks and interleaves.
 //!
 //! "Plan loops" are the hot schedule-replay functions of the static plan
-//! executor — functions in `tensor/src/plan.rs` whose name ends in
-//! `_plan_loop` (the naming contract that file documents). The executor's
-//! whole point is zero per-call allocation and zero instrumentation; a
-//! stray `Vec::push`, panic path, or span there silently voids the
-//! plan's performance contract.
+//! executors — functions in `tensor/src/plan.rs` (forward replay) or
+//! `tensor/src/plan_train.rs` (backward and optimizer replay) whose name
+//! ends in `_plan_loop` (the naming contract those files document). The
+//! executors' whole point is zero per-call allocation and zero
+//! instrumentation; a stray `Vec::push`, panic path, or span there
+//! silently voids the plan's performance contract — for training plans,
+//! on every forward, backward, *and* optimizer step of every epoch.
 //!
 //! Test modules are exempt from every rule. Justified exceptions go in the
 //! repo-root `lint-allow.txt` allowlist (see [`Allowlist`]).
@@ -257,8 +259,11 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
         || path_label.contains("tensor/src/ops/matmul.rs")
         || path_label.contains("tensor/src/ops/attention.rs");
     // Files that may define plan-executor hot loops (`*_plan_loop`),
-    // subject to the no-alloc/no-unwrap/no-span plan rules.
-    let in_plan_file = path_label.contains("tensor/src/plan.rs");
+    // subject to the no-alloc/no-unwrap/no-span plan rules. `plan.rs`
+    // hosts the forward replay loop, `plan_train.rs` the backward and
+    // optimizer replay loops of training plans.
+    let in_plan_file = path_label.contains("tensor/src/plan.rs")
+        || path_label.contains("tensor/src/plan_train.rs");
     let mut violations = Vec::new();
     let mut depth = 0usize;
     let mut in_block_comment = false;

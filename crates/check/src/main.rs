@@ -15,7 +15,11 @@
 //!   independently re-derives liveness over each compiled student plan and
 //!   proves slot interference soundness, def-before-use, the arena bound,
 //!   and a clean diff against the symbolic graph and dynamic execution,
-//!   for the whole configuration matrix.
+//!   for the whole configuration matrix. Training plans additionally get
+//!   the chained backward passes: adjoint completeness (frozen parameters
+//!   provably receive no update), reverse-topological validity,
+//!   saved-activation liveness over the combined forward+backward
+//!   timeline, and a bitwise plan-vs-dynamic training diff.
 //!
 //! Modifiers: `--json` renders the verifier report as stable, diffable
 //! JSON; `--strict` turns stale-allowlist warnings into failures.
@@ -175,7 +179,8 @@ fn run_verify(json: bool) -> Result<(), String> {
 fn run_plan_checks() -> Result<(), String> {
     let report = verify_plans();
     println!(
-        "plan: verified {} compiled plans ({} geometries executed against the dynamic engine)",
+        "plan: verified {} compiled forward+training plans ({} geometries executed against \
+         the dynamic engine)",
         report.configs_checked, report.geometries_executed
     );
     for f in &report.findings {

@@ -31,17 +31,60 @@
 //! through [`PlannedStudent`] and requires bitwise equality with the
 //! dynamic `Student::predict`.
 //!
+//! ## Backward passes (training plans)
+//!
+//! Training plans compiled by `Plan::compile_training` get four more
+//! passes over the reverse schedule, run as a *chain*: each pass runs
+//! only when every earlier backward pass is clean, so the first firing
+//! pass names the fault class unambiguously.
+//!
+//! 5. **adjoint-incomplete** — every reachable trainable parameter
+//!    receives exactly one well-formed gradient (one `Init` among its
+//!    writes) and exactly one fused optimizer update; frozen parameters
+//!    provably receive no update (re-proving the frozen-CLM invariant at
+//!    the plan level); no update reads an unwritten gradient; exactly one
+//!    seed step initializes the root gradient.
+//! 6. **reverse-topo** — walking the reverse schedule in order, every
+//!    consumed upstream gradient was written by an earlier backward step,
+//!    every `Init` write is the buffer's first, and every `Accum` write
+//!    follows one.
+//! 7. **saved-liveness** — re-derive def/use intervals over the combined
+//!    `forward ++ backward ++ update` timeline (saved activations stay
+//!    live until their last backward reader, gradients from first write
+//!    to last consumer) and prove no two simultaneously-live values share
+//!    an arena slot.
+//! 8. **train-divergence** — run real planned training steps and require
+//!    bitwise-identical parameters vs the dynamic `Student` training
+//!    idiom under the same optimizer.
+//!
 //! Each pass has a fault-injection test (via
 //! [`PlanFault`](timekd_tensor::PlanFault)) proving it actually fires.
 
 use std::collections::{HashMap, HashSet};
 
-use timekd::{student_plan_spec, trace_student_forecast, PlannedStudent, Student, TimeKdConfig};
+use timekd::{
+    student_plan_spec, student_train_spec, trace_student_forecast, trace_student_loss,
+    PlannedStudent, Student, TimeKdConfig,
+};
+use timekd_nn::Module;
 use timekd_tensor::{
-    graph_stats, seeded_rng, GraphAudit, Plan, SymbolicTensor, Tensor, ValueSource,
+    graph_stats, seeded_rng, GradMode, GraphAudit, Plan, PlanOptimizer, SymbolicTensor, Tensor,
+    TrainExecutor, ValueSource,
 };
 
 use crate::verify::{config_matrix, Finding};
+
+/// Optimizer every training-plan verification uses (the paper trains with
+/// AdamW; hyper-parameters mirror `timekd_nn::AdamWConfig::default`).
+pub fn verification_optimizer() -> PlanOptimizer {
+    PlanOptimizer::AdamW {
+        lr: 0.01,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        weight_decay: 0.01,
+    }
+}
 
 fn finding(kind: &'static str, config: &str, message: String) -> Finding {
     Finding {
@@ -132,7 +175,10 @@ pub fn check_topo_validity(plan: &Plan, config: &str) -> Vec<Finding> {
     let mut produced = vec![false; vals.len()];
     for (t, step) in plan.steps().iter().enumerate() {
         for &v in &step.inputs {
-            let external = matches!(vals[v].source, ValueSource::Input | ValueSource::Param);
+            let external = matches!(
+                vals[v].source,
+                ValueSource::Input | ValueSource::Param | ValueSource::Target
+            );
             if !external && !produced[v] {
                 out.push(finding(
                     "use-before-def",
@@ -438,6 +484,483 @@ pub fn plan_grad_stats(plan: &Plan) -> (usize, usize, usize, usize, usize) {
     (nodes, edges, leaves, params, max_depth)
 }
 
+/// Parameter values of the gradient subgraph: reachable from the root
+/// through values that require grad via tracked steps — the exact set the
+/// dynamic engine accumulates gradients into, re-derived from the
+/// schedule rather than read off any compiler field.
+fn grad_reachable_params(plan: &Plan) -> HashSet<usize> {
+    let vals = plan.values();
+    let mut producer: Vec<Option<usize>> = vec![None; vals.len()];
+    for (t, step) in plan.steps().iter().enumerate() {
+        if step.tracked {
+            producer[step.output] = Some(t);
+        }
+    }
+    let mut params = HashSet::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![plan.root()];
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        match producer[v] {
+            Some(t) => {
+                for &p in &plan.steps()[t].inputs {
+                    if vals[p].requires_grad {
+                        stack.push(p);
+                    }
+                }
+            }
+            None => {
+                if matches!(vals[v].source, ValueSource::Param) && vals[v].requires_grad {
+                    params.insert(v);
+                }
+            }
+        }
+    }
+    params
+}
+
+/// Pass 5: adjoint completeness. Every reachable trainable parameter gets
+/// exactly one accumulated gradient and exactly one fused update; frozen
+/// parameters provably receive no update; no update reads an unwritten
+/// gradient; exactly one seed step initializes the root's adjoint.
+pub fn check_adjoint_completeness(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let vals = plan.values();
+    if !plan.is_training() {
+        out.push(finding(
+            "adjoint-incomplete",
+            config,
+            "plan carries no reverse schedule".to_string(),
+        ));
+        return out;
+    }
+
+    // Adjoint ownership and write accounting, from the reverse schedule.
+    let mut grads_of: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, v) in vals.iter().enumerate() {
+        if let Some(owner) = v.adjoint_of {
+            grads_of.entry(owner).or_default().push(i);
+        }
+    }
+    let mut writes: HashMap<usize, (usize, usize)> = HashMap::new(); // grad -> (inits, accums)
+    let mut seeds = 0usize;
+    for step in plan.bwd_steps() {
+        if step.fwd_step.is_none() {
+            seeds += 1;
+            let well_formed = step.grad_in.is_none()
+                && step.writes.len() == 1
+                && step.writes[0].1 == GradMode::Init
+                && vals[step.writes[0].0].adjoint_of == Some(plan.root());
+            if !well_formed {
+                out.push(finding(
+                    "adjoint-incomplete",
+                    config,
+                    "seed step does not initialize exactly the root gradient".to_string(),
+                ));
+            }
+        }
+        for &(g, mode) in &step.writes {
+            let e = writes.entry(g).or_insert((0, 0));
+            match mode {
+                GradMode::Init => e.0 += 1,
+                GradMode::Accum => e.1 += 1,
+            }
+        }
+    }
+    if seeds != 1 {
+        out.push(finding(
+            "adjoint-incomplete",
+            config,
+            format!("{seeds} seed step(s); the reverse schedule needs exactly one"),
+        ));
+    }
+    for (&g, &(inits, _)) in &writes {
+        if inits != 1 {
+            out.push(finding(
+                "adjoint-incomplete",
+                config,
+                format!(
+                    "gradient `{}` has {inits} Init write(s) (want exactly one)",
+                    vals[g].label
+                ),
+            ));
+        }
+    }
+
+    // Fused updates: each must read a written adjoint of its own parameter.
+    let mut updates: HashMap<usize, usize> = HashMap::new();
+    for u in plan.update_steps() {
+        *updates.entry(u.param).or_default() += 1;
+        if !writes.contains_key(&u.grad) {
+            out.push(finding(
+                "adjoint-incomplete",
+                config,
+                format!(
+                    "update of `{}` reads gradient `{}`, which no backward step writes",
+                    vals[u.param].label, vals[u.grad].label
+                ),
+            ));
+        }
+        if vals[u.grad].adjoint_of != Some(u.param) {
+            out.push(finding(
+                "adjoint-incomplete",
+                config,
+                format!(
+                    "update of `{}` reads a gradient that is not its adjoint",
+                    vals[u.param].label
+                ),
+            ));
+        }
+    }
+
+    // Per-parameter completeness against the re-derived gradient subgraph.
+    let reachable = grad_reachable_params(plan);
+    for (i, v) in vals.iter().enumerate() {
+        if !matches!(v.source, ValueSource::Param) {
+            continue;
+        }
+        let n_upd = updates.get(&i).copied().unwrap_or(0);
+        if reachable.contains(&i) && !v.frozen {
+            let written = grads_of
+                .get(&i)
+                .map_or(0, |gs| gs.iter().filter(|g| writes.contains_key(g)).count());
+            if written != 1 {
+                out.push(finding(
+                    "adjoint-incomplete",
+                    config,
+                    format!(
+                        "trainable parameter `{}` has {written} accumulated gradient(s) \
+                         (want exactly one)",
+                        v.label
+                    ),
+                ));
+            }
+            if n_upd != 1 {
+                out.push(finding(
+                    "adjoint-incomplete",
+                    config,
+                    format!(
+                        "trainable parameter `{}` receives {n_upd} optimizer update(s) \
+                         (want exactly one)",
+                        v.label
+                    ),
+                ));
+            }
+        } else if n_upd != 0 {
+            out.push(finding(
+                "adjoint-incomplete",
+                config,
+                format!(
+                    "frozen/non-trainable parameter `{}` receives {n_upd} optimizer \
+                     update(s) (must receive none)",
+                    v.label
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Pass 6: reverse-topological validity. Walking the reverse schedule in
+/// order, every consumed upstream gradient was written earlier, every
+/// `Init` is its buffer's first write, every `Accum` follows one, and each
+/// non-seed step's incoming gradient is the adjoint of the forward step it
+/// claims to reverse.
+pub fn check_reverse_topo(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let vals = plan.values();
+    let mut written: HashSet<usize> = HashSet::new();
+    for (j, step) in plan.bwd_steps().iter().enumerate() {
+        if let Some(g) = step.grad_in {
+            if !written.contains(&g) {
+                out.push(finding(
+                    "reverse-topo",
+                    config,
+                    format!(
+                        "backward step {j} consumes `{}` before any earlier step writes it",
+                        vals[g].label
+                    ),
+                ));
+            }
+        }
+        if let (Some(fs), Some(g)) = (step.fwd_step, step.grad_in) {
+            let reversed_output = plan.steps().get(fs).map(|s| s.output);
+            if vals[g].adjoint_of != reversed_output {
+                out.push(finding(
+                    "reverse-topo",
+                    config,
+                    format!(
+                        "backward step {j} claims to reverse forward step {fs} but consumes \
+                         a gradient that is not its output's adjoint"
+                    ),
+                ));
+            }
+        }
+        for &(g, mode) in &step.writes {
+            match mode {
+                GradMode::Init => {
+                    if written.contains(&g) {
+                        out.push(finding(
+                            "reverse-topo",
+                            config,
+                            format!(
+                                "backward step {j} re-initializes `{}` after earlier writes",
+                                vals[g].label
+                            ),
+                        ));
+                    }
+                }
+                GradMode::Accum => {
+                    if !written.contains(&g) {
+                        out.push(finding(
+                            "reverse-topo",
+                            config,
+                            format!(
+                                "backward step {j} accumulates into `{}` before its Init",
+                                vals[g].label
+                            ),
+                        ));
+                    }
+                }
+            }
+            written.insert(g);
+        }
+    }
+    out
+}
+
+/// Def/use intervals over the combined `forward ++ backward ++ update`
+/// timeline, re-derived from the schedules: saved activations stay live to
+/// their last backward reader, gradients from first write to last consumer,
+/// and the root (loss) is pinned through the end of the whole step.
+fn derive_train_intervals(plan: &Plan) -> (Vec<Option<usize>>, Vec<usize>) {
+    let n = plan.values().len();
+    let mut def: Vec<Option<usize>> = vec![None; n];
+    let mut last: Vec<usize> = vec![0; n];
+    let fwd_end = plan.steps().len();
+    for (t, step) in plan.steps().iter().enumerate() {
+        if def[step.output].is_none() {
+            def[step.output] = Some(t);
+        }
+        for &v in &step.inputs {
+            last[v] = last[v].max(t);
+        }
+    }
+    for (j, step) in plan.bwd_steps().iter().enumerate() {
+        let t = fwd_end + j;
+        if let Some(g) = step.grad_in {
+            last[g] = last[g].max(t);
+        }
+        for &v in &step.reads {
+            last[v] = last[v].max(t);
+        }
+        for &(g, _) in &step.writes {
+            if def[g].is_none() {
+                def[g] = Some(t);
+            }
+            last[g] = last[g].max(t);
+        }
+    }
+    let bwd_end = fwd_end + plan.bwd_steps().len();
+    for (u, upd) in plan.update_steps().iter().enumerate() {
+        last[upd.grad] = last[upd.grad].max(bwd_end + u);
+    }
+    last[plan.root()] = bwd_end + plan.update_steps().len();
+    (def, last)
+}
+
+/// Pass 7: saved-activation liveness soundness. No two values that are
+/// simultaneously live anywhere on the combined timeline — a saved forward
+/// activation and the gradient that outlives it included — share a slot.
+pub fn check_saved_liveness(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let (def, last) = derive_train_intervals(plan);
+    let vals = plan.values();
+    for i in 0..vals.len() {
+        let (Some(si), Some(di)) = (vals[i].slot, def[i]) else {
+            continue;
+        };
+        let li = last[i].max(di);
+        for j in (i + 1)..vals.len() {
+            let (Some(sj), Some(dj)) = (vals[j].slot, def[j]) else {
+                continue;
+            };
+            if si != sj {
+                continue;
+            }
+            let lj = last[j].max(dj);
+            if di <= lj && dj <= li {
+                out.push(finding(
+                    "saved-liveness",
+                    config,
+                    format!(
+                        "values `{}` (live {di}..={li}) and `{}` (live {dj}..={lj}) share \
+                         slot {si} on the combined forward+backward timeline",
+                        vals[i].label, vals[j].label
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The chained backward verification: completeness, then reverse-topo,
+/// then saved-liveness — each pass runs only when every earlier backward
+/// pass came back clean, so the first firing pass names the fault class
+/// unambiguously.
+pub fn verify_backward_chain(plan: &Plan, config: &str) -> Vec<Finding> {
+    let out = check_adjoint_completeness(plan, config);
+    if !out.is_empty() {
+        return out;
+    }
+    let out = check_reverse_topo(plan, config);
+    if !out.is_empty() {
+        return out;
+    }
+    check_saved_liveness(plan, config)
+}
+
+/// Pass 8: plan-vs-dynamic gradient diff. Binds the training plan to a
+/// freshly seeded student, runs two real planned training steps, and
+/// requires every parameter to be bitwise identical to the dynamic
+/// `Student` training idiom (`zero_grad → forward → smooth_l1 → backward →
+/// optimizer step`) under the same optimizer.
+pub fn check_train_divergence(
+    plan: &Plan,
+    cfg: &TimeKdConfig,
+    label: &str,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let Some(&optimizer) = plan.optimizer() else {
+        return vec![finding(
+            "train-divergence",
+            label,
+            "training plan declares no optimizer".to_string(),
+        )];
+    };
+    let (ctx, _loss) = match trace_student_loss(cfg, input_len, horizon, num_vars) {
+        Ok(t) => t,
+        Err(e) => return vec![finding("plan-compile", label, format!("trace failed: {e}"))],
+    };
+    let mut rng = seeded_rng(0xD1CE);
+    let student = Student::new(cfg, input_len, horizon, num_vars, &mut rng);
+    let params = student.params();
+    let sym_params = ctx.params();
+    if sym_params.len() != params.len() {
+        return vec![finding(
+            "train-divergence",
+            label,
+            format!(
+                "symbolic trace registers {} parameters, dynamic student has {}",
+                sym_params.len(),
+                params.len()
+            ),
+        )];
+    }
+    let by_label: HashMap<String, Tensor> = sym_params
+        .iter()
+        .zip(&params)
+        .map(|(s, t)| (s.label().to_string(), t.clone()))
+        .collect();
+    let initial: HashMap<String, Vec<f32>> = by_label
+        .iter()
+        .map(|(l, t)| (l.clone(), t.to_vec()))
+        .collect();
+    // Bind the executor to pre-training copies before the dynamic reference
+    // moves anything.
+    let mut exec = match TrainExecutor::new(plan, |lbl, dims| {
+        by_label
+            .get(lbl)
+            .filter(|t| t.dims() == dims)
+            .map(|t| t.data().clone())
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            return vec![finding(
+                "train-divergence",
+                label,
+                format!("training plan rejected at bind: {}", e.message),
+            )]
+        }
+    };
+
+    enum DynOpt {
+        Sgd(timekd_nn::Sgd),
+        AdamW(timekd_nn::AdamW),
+    }
+    let mut dyn_opt = match optimizer {
+        PlanOptimizer::Sgd { lr } => DynOpt::Sgd(timekd_nn::Sgd::new(lr)),
+        PlanOptimizer::AdamW {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+        } => DynOpt::AdamW(timekd_nn::AdamW::new(
+            lr,
+            timekd_nn::AdamWConfig {
+                beta1,
+                beta2,
+                eps,
+                weight_decay,
+            },
+        )),
+    };
+
+    let mut wrng = seeded_rng(0x7A17);
+    for _ in 0..2 {
+        let x = Tensor::randn([input_len, num_vars], 1.0, &mut wrng);
+        let y = Tensor::randn([horizon, num_vars], 0.5, &mut wrng);
+        for p in &params {
+            p.zero_grad();
+        }
+        let forecast = student.forward(&x).forecast;
+        timekd_nn::smooth_l1_loss(&forecast, &y).backward();
+        match &mut dyn_opt {
+            DynOpt::Sgd(o) => o.step(&params),
+            DynOpt::AdamW(o) => o.step(&params),
+        }
+        let _ = exec.run_train_step(&x.to_vec(), &y.to_vec());
+    }
+
+    let plan_param_labels: Vec<&str> = plan
+        .values()
+        .iter()
+        .filter(|v| matches!(v.source, ValueSource::Param))
+        .map(|v| v.label.as_str())
+        .collect();
+    for (lbl, t) in &by_label {
+        let dynamic = t.to_vec();
+        let planned: &[f32] = match plan_param_labels.iter().position(|l| l == lbl) {
+            Some(i) => exec.param_data(i),
+            None => &initial[lbl],
+        };
+        let diverging = planned
+            .iter()
+            .zip(&dynamic)
+            .filter(|(a, b)| a.to_bits() != b.to_bits())
+            .count();
+        if diverging > 0 {
+            out.push(finding(
+                "train-divergence",
+                label,
+                format!(
+                    "parameter `{lbl}` diverges from dynamic training on {diverging}/{} \
+                     elements after 2 steps",
+                    dynamic.len()
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// Structural verification of one configuration: trace, compile, run the
 /// four static passes.
 pub fn verify_plan_config(
@@ -465,6 +988,36 @@ pub fn verify_plan_config(
     out.extend(check_topo_validity(&plan, label));
     out.extend(check_arena_bound(&plan, label));
     out.extend(check_graph_diff(&plan, &forecast, label));
+
+    // Training plan: same forward passes over the extended value set, then
+    // the chained backward passes over the reverse schedule.
+    let (_ctx, loss) = match trace_student_loss(cfg, input_len, horizon, num_vars) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(finding(
+                "plan-compile",
+                label,
+                format!("student loss trace failed: {e}"),
+            ));
+            return out;
+        }
+    };
+    let train_plan = match Plan::compile_training(
+        &loss,
+        &student_plan_spec(),
+        &student_train_spec(verification_optimizer()),
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(finding("plan-compile", label, e.message));
+            return out;
+        }
+    };
+    out.extend(check_slot_interference(&train_plan, label));
+    out.extend(check_topo_validity(&train_plan, label));
+    out.extend(check_arena_bound(&train_plan, label));
+    out.extend(check_graph_diff(&train_plan, &loss, label));
+    out.extend(verify_backward_chain(&train_plan, label));
     out
 }
 
@@ -534,6 +1087,37 @@ pub fn check_dynamic_agreement(
     out
 }
 
+/// Training agreement for one student geometry: compile the training plan
+/// and, when the structural backward chain is clean (chain semantics —
+/// divergence is the last pass), require bitwise agreement with dynamic
+/// training.
+pub fn check_train_agreement(
+    cfg: &TimeKdConfig,
+    label: &str,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Vec<Finding> {
+    let (_ctx, loss) = match trace_student_loss(cfg, input_len, horizon, num_vars) {
+        Ok(t) => t,
+        Err(e) => return vec![finding("plan-compile", label, format!("trace failed: {e}"))],
+    };
+    let plan = match Plan::compile_training(
+        &loss,
+        &student_plan_spec(),
+        &student_train_spec(verification_optimizer()),
+    ) {
+        Ok(p) => p,
+        Err(e) => return vec![finding("plan-compile", label, e.message)],
+    };
+    if !verify_backward_chain(&plan, label).is_empty() {
+        // The structural chain already reported at config level; running a
+        // provably broken schedule would only produce noise.
+        return Vec::new();
+    }
+    check_train_divergence(&plan, cfg, label, input_len, horizon, num_vars)
+}
+
 /// Aggregate result of a `--plan` run.
 #[derive(Debug, Default)]
 pub struct PlanReport {
@@ -574,6 +1158,9 @@ pub fn verify_plans() -> PlanReport {
             report.findings.extend(check_dynamic_agreement(
                 &cfg, &label, input_len, horizon, num_vars,
             ));
+            report.findings.extend(check_train_agreement(
+                &cfg, &label, input_len, horizon, num_vars,
+            ));
         }
     }
     if report.is_clean() {
@@ -591,6 +1178,23 @@ pub fn verify_plans() -> PlanReport {
                 "planned predict is bitwise identical to dynamic predict ({g}/{g} \
                  student geometries)"
             ),
+            format!(
+                "every reachable trainable parameter receives exactly one accumulated \
+                 gradient and one fused update; frozen parameters receive none \
+                 ({n}/{n} configs)"
+            ),
+            format!(
+                "the reverse schedule writes every gradient before any consumer, Init \
+                 before Accum ({n}/{n} configs)"
+            ),
+            format!(
+                "no saved activation's slot is reused before its last backward reader \
+                 on the combined timeline ({n}/{n} configs)"
+            ),
+            format!(
+                "planned training steps are bitwise identical to dynamic Student \
+                 training ({g}/{g} student geometries)"
+            ),
         ];
     }
     report
@@ -599,19 +1203,24 @@ pub fn verify_plans() -> PlanReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use timekd::compile_student_plan;
+    use timekd::{compile_student_plan, compile_student_training_plan};
     use timekd_tensor::PlanFault;
 
     fn tiny_cfg() -> TimeKdConfig {
-        let mut cfg = TimeKdConfig::default();
-        cfg.dim = 16;
-        cfg.num_heads = 2;
-        cfg.ffn_hidden = 32;
-        cfg
+        TimeKdConfig {
+            dim: 16,
+            num_heads: 2,
+            ffn_hidden: 32,
+            ..Default::default()
+        }
     }
 
     fn tiny_plan() -> Plan {
         compile_student_plan(&tiny_cfg(), 24, 8, 3).unwrap()
+    }
+
+    fn tiny_train_plan() -> Plan {
+        compile_student_training_plan(&tiny_cfg(), 24, 8, 3, verification_optimizer()).unwrap()
     }
 
     fn all_static_passes(plan: &Plan) -> Vec<Finding> {
@@ -682,5 +1291,129 @@ mod tests {
         // stay clean under every pass so the named diagnostics are trusted.
         let plan = tiny_plan();
         assert!(all_static_passes(&plan).is_empty());
+    }
+
+    #[test]
+    fn clean_training_plan_passes_backward_chain_and_divergence() {
+        let plan = tiny_train_plan();
+        assert!(plan.is_training());
+        let fs = verify_backward_chain(&plan, "t");
+        assert!(fs.is_empty(), "{fs:?}");
+        let fs = check_train_agreement(&tiny_cfg(), "t", 24, 8, 3);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn forward_only_plans_still_verify_unchanged() {
+        // Regression: forward plans carry empty backward schedules, the
+        // forward passes stay oblivious to training support, and only the
+        // completeness pass (by design) rejects the missing reverse
+        // schedule when asked.
+        let plan = tiny_plan();
+        assert!(!plan.is_training());
+        assert!(plan.bwd_steps().is_empty() && plan.update_steps().is_empty());
+        assert!(all_static_passes(&plan).is_empty());
+        let fs = check_adjoint_completeness(&plan, "t");
+        assert!(fs.iter().all(|f| f.kind == "adjoint-incomplete") && !fs.is_empty());
+    }
+
+    #[test]
+    fn drop_adjoint_fault_trips_adjoint_completeness() {
+        let mut plan = tiny_train_plan();
+        plan.inject_fault(PlanFault::DropAdjoint);
+        let fs = check_adjoint_completeness(&plan, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "adjoint-incomplete"),
+            "expected an adjoint-incomplete finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn reorder_backward_fault_trips_reverse_topo() {
+        let mut plan = tiny_train_plan();
+        plan.inject_fault(PlanFault::ReorderBackward);
+        assert!(check_adjoint_completeness(&plan, "t").is_empty());
+        let fs = check_reverse_topo(&plan, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "reverse-topo"),
+            "expected a reverse-topo finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn clobber_saved_activation_fault_trips_saved_liveness() {
+        let mut plan = tiny_train_plan();
+        plan.inject_fault(PlanFault::ClobberSavedActivation);
+        assert!(check_adjoint_completeness(&plan, "t").is_empty());
+        assert!(check_reverse_topo(&plan, "t").is_empty());
+        let fs = check_saved_liveness(&plan, "t");
+        assert!(
+            fs.iter().any(|f| f.kind == "saved-liveness"),
+            "expected a saved-liveness finding, got {fs:?}"
+        );
+    }
+
+    #[test]
+    fn backward_fault_isolation_matrix() {
+        // Each backward fault is caught by exactly its owning pass in the
+        // chain, and by no forward pass.
+        let cfg = tiny_cfg();
+        let (_ctx, loss) = trace_student_loss(&cfg, 24, 8, 3).unwrap();
+        let owners = [
+            (PlanFault::DropAdjoint, "adjoint-incomplete"),
+            (PlanFault::ReorderBackward, "reverse-topo"),
+            (PlanFault::ClobberSavedActivation, "saved-liveness"),
+        ];
+        for (fault, owner) in owners {
+            let mut plan = Plan::compile_training(
+                &loss,
+                &student_plan_spec(),
+                &student_train_spec(verification_optimizer()),
+            )
+            .unwrap();
+            plan.inject_fault(fault);
+            let mut fwd = all_static_passes(&plan);
+            fwd.extend(check_graph_diff(&plan, &loss, "t"));
+            assert!(
+                fwd.is_empty(),
+                "{fault:?} leaked into a forward pass: {fwd:?}"
+            );
+            let fs = verify_backward_chain(&plan, "t");
+            assert!(!fs.is_empty(), "{fault:?} was not caught by the chain");
+            assert!(
+                fs.iter().all(|f| f.kind == owner),
+                "{fault:?} expected only `{owner}` findings, got {fs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_frozen_param_fault_caught_only_by_train_divergence() {
+        // The fault yields a perfectly self-consistent plan (a frozen
+        // parameter legitimately receives no update), so every static pass
+        // must stay clean; only real execution against the dynamic
+        // reference can expose that the wrong parameter was frozen.
+        let cfg = tiny_cfg();
+        let (_ctx, loss) = trace_student_loss(&cfg, 24, 8, 3).unwrap();
+        let mut plan = Plan::compile_training(
+            &loss,
+            &student_plan_spec(),
+            &student_train_spec(verification_optimizer()),
+        )
+        .unwrap();
+        plan.inject_fault(PlanFault::UpdateFrozenParam);
+        let mut fwd = all_static_passes(&plan);
+        fwd.extend(check_graph_diff(&plan, &loss, "t"));
+        assert!(fwd.is_empty(), "{fwd:?}");
+        let fs = verify_backward_chain(&plan, "t");
+        assert!(
+            fs.is_empty(),
+            "static backward passes must stay clean: {fs:?}"
+        );
+        let fs = check_train_divergence(&plan, &cfg, "t", 24, 8, 3);
+        assert!(
+            fs.iter().any(|f| f.kind == "train-divergence"),
+            "expected a train-divergence finding, got {fs:?}"
+        );
     }
 }

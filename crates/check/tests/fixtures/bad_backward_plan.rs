@@ -1,0 +1,39 @@
+// Lint fixture (never compiled): forbidden constructs inside the training
+// executor's backward/optimizer hot loops. The *-in-plan-loop rules must
+// trip in `*_plan_loop` fns of plan_train.rs exactly as they do for the
+// forward replay loop. Line numbers matter — trip.rs asserts them.
+fn backward_plan_loop(&mut self, input: &[f32]) {
+    let mut grads = vec![0.0f32; input.len()];
+    grads.push(0.0);
+    let head = self.bwd.first().unwrap();
+    let _span = timekd_obs::span("plan.backward");
+    for step in &self.bwd {
+        grads[0] += step.g_len as f32;
+    }
+}
+
+fn optimizer_plan_loop(&mut self) {
+    // The fused update loop is held to the same contract.
+    let state = self.moments.to_vec();
+    let _ = state;
+}
+
+fn bind_training(plan: &Plan) -> Vec<f32> {
+    // Bind-time code is not a plan loop: allocation, expect and spans are
+    // all legal here.
+    let _span = timekd_obs::span("plan.bind");
+    let mut m = Vec::with_capacity(plan.len());
+    m.push(0.0);
+    plan.first().expect("non-empty plan");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper_backward_plan_loop() {
+        // Inside a test module the same constructs are exempt.
+        let g = vec![0.0f32].first().copied().unwrap();
+        let _span = timekd_obs::span("exempt");
+        let _ = g;
+    }
+}

@@ -445,6 +445,62 @@ fn real_plan_module_passes_its_own_lint() {
 }
 
 #[test]
+fn backward_plan_loop_rules_trip_on_exact_lines() {
+    // The *-in-plan-loop rules extend to the backward/optimizer replay
+    // loops in tensor/src/plan_train.rs: the vec! (line 6) and .push(
+    // (line 7) trip the alloc rule inside backward_plan_loop, as does the
+    // .to_vec() (line 17) inside optimizer_plan_loop; the .unwrap() (line
+    // 8) trips the unwrap rule and the span (line 9) the span rule.
+    // Nothing in bind_training (bind-time code) or the test module may
+    // trip.
+    let vs = scan_source(
+        "crates/tensor/src/plan_train.rs",
+        &fixture("bad_backward_plan.rs"),
+    );
+    let of_rule = |rule: &str| -> Vec<usize> {
+        vs.iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    };
+    assert_eq!(of_rule("no-alloc-in-plan-loop"), vec![6, 7, 17], "{vs:?}");
+    assert_eq!(of_rule("no-unwrap-in-plan-loop"), vec![8], "{vs:?}");
+    assert_eq!(of_rule("no-span-in-plan-loop"), vec![9], "{vs:?}");
+    assert!(
+        vs.iter().all(|v| v.line < 21),
+        "bind_training and the test module are out of scope: {vs:?}"
+    );
+}
+
+#[test]
+fn backward_plan_loop_rules_do_not_trip_outside_plan_files() {
+    // Same source labelled outside tensor/src/plan*.rs: the plan rules
+    // are path-scoped, like the worker rules.
+    let vs = scan_source(
+        "crates/nn/src/bad_backward_plan.rs",
+        &fixture("bad_backward_plan.rs"),
+    );
+    assert!(
+        vs.iter().all(|v| !v.rule.ends_with("-in-plan-loop")),
+        "plan rules are scoped to tensor/src/plan.rs and plan_train.rs: {vs:?}"
+    );
+}
+
+#[test]
+fn real_train_plan_module_passes_its_own_lint() {
+    // The shipped training executor promises zero-alloc, unwrap-free,
+    // uninstrumented backward and optimizer loops — it must stay clean
+    // under its own rules.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tensor/src/plan_train.rs");
+    let source = std::fs::read_to_string(&path).expect("read plan_train.rs");
+    let vs = scan_source("crates/tensor/src/plan_train.rs", &source);
+    assert!(
+        vs.is_empty(),
+        "shipped training executor violates its own lint: {vs:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_worker_rules() {
     let source = fixture("bad_worker.rs");
     let label = "crates/tensor/src/ops/matmul.rs";

@@ -48,7 +48,10 @@ pub use distill::{pkd_losses, PkdLosses};
 pub use forecaster::Forecaster;
 pub use model_io::{load_checkpoint, save_checkpoint};
 pub use norm_helpers::layer_norm_const;
-pub use plan::{compile_student_plan, student_plan_spec, PlannedStudent};
+pub use plan::{
+    compile_student_plan, compile_student_training_plan, student_plan_spec, student_train_spec,
+    PlannedStudent, PlannedTrainer,
+};
 pub use sca::SubtractiveCrossAttention;
 pub use student::{Student, StudentOutput};
 pub use symbolic::{

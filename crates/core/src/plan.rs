@@ -11,11 +11,14 @@
 use std::collections::HashMap;
 
 use timekd_nn::Module;
-use timekd_tensor::{Plan, PlanError, PlanExecutor, PlanSpec, Tensor};
+use timekd_tensor::{
+    Plan, PlanError, PlanExecutor, PlanOptimizer, PlanSpec, Tensor, TrainExecutor, TrainSpec,
+    ValueSource,
+};
 
 use crate::config::TimeKdConfig;
 use crate::student::Student;
-use crate::symbolic::trace_student_forecast;
+use crate::symbolic::{trace_student_forecast, trace_student_loss};
 
 /// The plan spec for the student forecast graph: the history window is the
 /// single runtime input, and the RevIN instance statistics (constant
@@ -154,18 +157,168 @@ impl PlannedStudent {
     }
 }
 
+/// The train spec for the student loss graph: the horizon window is the
+/// per-step target leaf (`y` in `trace_student_loss`).
+pub fn student_train_spec(optimizer: PlanOptimizer) -> TrainSpec {
+    TrainSpec {
+        target_label: "y".to_string(),
+        optimizer,
+    }
+}
+
+/// Traces the student forecasting loss for this geometry and compiles the
+/// full training plan — forward, reverse schedule, fused optimizer.
+pub fn compile_student_training_plan(
+    config: &TimeKdConfig,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+    optimizer: PlanOptimizer,
+) -> Result<Plan, PlanError> {
+    let (_ctx, loss) =
+        trace_student_loss(config, input_len, horizon, num_vars).map_err(|e| PlanError {
+            message: format!("student loss trace failed: {e}"),
+        })?;
+    Plan::compile_training(&loss, &student_plan_spec(), &student_train_spec(optimizer))
+}
+
+/// A [`Student`] training loop whose every step — forward, backward, and
+/// optimizer update — replays a compiled training [`Plan`] with zero graph
+/// construction and zero heap allocation.
+///
+/// Because the training executor runs the same serial row-block kernels
+/// the dynamic engine partitions across the worker pool, and the fused
+/// optimizer updates restate the dynamic optimizers verbatim, parameters
+/// after any number of [`PlannedTrainer::planned_train_step`] calls are
+/// **bitwise identical** to dynamic [`Student`] training at any
+/// `TIMEKD_THREADS` setting.
+#[derive(Debug)]
+pub struct PlannedTrainer {
+    plan: Plan,
+    executor: TrainExecutor,
+    /// Parameter labels in executor binding order (plan value order).
+    param_labels: Vec<String>,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+}
+
+impl PlannedTrainer {
+    /// Compiles the training plan for `student`'s geometry and binds its
+    /// current parameter values (copied — the live student is untouched).
+    pub fn new(
+        student: &Student,
+        config: &TimeKdConfig,
+        optimizer: PlanOptimizer,
+    ) -> Result<PlannedTrainer, PlanError> {
+        let (ctx, loss) = trace_student_loss(
+            config,
+            student.input_len(),
+            student.horizon(),
+            student.num_vars(),
+        )
+        .map_err(|e| PlanError {
+            message: format!("student loss trace failed: {e}"),
+        })?;
+        let plan =
+            Plan::compile_training(&loss, &student_plan_spec(), &student_train_spec(optimizer))?;
+
+        let sym_params = ctx.params();
+        let real_params = student.params();
+        if sym_params.len() != real_params.len() {
+            return Err(PlanError {
+                message: format!(
+                    "parameter count mismatch: trace has {}, student has {}",
+                    sym_params.len(),
+                    real_params.len()
+                ),
+            });
+        }
+        let mut by_label: HashMap<String, Tensor> = HashMap::with_capacity(real_params.len());
+        for (sym, real) in sym_params.iter().zip(&real_params) {
+            if sym.sizes() != real.dims() {
+                return Err(PlanError {
+                    message: format!(
+                        "parameter `{}` shape mismatch: trace {:?}, student {:?}",
+                        sym.label(),
+                        sym.sizes(),
+                        real.dims()
+                    ),
+                });
+            }
+            by_label.insert(sym.label().to_string(), real.clone());
+        }
+
+        let executor = TrainExecutor::new(&plan, |label, dims| {
+            by_label
+                .get(label)
+                .filter(|t| t.dims() == dims)
+                .map(|t| t.data().clone())
+        })?;
+        let param_labels: Vec<String> = plan
+            .values()
+            .iter()
+            .filter(|v| v.source == ValueSource::Param)
+            .map(|v| v.label.clone())
+            .collect();
+
+        Ok(PlannedTrainer {
+            plan,
+            executor,
+            param_labels,
+            input_len: student.input_len(),
+            horizon: student.horizon(),
+            num_vars: student.num_vars(),
+        })
+    }
+
+    /// The compiled training plan (for inspection and verification).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Labels of the bound parameters, in binding order.
+    pub fn param_labels(&self) -> &[String] {
+        &self.param_labels
+    }
+
+    /// Current data of the parameter named `label`, if bound.
+    pub fn param_data(&self, label: &str) -> Option<&[f32]> {
+        let idx = self.param_labels.iter().position(|l| l == label)?;
+        Some(self.executor.param_data(idx))
+    }
+
+    /// Runs one full training step on a `[L, N]` history window and its
+    /// `[M, N]` horizon target, returning the loss. No graph is built and
+    /// no heap allocation happens.
+    pub fn planned_train_step(&mut self, x: &Tensor, y: &Tensor) -> f32 {
+        assert_eq!(
+            x.dims(),
+            &[self.input_len, self.num_vars],
+            "planned trainer input shape"
+        );
+        assert_eq!(
+            y.dims(),
+            &[self.horizon, self.num_vars],
+            "planned trainer target shape"
+        );
+        self.executor.run_train_step(&x.data(), &y.data())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use timekd_tensor::{parallel, seeded_rng};
 
     fn small_config() -> TimeKdConfig {
-        let mut config = TimeKdConfig::default();
-        config.dim = 16;
-        config.num_heads = 2;
-        config.num_layers = 2;
-        config.ffn_hidden = 32;
-        config
+        TimeKdConfig {
+            dim: 16,
+            num_heads: 2,
+            num_layers: 2,
+            ffn_hidden: 32,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -199,6 +352,131 @@ mod tests {
         let mut out = vec![0.0f32; 4 * 3];
         planned.predict_into(&x, &mut out);
         assert_eq!(out, student.predict(&x).to_vec());
+    }
+
+    fn windows(
+        n: usize,
+        input_len: usize,
+        horizon: usize,
+        num_vars: usize,
+    ) -> Vec<(Tensor, Tensor)> {
+        let mut rng = seeded_rng(23);
+        (0..n)
+            .map(|_| {
+                (
+                    Tensor::randn([input_len, num_vars], 1.0, &mut rng),
+                    Tensor::randn([horizon, num_vars], 1.0, &mut rng),
+                )
+            })
+            .collect()
+    }
+
+    /// Dynamic reference: the exact `Student` training idiom, returning
+    /// every parameter keyed by its symbolic label.
+    fn dynamic_train(
+        config: &TimeKdConfig,
+        data: &[(Tensor, Tensor)],
+        sgd_lr: Option<f32>,
+    ) -> (HashMap<String, Vec<f32>>, f32) {
+        let (input_len, num_vars) = (data[0].0.dims()[0], data[0].0.dims()[1]);
+        let horizon = data[0].1.dims()[0];
+        let mut rng = seeded_rng(7);
+        let student = Student::new(config, input_len, horizon, num_vars, &mut rng);
+        let params = student.params();
+        let mut adamw = timekd_nn::AdamW::new(0.01, timekd_nn::AdamWConfig::default());
+        let sgd = sgd_lr.map(timekd_nn::Sgd::new);
+        let mut last = 0.0;
+        for (x, y) in data {
+            student.zero_grad();
+            let out = student.forward(x);
+            let loss = timekd_nn::smooth_l1_loss(&out.forecast, y);
+            last = loss.item();
+            loss.backward();
+            match &sgd {
+                Some(s) => s.step(&params),
+                None => adamw.step(&params),
+            }
+        }
+        let (ctx, _) = trace_student_loss(config, input_len, horizon, num_vars).unwrap();
+        let by_label = ctx
+            .params()
+            .iter()
+            .zip(&params)
+            .map(|(sym, real)| (sym.label().to_string(), real.to_vec()))
+            .collect();
+        (by_label, last)
+    }
+
+    fn assert_planned_matches_dynamic(optimizer: PlanOptimizer, sgd_lr: Option<f32>) {
+        let config = small_config();
+        let (input_len, horizon, num_vars) = (24, 8, 5);
+        let data = windows(3, input_len, horizon, num_vars);
+        let (dynamic_params, dynamic_loss) = dynamic_train(&config, &data, sgd_lr);
+        for threads in [1, 2, 5] {
+            let mut rng = seeded_rng(7);
+            let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+            let mut trainer = PlannedTrainer::new(&student, &config, optimizer).unwrap();
+            let mut last = 0.0;
+            parallel::with_threads(threads, || {
+                for (x, y) in &data {
+                    last = trainer.planned_train_step(x, y);
+                }
+            });
+            assert_eq!(
+                last.to_bits(),
+                dynamic_loss.to_bits(),
+                "loss diverges at {threads} threads"
+            );
+            for label in trainer.param_labels().to_vec() {
+                let planned = trainer.param_data(&label).unwrap();
+                let dynamic = dynamic_params
+                    .get(&label)
+                    .unwrap_or_else(|| panic!("dynamic student has no param `{label}`"));
+                assert_eq!(
+                    planned,
+                    &dynamic[..],
+                    "param `{label}` diverges at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planned_sgd_training_is_bitwise_identical_to_dynamic() {
+        assert_planned_matches_dynamic(PlanOptimizer::Sgd { lr: 0.05 }, Some(0.05));
+    }
+
+    #[test]
+    fn planned_adamw_training_is_bitwise_identical_to_dynamic() {
+        assert_planned_matches_dynamic(
+            PlanOptimizer::AdamW {
+                lr: 0.01,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                weight_decay: 0.01,
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn training_plan_covers_every_student_parameter() {
+        let config = small_config();
+        let plan = compile_student_training_plan(&config, 24, 8, 5, PlanOptimizer::Sgd { lr: 0.1 })
+            .unwrap();
+        let params = plan
+            .values()
+            .iter()
+            .filter(|v| v.source == ValueSource::Param)
+            .count();
+        assert_eq!(
+            plan.update_steps().len(),
+            params,
+            "every student parameter must receive exactly one fused update"
+        );
+        assert!(plan.is_training());
+        assert!(!plan.bwd_steps().is_empty());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod io;
 mod ops;
 pub mod parallel;
 pub mod plan;
+pub mod plan_train;
 pub mod rng;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
@@ -69,6 +70,7 @@ pub use plan::{
     Plan, PlanError, PlanExecutor, PlanFault, PlanOp, PlanSlot, PlanSpec, PlanStep, PlanValue,
     ValueId, ValueSource,
 };
+pub use plan_train::{BwdStep, GradMode, PlanOptimizer, TrainExecutor, TrainSpec, UpdateStep};
 pub use rng::SeededRng;
 pub use shape::{IndexIter, Shape};
 pub use symbolic::{

@@ -242,7 +242,7 @@ pub(crate) fn attn_fwd_row_block(
 /// and the scaled score gradients `dS_ij = P_ij (dP_ij − D_i) · scale`
 /// into `ds_block`, so pass B is pure accumulation.
 #[allow(clippy::too_many_arguments)]
-fn attn_bwd_dq_block(
+pub(crate) fn attn_bwd_dq_block(
     q: &[f32],
     k: &[f32],
     v: &[f32],
@@ -327,7 +327,7 @@ fn attn_bwd_dq_block(
 /// carries the `scale` factor, so `dK_j = Σ_i dS_ij Q_i` and
 /// `dV_j = Σ_i P_ij g_i` are plain accumulations.
 #[allow(clippy::too_many_arguments)]
-fn attn_bwd_dkv_block(
+pub(crate) fn attn_bwd_dkv_block(
     q: &[f32],
     g_out: Option<&[f32]>,
     p_buf: &[f32],

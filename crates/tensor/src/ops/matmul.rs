@@ -93,7 +93,7 @@ pub(crate) fn mm_row_block(
 /// Four independent accumulators per dot product; their combination order
 /// `(s0 + s1) + (s2 + s3)` is fixed, so results never depend on the
 /// thread split.
-fn mm_nt_row_block(
+pub(crate) fn mm_nt_row_block(
     a: &[f32],
     b: &[f32],
     out_block: &mut [f32],
@@ -128,8 +128,17 @@ fn mm_nt_row_block(
 /// fresh `[cols, rows]` buffer. Used to pack the TN operand once per call
 /// so the hot loop can run the (contiguous-streaming) NN kernel.
 fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    debug_assert_eq!(src.len(), rows * cols);
     let mut dst = vec![0.0f32; src.len()];
+    pack_transpose_into(src, &mut dst, rows, cols);
+    dst
+}
+
+/// Cache-blocked transpose into a caller-provided `[cols, rows]` buffer —
+/// the allocation-free form used by plan executors, with the exact tiling
+/// of [`pack_transpose`] so packed layouts are byte-identical.
+pub(crate) fn pack_transpose_into(src: &[f32], dst: &mut [f32], rows: usize, cols: usize) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
     const TB: usize = 32;
     let mut r0 = 0;
     while r0 < rows {
@@ -146,7 +155,6 @@ fn pack_transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
         }
         r0 = r1;
     }
-    dst
 }
 
 /// `out[m, n] += a[m, k] * b[k, n]` over dense row-major buffers.

@@ -35,12 +35,25 @@
 //! [`PlanValue::sym_ids`]. Masks are not representable (the dynamic op
 //! captures them as data, not parents); plans support unmasked attention
 //! only, which is all the student path uses.
+//!
+//! ## Training plans
+//!
+//! [`Plan::compile_training`] (in [`crate::plan_train`]) extends a forward
+//! plan with a statically derived reverse schedule ([`Plan::bwd_steps`]),
+//! fused optimizer updates ([`Plan::update_steps`]), and a `Target` leaf
+//! fed with the label window. Gradient buffers are colored into the same
+//! arena by the same interference/first-fit machinery, over the combined
+//! forward + backward + update timeline — saved activations stay pinned
+//! across the reversal point until their last backward consumer. Forward
+//! plans carry empty backward/update schedules and are byte-identical to
+//! what this module compiled before training support existed.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::ops::attention::attn_fwd_row_block;
 use crate::ops::matmul::mm_row_block;
+use crate::plan_train::{BwdStep, PlanOptimizer, UpdateStep};
 use crate::symbolic::{SymAttr, SymbolicTensor};
 
 /// Index of a [`PlanValue`] within its plan.
@@ -57,7 +70,7 @@ pub struct PlanError {
 }
 
 impl PlanError {
-    fn new(message: impl Into<String>) -> PlanError {
+    pub(crate) fn new(message: impl Into<String>) -> PlanError {
         PlanError {
             message: message.into(),
         }
@@ -138,6 +151,11 @@ pub enum PlanOp {
         /// Variance epsilon, matching the real layer.
         eps: f32,
     },
+    /// Element-wise Smooth-L1 (Huber, δ=1) loss over identical shapes.
+    SmoothL1,
+    /// Full reduction to a single scalar (serial ascending sum, exactly
+    /// like the dynamic kernel).
+    Sum,
 }
 
 /// Where a plan value's bytes come from.
@@ -149,6 +167,11 @@ pub enum ValueSource {
     Param,
     /// Produced by the schedule step with this index.
     Step(usize),
+    /// The training target fed per step (training plans only).
+    Target,
+    /// A gradient buffer first written by the backward step with this
+    /// index (training plans only).
+    Grad(usize),
 }
 
 /// One value (tensor) of a compiled plan.
@@ -163,11 +186,16 @@ pub struct PlanValue {
     /// Symbolic node ids this value realizes. Exactly one except for
     /// deduplicated stat leaves (see the module docs).
     pub sym_ids: Vec<u64>,
-    /// Arena slot for step outputs; `None` for input/param leaves, which
-    /// live in dedicated buffers.
+    /// Arena slot for step outputs and gradient buffers; `None` for
+    /// input/param/target leaves, which live in dedicated buffers.
     pub slot: Option<usize>,
     /// Mirrors the symbolic `requires_grad` (true for parameters).
     pub requires_grad: bool,
+    /// Mirrors the symbolic `is_frozen` for parameters (frozen params are
+    /// provably excluded from gradient flow by the verifier).
+    pub frozen: bool,
+    /// For gradient values: the forward value this is the adjoint of.
+    pub adjoint_of: Option<ValueId>,
 }
 
 impl PlanValue {
@@ -222,18 +250,48 @@ pub enum PlanFault {
     ShrinkArena,
     /// Drop one dependency edge from a step (breaks the graph diff).
     DropEdge,
+    /// Remove the sole gradient write of one trainable parameter (breaks
+    /// adjoint completeness; training plans only).
+    DropAdjoint,
+    /// Re-home a backward-read forward value into a gradient slot whose
+    /// combined-timeline interval overlaps it (breaks saved-activation
+    /// liveness; training plans only).
+    ClobberSavedActivation,
+    /// Swap a gradient's writing backward step after a backward step that
+    /// reads it (breaks reverse-topological validity; training plans only).
+    ReorderBackward,
+    /// Freeze a trained parameter while leaving its (now orphaned)
+    /// gradient value in place — the plan then provably skips a parameter
+    /// the dynamic engine trains (caught only by the plan-vs-dynamic
+    /// gradient diff; training plans only).
+    UpdateFrozenParam,
 }
 
 /// A compiled, shape-specialized execution plan. See the module docs.
 #[derive(Clone, Debug)]
 pub struct Plan {
-    spec: PlanSpec,
-    values: Vec<PlanValue>,
-    steps: Vec<PlanStep>,
-    slots: Vec<PlanSlot>,
-    arena_len: usize,
-    input: ValueId,
-    root: ValueId,
+    pub(crate) spec: PlanSpec,
+    pub(crate) values: Vec<PlanValue>,
+    pub(crate) steps: Vec<PlanStep>,
+    pub(crate) slots: Vec<PlanSlot>,
+    pub(crate) arena_len: usize,
+    pub(crate) input: ValueId,
+    pub(crate) root: ValueId,
+    pub(crate) bwd_steps: Vec<BwdStep>,
+    pub(crate) update_steps: Vec<UpdateStep>,
+    pub(crate) target: Option<ValueId>,
+    pub(crate) optimizer: Option<PlanOptimizer>,
+}
+
+/// Intermediate result of forward lowering, shared by [`Plan::compile`]
+/// and the training compiler in [`crate::plan_train`].
+pub(crate) struct ForwardLowering {
+    pub(crate) values: Vec<PlanValue>,
+    pub(crate) steps: Vec<PlanStep>,
+    pub(crate) val_of: HashMap<u64, ValueId>,
+    pub(crate) input: ValueId,
+    pub(crate) root: ValueId,
+    pub(crate) target: Option<ValueId>,
 }
 
 impl Plan {
@@ -242,12 +300,47 @@ impl Plan {
     /// plan lowering, on constant leaves the spec does not classify, and
     /// on graphs whose root is itself a leaf.
     pub fn compile(root: &SymbolicTensor, spec: &PlanSpec) -> Result<Plan, PlanError> {
+        let lowering = lower_forward(root, spec, None)?;
+        let ForwardLowering {
+            mut values,
+            steps,
+            input,
+            root: root_val,
+            ..
+        } = lowering;
+        let (slots, arena_len) = assign_slots(&mut values, &steps, &[], &[], root_val);
+        Ok(Plan {
+            spec: spec.clone(),
+            values,
+            steps,
+            slots,
+            arena_len,
+            input,
+            root: root_val,
+            bwd_steps: Vec::new(),
+            update_steps: Vec::new(),
+            target: None,
+            optimizer: None,
+        })
+    }
+}
+
+/// Lowers the forward graph under `spec`. When `target_label` is `Some`,
+/// the matching constant leaf becomes the plan's [`ValueSource::Target`]
+/// value instead of an error.
+pub(crate) fn lower_forward(
+    root: &SymbolicTensor,
+    spec: &PlanSpec,
+    target_label: Option<&str>,
+) -> Result<ForwardLowering, PlanError> {
+    {
         let order = provenance_postorder(root);
         let mut values: Vec<PlanValue> = Vec::new();
         let mut steps: Vec<PlanStep> = Vec::new();
         let mut val_of: HashMap<u64, ValueId> = HashMap::new();
         let mut stat_val: HashMap<String, ValueId> = HashMap::new();
         let mut input_val: Option<ValueId> = None;
+        let mut target_val: Option<ValueId> = None;
 
         // The input leaf must exist before any stat leaf can be lowered
         // against it, and postorder does not promise that — register it
@@ -268,6 +361,8 @@ impl Plan {
                     sym_ids: vec![node.id()],
                     slot: None,
                     requires_grad: false,
+                    frozen: false,
+                    adjoint_of: None,
                 });
                 val_of.insert(node.id(), id);
                 input_val = Some(id);
@@ -295,7 +390,9 @@ impl Plan {
                         label: node.label().to_string(),
                         sym_ids: vec![node.id()],
                         slot: None,
-                        requires_grad: true,
+                        requires_grad: node.requires_grad(),
+                        frozen: node.is_frozen(),
+                        adjoint_of: None,
                     });
                     val_of.insert(node.id(), id);
                 }
@@ -307,6 +404,27 @@ impl Plan {
                         )));
                     }
                     let label = node.label().to_string();
+                    if target_label == Some(label.as_str()) {
+                        if target_val.is_some() {
+                            return Err(PlanError::new(format!(
+                                "target leaf `{label}` appears more than once"
+                            )));
+                        }
+                        let id = values.len();
+                        values.push(PlanValue {
+                            source: ValueSource::Target,
+                            dims: node.sizes(),
+                            label,
+                            sym_ids: vec![node.id()],
+                            slot: None,
+                            requires_grad: false,
+                            frozen: false,
+                            adjoint_of: None,
+                        });
+                        val_of.insert(node.id(), id);
+                        target_val = Some(id);
+                        continue;
+                    }
                     let stat_op = if spec.col_mean_leaves.contains(&label) {
                         Some(PlanOp::ColMean)
                     } else {
@@ -347,6 +465,8 @@ impl Plan {
                                 sym_ids: vec![node.id()],
                                 slot: None,
                                 requires_grad: false,
+                                frozen: false,
+                                adjoint_of: None,
                             });
                             steps.push(PlanStep {
                                 op,
@@ -387,6 +507,8 @@ impl Plan {
                         sym_ids: vec![node.id()],
                         slot: None,
                         requires_grad: node.requires_grad(),
+                        frozen: false,
+                        adjoint_of: None,
                     });
                     steps.push(PlanStep {
                         op,
@@ -411,20 +533,24 @@ impl Plan {
         }
         let input = input_val
             .ok_or_else(|| PlanError::new(format!("no input leaf `{}`", spec.input_label)))?;
+        if let Some(label) = target_label {
+            if target_val.is_none() {
+                return Err(PlanError::new(format!("no target leaf `{label}`")));
+            }
+        }
 
-        let (slots, arena_len) = assign_slots(&mut values, &steps, root_val);
-
-        Ok(Plan {
-            spec: spec.clone(),
+        Ok(ForwardLowering {
             values,
             steps,
-            slots,
-            arena_len,
+            val_of,
             input,
             root: root_val,
+            target: target_val,
         })
     }
+}
 
+impl Plan {
     /// The spec the plan was compiled under.
     pub fn spec(&self) -> &PlanSpec {
         &self.spec
@@ -459,6 +585,32 @@ impl Plan {
     /// The root (output) value.
     pub fn root(&self) -> ValueId {
         self.root
+    }
+
+    /// The reverse schedule, in execution order (empty for forward-only
+    /// plans).
+    pub fn bwd_steps(&self) -> &[BwdStep] {
+        &self.bwd_steps
+    }
+
+    /// The fused optimizer-update schedule (empty for forward-only plans).
+    pub fn update_steps(&self) -> &[UpdateStep] {
+        &self.update_steps
+    }
+
+    /// The training-target value, when the plan was compiled for training.
+    pub fn target(&self) -> Option<ValueId> {
+        self.target
+    }
+
+    /// The fused optimizer, when the plan was compiled for training.
+    pub fn optimizer(&self) -> Option<&PlanOptimizer> {
+        self.optimizer.as_ref()
+    }
+
+    /// True when the plan carries a backward + optimizer schedule.
+    pub fn is_training(&self) -> bool {
+        !self.bwd_steps.is_empty()
     }
 
     /// Deliberately corrupts the plan along the axis `fault` names. Panics
@@ -508,6 +660,12 @@ impl Plan {
                 }
                 panic!("no multi-input step to drop an edge from");
             }
+            PlanFault::DropAdjoint => crate::plan_train::inject_drop_adjoint(self),
+            PlanFault::ClobberSavedActivation => {
+                crate::plan_train::inject_clobber_saved_activation(self)
+            }
+            PlanFault::ReorderBackward => crate::plan_train::inject_reorder_backward(self),
+            PlanFault::UpdateFrozenParam => crate::plan_train::inject_update_frozen_param(self),
         }
     }
 }
@@ -582,24 +740,37 @@ fn lower_op(node: &SymbolicTensor) -> Result<PlanOp, PlanError> {
                 dh: qd[2],
             }
         }
+        "smooth_l1" => PlanOp::SmoothL1,
+        "sum" => PlanOp::Sum,
         _ => return Err(unsupported()),
     })
 }
 
-/// Liveness analysis + first-fit slot coloring over the schedule.
+/// Liveness analysis + first-fit slot coloring over the combined
+/// forward + backward + optimizer timeline.
 ///
-/// Def/use intervals are inclusive: a step-produced value is live from its
-/// defining step through its last consuming step (the root through the end
-/// of the schedule), and two values interfere when their intervals
-/// overlap. Slots are assigned first-fit in definition order; a slot's
-/// extent is the max size of the values it hosts, and the arena is the
-/// concatenation of all slots.
-fn assign_slots(
+/// Positions: forward step `t` at `t`, backward step `j` at `F + j`, update
+/// step `u` at `F + B + u`. Def/use intervals are inclusive: a
+/// step-produced value is live from its defining step through its last
+/// consuming step, and backward reads pin saved activations *across* the
+/// reversal point. A gradient's def is its first (initializing) write; its
+/// interval covers every later write, grad-in read, and optimizer read.
+/// The root (loss) is pinned to the very end of the timeline. Two values
+/// interfere when their intervals overlap; slots are assigned first-fit in
+/// definition order (forward outputs in schedule order, then gradients by
+/// first write), a slot's extent is the max size of the values it hosts,
+/// and the arena is the concatenation of all slots. With empty backward
+/// and update schedules this degenerates byte-identically to the original
+/// forward-only analysis.
+pub(crate) fn assign_slots(
     values: &mut [PlanValue],
     steps: &[PlanStep],
+    bwd_steps: &[BwdStep],
+    update_steps: &[UpdateStep],
     root: ValueId,
 ) -> (Vec<PlanSlot>, usize) {
-    let end = steps.len();
+    let fwd_end = steps.len();
+    let end = fwd_end + bwd_steps.len() + update_steps.len();
     let mut last_use: Vec<usize> = (0..values.len()).map(|_| 0).collect();
     let mut def: Vec<Option<usize>> = values.iter().map(|_| None).collect();
     for (t, step) in steps.iter().enumerate() {
@@ -608,13 +779,32 @@ fn assign_slots(
             last_use[v] = last_use[v].max(t);
         }
     }
+    for (j, bstep) in bwd_steps.iter().enumerate() {
+        let t = fwd_end + j;
+        for &v in &bstep.reads {
+            last_use[v] = last_use[v].max(t);
+        }
+        if let Some(g) = bstep.grad_in {
+            last_use[g] = last_use[g].max(t);
+        }
+        for &(g, _) in &bstep.writes {
+            def[g] = Some(def[g].map_or(t, |d| d.min(t)));
+            last_use[g] = last_use[g].max(t);
+        }
+    }
+    for (u, upd) in update_steps.iter().enumerate() {
+        let t = fwd_end + bwd_steps.len() + u;
+        last_use[upd.grad] = last_use[upd.grad].max(t);
+    }
     last_use[root] = end;
 
     // slot -> (size, assigned intervals)
     let mut slots: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
-    for t in 0..steps.len() {
-        let v = steps[t].output;
-        let Some(d) = def[v] else { continue };
+    let mut place = |values: &mut [PlanValue], v: ValueId| {
+        let Some(d) = def[v] else { return };
+        if values[v].slot.is_some() {
+            return;
+        }
         let interval = (d, last_use[v].max(d));
         let size = values[v].len();
         let fit = slots
@@ -630,6 +820,14 @@ fn assign_slots(
         slots[idx].0 = slots[idx].0.max(size);
         slots[idx].1.push(interval);
         values[v].slot = Some(idx);
+    };
+    for step in steps {
+        place(values, step.output);
+    }
+    for bstep in bwd_steps {
+        for &(g, _) in &bstep.writes {
+            place(values, g);
+        }
     }
 
     let mut out = Vec::with_capacity(slots.len());
@@ -650,27 +848,38 @@ fn assign_slots(
 
 /// Where one operand's bytes live at execution time.
 #[derive(Clone, Copy, Debug)]
-enum Loc {
+pub(crate) enum Loc {
     Arena { off: usize, len: usize },
     Param { idx: usize },
     Input,
+    Target,
 }
 
 #[derive(Clone, Copy, Debug)]
-enum BinKind {
+pub(crate) enum BinKind {
     Add,
     Sub,
     Mul,
     Div,
+    SmoothL1,
 }
 
 #[inline]
-fn bin_apply(kind: BinKind, a: f32, b: f32) -> f32 {
+pub(crate) fn bin_apply(kind: BinKind, a: f32, b: f32) -> f32 {
     match kind {
         BinKind::Add => a + b,
         BinKind::Sub => a - b,
         BinKind::Mul => a * b,
         BinKind::Div => a / b,
+        BinKind::SmoothL1 => {
+            // Exactly the dynamic smooth_l1 element function.
+            let d = a - b;
+            if d.abs() < 1.0 {
+                0.5 * d * d
+            } else {
+                d.abs() - 0.5
+            }
+        }
     }
 }
 
@@ -719,6 +928,7 @@ enum ExecOp {
         n: usize,
         eps: f32,
     },
+    Sum,
 }
 
 #[derive(Debug)]
@@ -738,11 +948,13 @@ struct ExecStep {
 #[derive(Debug)]
 pub struct PlanExecutor {
     exec: Vec<ExecStep>,
-    arena: Vec<f32>,
-    params: Vec<Vec<f32>>,
+    pub(crate) arena: Vec<f32>,
+    pub(crate) params: Vec<Vec<f32>>,
     input_len: usize,
-    root_off: usize,
+    pub(crate) root_off: usize,
     root_len: usize,
+    /// Per-step training target buffer (empty for forward-only plans).
+    pub(crate) target: Vec<f32>,
     attn_kt: Vec<f32>,
     attn_vt: Vec<f32>,
     attn_scores: Vec<f32>,
@@ -754,7 +966,7 @@ pub struct PlanExecutor {
 /// each out axis; 0 where the src axis is missing or has size 1. This is
 /// the same mapping the dynamic broadcast paths realise, and binary ops
 /// are pure element pairing, so any walk over it is bitwise faithful.
-fn eff_strides(src: &[usize], out: &[usize]) -> Vec<usize> {
+pub(crate) fn eff_strides(src: &[usize], out: &[usize]) -> Vec<usize> {
     let mut src_strides = vec![0usize; src.len()];
     let mut acc = 1usize;
     for i in (0..src.len()).rev() {
@@ -805,10 +1017,11 @@ impl PlanExecutor {
             let value = &plan.values()[vid];
             match value.source {
                 ValueSource::Input => Ok(Loc::Input),
+                ValueSource::Target => Ok(Loc::Target),
                 ValueSource::Param => Ok(Loc::Param {
                     idx: param_idx[&vid],
                 }),
-                ValueSource::Step(_) => {
+                ValueSource::Step(_) | ValueSource::Grad(_) => {
                     let slot = value.slot.ok_or_else(|| {
                         PlanError::new(format!("step value `{}` has no slot", value.label))
                     })?;
@@ -863,11 +1076,12 @@ impl PlanExecutor {
             }
             let in_dims = |i: usize| -> &[usize] { &plan.values()[step.inputs[i]].dims };
             let op = match &step.op {
-                PlanOp::Add | PlanOp::Sub | PlanOp::Mul | PlanOp::Div => {
+                PlanOp::Add | PlanOp::Sub | PlanOp::Mul | PlanOp::Div | PlanOp::SmoothL1 => {
                     let kind = match step.op {
                         PlanOp::Add => BinKind::Add,
                         PlanOp::Sub => BinKind::Sub,
                         PlanOp::Mul => BinKind::Mul,
+                        PlanOp::SmoothL1 => BinKind::SmoothL1,
                         _ => BinKind::Div,
                     };
                     ExecOp::Binary {
@@ -942,6 +1156,7 @@ impl PlanExecutor {
                         eps: *eps,
                     }
                 }
+                PlanOp::Sum => ExecOp::Sum,
             };
             exec.push(ExecStep {
                 op,
@@ -959,6 +1174,7 @@ impl PlanExecutor {
             return Err(PlanError::new("plan root is not arena-backed".to_string()));
         };
 
+        let target_len = plan.target().map_or(0, |vid| plan.values()[vid].len());
         Ok(PlanExecutor {
             exec,
             arena: vec![0.0f32; plan.arena_len()],
@@ -966,6 +1182,7 @@ impl PlanExecutor {
             input_len: plan.values()[plan.input()].len(),
             root_off,
             root_len,
+            target: vec![0.0f32; target_len],
             attn_kt: vec![0.0f32; kt_len],
             attn_vt: vec![0.0f32; vt_len],
             attn_scores: vec![0.0f32; sc_len],
@@ -995,9 +1212,10 @@ impl PlanExecutor {
 
     /// The hot schedule loop. Linted (`timekd-check --lints`) to stay free
     /// of allocation, `unwrap`, and span instrumentation.
-    fn execute_plan_loop(&mut self, input: &[f32]) {
+    pub(crate) fn execute_plan_loop(&mut self, input: &[f32]) {
         let arena_ptr = self.arena.as_mut_ptr();
         let params = &self.params;
+        let target = &self.target;
         for step in &self.exec {
             // SAFETY: `arena` is allocated to `plan.arena_len()` and every
             // `Loc::Arena` range was bounds-checked at construction; the
@@ -1015,6 +1233,7 @@ impl PlanExecutor {
                     },
                     Loc::Param { idx } => &params[idx],
                     Loc::Input => input,
+                    Loc::Target => target,
                 }
             };
             match &step.op {
@@ -1184,6 +1403,16 @@ impl PlanExecutor {
                         }
                         out[j] = (var / *t as f32 + eps).sqrt();
                     }
+                }
+                ExecOp::Sum => {
+                    // Serial ascending fold, exactly like the dynamic
+                    // `Tensor::sum`.
+                    let a = src(0);
+                    let mut s = 0.0f32;
+                    for &x in a {
+                        s += x;
+                    }
+                    out[0] = s;
                 }
             }
         }

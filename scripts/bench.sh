@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Perf-baseline smoke gate: runs the kernel bench bin on the QUICK profile
 # into a scratch directory, then re-invokes it with --validate to check the
-# emitted JSON against the timekd-kernel-bench/v3 schema. Fails if the bin
-# crashes, emits nothing, or emits a file that does not conform.
+# emitted JSON against the timekd-kernel-bench/v4 schema (which requires
+# the planned_training section — the planned-vs-dynamic full training
+# step). Fails if the bin crashes, emits nothing, or emits a file that
+# does not conform.
 #
-# Full (committed) baselines are produced by running without QUICK and with
+# Full (committed) baselines are produced by running with QUICK=0 and with
 # no TIMEKD_BENCH_DIR override, which writes BENCH_<unix-seconds>.json at
 # the repo root:
-#   cargo run -p timekd-bench --release --bin kernels
+#   QUICK=0 cargo run -p timekd-bench --release --bin kernels
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

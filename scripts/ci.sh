@@ -21,7 +21,7 @@ cargo run -q -p timekd-check -- --verify
 echo "==> timekd-check --graph (dynamic audits + symbolic cross-check)"
 cargo run -q -p timekd-check -- --graph
 
-echo "==> timekd-check --plan (compiled execution plans: liveness, arena, graph diff)"
+echo "==> timekd-check --plan (forward: liveness, arena, graph diff; training: adjoint completeness, reverse schedule, saved-activation liveness, bitwise plan-vs-dynamic updates — all configs)"
 cargo run -q -p timekd-check -- --plan --strict
 
 echo "==> release build"
