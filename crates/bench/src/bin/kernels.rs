@@ -1,9 +1,13 @@
 //! Kernel + end-to-end perf baseline runner.
 //!
 //! Measures the hot matmul kernels (forward and backward) serial vs
-//! parallel, a naive-kernel reference (the pre-optimisation triple loop
-//! with the `a_ik == 0.0` skip, kept here so the register-blocking win
-//! stays measurable), the fused attention kernel against the composed op
+//! parallel, the f32x8 SIMD kernels against the `TIMEKD_SIMD=off` scalar
+//! fallback (`speedup_simd_vs_scalar`), a naive-kernel reference (the
+//! pre-optimisation triple loop with the `a_ik == 0.0` skip, kept here so
+//! the register-blocking win stays measurable), the int8-quantized
+//! compiled student against the f32 plan (accuracy-gated: the run exits
+//! non-zero if the quantized forecast drifts past the stated MSE bound),
+//! the fused attention kernel against the composed op
 //! chain it replaced (per LM size + encoder geometry, forward and
 //! training step), the compiled student plan against the dynamic graph
 //! engine (per-window predict and a full inference-epoch sweep), the
@@ -36,7 +40,7 @@
 use std::path::{Path, PathBuf};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use timekd::{PlannedStudent, PlannedTrainer, Student, TimeKd, TimeKdConfig};
+use timekd::{PlannedStudent, PlannedTrainer, QuantizedStudent, Student, TimeKd, TimeKdConfig};
 use timekd_bench::{
     json::Json, run_windows, timekd_config, validate_kernel_bench, validate_trace_coverage,
     validate_trace_report, Profile, SharedLm,
@@ -45,7 +49,7 @@ use timekd_data::{DatasetKind, SplitDataset};
 use timekd_lm::LmSize;
 use timekd_nn::{smooth_l1_loss, AdamW, AdamWConfig, Module};
 use timekd_tensor::parallel::{configured_threads, with_threads};
-use timekd_tensor::{no_grad, seeded_rng, PlanOptimizer, Tensor};
+use timekd_tensor::{no_grad, seeded_rng, with_simd, PlanOptimizer, Tensor};
 
 /// Minimum wall time of `f` in milliseconds over `iters` runs (after one
 /// warmup run). Minimum, not mean: scheduling noise only ever adds time.
@@ -342,6 +346,12 @@ fn bench_shape(spec: &ShapeSpec, threads: usize) -> Json {
     let fwd = |_: ()| no_grad(|| std::hint::black_box(&a).matmul(std::hint::black_box(&b)));
     let serial_ms = with_threads(1, || time_min_ms(iters, || drop(fwd(()))));
     let parallel_ms = with_threads(threads, || time_min_ms(iters, || drop(fwd(()))));
+    // Scalar-fallback reference (`TIMEKD_SIMD=off`): same serial path
+    // through the pre-SIMD 4-wide kernels, so `speedup_simd_vs_scalar`
+    // isolates what the f32x8 microkernels buy.
+    let serial_scalar_ms = with_simd(false, || {
+        with_threads(1, || time_min_ms(iters, || drop(fwd(()))))
+    });
 
     // Naive reference runs on the raw buffers (per batch for 3-D shapes).
     let (av, bv) = (a.to_vec(), b.to_vec());
@@ -390,6 +400,11 @@ fn bench_shape(spec: &ShapeSpec, threads: usize) -> Json {
         ("n", Json::num(n as f64)),
         ("iters", Json::num(f64::from(iters))),
         ("serial_ms", Json::num(serial_ms)),
+        ("serial_scalar_ms", Json::num(serial_scalar_ms)),
+        (
+            "speedup_simd_vs_scalar",
+            Json::num(serial_scalar_ms / serial_ms),
+        ),
         ("parallel_ms", Json::num(parallel_ms)),
         ("speedup_parallel", Json::num(serial_ms / parallel_ms)),
         ("gflops_serial", Json::num(gflops(serial_ms))),
@@ -677,6 +692,78 @@ fn bench_planned_training(quick: bool, threads: usize) -> Json {
     ])
 }
 
+/// Accuracy gate for the int8 path: the mean squared forecast delta
+/// (quantized vs f32, averaged over every element of the seeded eval set)
+/// must stay below this bound or the bench exits non-zero. The bound is
+/// deliberately loose against run-to-run noise — it only exists to catch
+/// a broken quantizer (wrong scale, transposed codes), which lands orders
+/// of magnitude above it.
+const QUANT_MSE_DELTA_BOUND: f64 = 1e-2;
+
+/// Quantized vs f32 compiled student: forecast-accuracy delta on a seeded
+/// eval set (gated by [`QUANT_MSE_DELTA_BOUND`]), per-window latency, and
+/// parameter-storage footprint. Both executors replay the same compiled
+/// plan; the quantized one stores Linear weights as int8 codes + one f32
+/// scale per output column and runs them through the `qmm` kernel.
+fn bench_quantized_student(quick: bool) -> Json {
+    let (input_len, horizon, num_vars) = (48usize, 24usize, 7usize);
+    let config = TimeKdConfig::default();
+    let mut rng = seeded_rng(0x1A7E);
+    let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+    let mut planned = PlannedStudent::new(&student, &config).expect("student plan compiles");
+    let mut quant = QuantizedStudent::new(&student, &config).expect("quantized plan compiles");
+
+    let windows: Vec<Tensor> = (0..if quick { 8 } else { 32 })
+        .map(|_| Tensor::randn([input_len, num_vars], 1.0, &mut rng))
+        .collect();
+    let iters = if quick { 5 } else { 40 };
+
+    let mut out_f = vec![0.0f32; horizon * num_vars];
+    let mut out_q = vec![0.0f32; horizon * num_vars];
+    let mut sq_sum = 0.0f64;
+    let mut count = 0usize;
+    for w in &windows {
+        planned.predict_into(w, &mut out_f);
+        quant.predict_into(w, &mut out_q);
+        for (f, q) in out_f.iter().zip(&out_q) {
+            let d = f64::from(f - q);
+            sq_sum += d * d;
+            count += 1;
+        }
+    }
+    let mse_delta = sq_sum / count as f64;
+
+    let x = &windows[0];
+    let predict_f32_ms = time_min_ms(iters, || {
+        planned.predict_into(std::hint::black_box(x), &mut out_f);
+        std::hint::black_box(&out_f);
+    });
+    let predict_int8_ms = time_min_ms(iters, || {
+        quant.predict_into(std::hint::black_box(x), &mut out_q);
+        std::hint::black_box(&out_q);
+    });
+
+    let (bytes_f32, bytes_int8) = (planned.param_bytes() as f64, quant.param_bytes() as f64);
+    Json::obj(vec![
+        ("input_len", Json::num(input_len as f64)),
+        ("horizon", Json::num(horizon as f64)),
+        ("num_vars", Json::num(num_vars as f64)),
+        ("windows", Json::num(windows.len() as f64)),
+        ("iters", Json::num(f64::from(iters))),
+        ("mse_delta", Json::num(mse_delta)),
+        ("mse_delta_bound", Json::num(QUANT_MSE_DELTA_BOUND)),
+        ("predict_f32_ms", Json::num(predict_f32_ms)),
+        ("predict_int8_ms", Json::num(predict_int8_ms)),
+        (
+            "speedup_int8_vs_f32",
+            Json::num(predict_f32_ms / predict_int8_ms),
+        ),
+        ("param_bytes_f32", Json::num(bytes_f32)),
+        ("param_bytes_int8", Json::num(bytes_int8)),
+        ("param_compression", Json::num(bytes_f32 / bytes_int8)),
+    ])
+}
+
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -850,6 +937,35 @@ fn main() {
         );
     }
 
+    println!("  quantized vs f32 compiled student …");
+    let quantized_student = bench_quantized_student(quick);
+    {
+        let fmt = |key: &str| {
+            quantized_student
+                .get(key)
+                .and_then(Json::as_num)
+                .unwrap_or(f64::NAN)
+        };
+        println!(
+            "    predict: f32 {:>9.3} ms  int8 {:>9.3} ms  x{:<5.2}  mse_delta {:.3e} (bound {:.0e})  params {:.0} -> {:.0} bytes (x{:.2})",
+            fmt("predict_f32_ms"),
+            fmt("predict_int8_ms"),
+            fmt("speedup_int8_vs_f32"),
+            fmt("mse_delta"),
+            fmt("mse_delta_bound"),
+            fmt("param_bytes_f32"),
+            fmt("param_bytes_int8"),
+            fmt("param_compression"),
+        );
+        let mse_delta = fmt("mse_delta");
+        if !(mse_delta <= QUANT_MSE_DELTA_BOUND) {
+            eprintln!(
+                "quantized student failed the accuracy gate: mse_delta {mse_delta} exceeds bound {QUANT_MSE_DELTA_BOUND}"
+            );
+            std::process::exit(1);
+        }
+    }
+
     println!("  end-to-end teacher/student epochs …");
     let end_to_end = bench_end_to_end(quick, threads);
     for key in ["speedup_teacher", "speedup_student"] {
@@ -866,9 +982,18 @@ fn main() {
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let doc = Json::obj(vec![
-        ("schema", Json::str("timekd-kernel-bench/v4")),
+        ("schema", Json::str("timekd-kernel-bench/v5")),
         ("created_unix_s", Json::num(created as f64)),
         ("quick", Json::Bool(quick)),
+        (
+            "notes",
+            Json::Arr(vec![Json::str(
+                "mm_rect_512x64x256 regression fix: parallel row-block granularity now scales \
+                 with k*n (min_rows_per_block), so wide-short shapes no longer fan out into \
+                 below-cutoff blocks (was parallel 18.8 vs serial 23.6 GFLOP/s in \
+                 BENCH_1786107316.json)",
+            )]),
+        ),
         (
             "threads",
             Json::obj(vec![
@@ -880,6 +1005,7 @@ fn main() {
         ("attention", Json::Arr(attention)),
         ("planned_student", planned_student),
         ("planned_training", planned_training),
+        ("quantized_student", quantized_student),
         ("end_to_end", end_to_end),
     ]);
     if let Err(problems) = validate_kernel_bench(&doc) {

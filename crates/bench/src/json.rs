@@ -348,7 +348,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Checks a parsed document against the `timekd-kernel-bench/v4` schema
+/// Checks a parsed document against the `timekd-kernel-bench/v5` schema
 /// emitted by `cargo run -p timekd-bench --bin kernels`. Returns every
 /// problem found (not just the first) so a broken baseline is diagnosable
 /// in one pass.
@@ -414,12 +414,47 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
         need_num(&format!("planned_training.{key}"));
     }
 
+    // v5: the quantized-vs-f32 compiled-student section (int8 weight
+    // storage, `qmm` kernels, accuracy gate). A missing section reports
+    // one `missing key` problem per expected field.
+    for key in [
+        "input_len",
+        "horizon",
+        "num_vars",
+        "windows",
+        "iters",
+        "mse_delta",
+        "mse_delta_bound",
+        "predict_f32_ms",
+        "predict_int8_ms",
+        "speedup_int8_vs_f32",
+        "param_bytes_f32",
+        "param_bytes_int8",
+        "param_compression",
+    ] {
+        need_num(&format!("quantized_student.{key}"));
+    }
+
     match doc.get("schema").map(Json::as_str) {
-        Some(Some("timekd-kernel-bench/v4")) => {}
+        Some(Some("timekd-kernel-bench/v5")) => {}
         Some(other) => problems.push(format!(
-            "`schema` must be \"timekd-kernel-bench/v4\", got {other:?}"
+            "`schema` must be \"timekd-kernel-bench/v5\", got {other:?}"
         )),
         None => problems.push("missing key `schema`".to_string()),
+    }
+
+    // v5: free-form provenance notes (e.g. the partition-granularity
+    // regression fix) — a non-empty array of strings.
+    match doc.get("notes").map(Json::as_arr) {
+        Some(Some(items)) if !items.is_empty() => {
+            for (i, item) in items.iter().enumerate() {
+                if item.as_str().is_none() {
+                    problems.push(format!("`notes[{i}]` must be a string"));
+                }
+            }
+        }
+        Some(Some(_)) => problems.push("`notes` must be a non-empty array".to_string()),
+        _ => problems.push("missing key `notes`".to_string()),
     }
     if !matches!(doc.get("quick"), Some(Json::Bool(_))) {
         problems.push("`quick` must be a boolean".to_string());
@@ -438,6 +473,8 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
                     "batch",
                     "iters",
                     "serial_ms",
+                    "serial_scalar_ms",
+                    "speedup_simd_vs_scalar",
                     "parallel_ms",
                     "speedup_parallel",
                     "gflops_serial",
@@ -507,7 +544,7 @@ mod tests {
     #[test]
     fn roundtrip_bench_shape() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v4")),
+            ("schema", Json::str("timekd-kernel-bench/v5")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -531,7 +568,7 @@ mod tests {
         );
         assert_eq!(
             parsed.get_path("schema").and_then(Json::as_str),
-            Some("timekd-kernel-bench/v4")
+            Some("timekd-kernel-bench/v5")
         );
     }
 
@@ -570,6 +607,8 @@ mod tests {
             "batch",
             "iters",
             "serial_ms",
+            "serial_scalar_ms",
+            "speedup_simd_vs_scalar",
             "parallel_ms",
             "speedup_parallel",
             "gflops_serial",
@@ -634,8 +673,29 @@ mod tests {
         ];
         let training_row: Vec<(&str, Json)> =
             training_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
+        let quant_keys = [
+            "input_len",
+            "horizon",
+            "num_vars",
+            "windows",
+            "iters",
+            "mse_delta",
+            "mse_delta_bound",
+            "predict_f32_ms",
+            "predict_int8_ms",
+            "speedup_int8_vs_f32",
+            "param_bytes_f32",
+            "param_bytes_int8",
+            "param_compression",
+        ];
+        let quant_row: Vec<(&str, Json)> =
+            quant_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
         Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v4")),
+            ("schema", Json::str("timekd-kernel-bench/v5")),
+            (
+                "notes",
+                Json::Arr(vec![Json::str("partition-granularity fix")]),
+            ),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -649,6 +709,7 @@ mod tests {
             ("attention", Json::Arr(vec![Json::obj(attn_row)])),
             ("planned_student", Json::obj(planned_row)),
             ("planned_training", Json::obj(training_row)),
+            ("quantized_student", Json::obj(quant_row)),
             (
                 "end_to_end",
                 Json::obj(vec![
@@ -826,18 +887,90 @@ mod tests {
     }
 
     #[test]
-    fn validator_rejects_v3_schema_string() {
-        // The schema bump is load-bearing: an old v3 baseline must be
-        // rejected by name even if it were otherwise field-complete.
+    fn validator_rejects_stale_schema_strings() {
+        // The schema bump is load-bearing: an old v3 or v4 baseline must
+        // be rejected by name even if it were otherwise field-complete.
+        for stale in ["timekd-kernel-bench/v3", "timekd-kernel-bench/v4"] {
+            let mut doc = minimal_valid_doc();
+            if let Json::Obj(pairs) = &mut doc {
+                if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema") {
+                    *v = Json::str(stale);
+                }
+            }
+            let problems = validate_kernel_bench(&doc).expect_err("must fail");
+            assert_eq!(problems.len(), 1, "{stale}: {problems:?}");
+            assert!(problems[0].contains("timekd-kernel-bench/v5"), "{stale}");
+        }
+    }
+
+    #[test]
+    fn validator_requires_quantized_student_section() {
+        // v5 gate: a v4-shaped doc (no quantized_student) must fail with
+        // one missing-key diagnostic per expected quantized field.
         let mut doc = minimal_valid_doc();
         if let Json::Obj(pairs) = &mut doc {
-            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema") {
-                *v = Json::str("timekd-kernel-bench/v3");
+            pairs.retain(|(k, _)| k != "quantized_student");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 13, "{problems:?}");
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("quantized_student.mse_delta")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("quantized_student.param_bytes_int8")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validator_requires_non_empty_string_notes() {
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "notes");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems, vec!["missing key `notes`".to_string()]);
+
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "notes") {
+                *v = Json::Arr(vec![Json::num(7.0)]);
             }
         }
         let problems = validate_kernel_bench(&doc).expect_err("must fail");
-        assert_eq!(problems.len(), 1, "{problems:?}");
-        assert!(problems[0].contains("timekd-kernel-bench/v4"));
+        assert_eq!(problems, vec!["`notes[0]` must be a string".to_string()]);
+    }
+
+    #[test]
+    fn validator_rejects_incomplete_simd_kernel_row() {
+        // v5 gate on the per-shape rows: the simd-vs-scalar columns are
+        // mandatory, so a v4-era row fails by key name.
+        let mut doc = minimal_valid_doc();
+        if let Some(Json::Arr(rows)) = match &mut doc {
+            Json::Obj(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "kernels")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Json::Obj(row) = &mut rows[0] {
+                row.retain(|(k, _)| k != "serial_scalar_ms" && k != "speedup_simd_vs_scalar");
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems.iter().any(|p| p.contains("serial_scalar_ms")));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("speedup_simd_vs_scalar")),
+            "{problems:?}"
+        );
     }
 
     #[test]

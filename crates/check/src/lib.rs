@@ -10,8 +10,8 @@
 //!
 //! | rule | scope | requirement |
 //! |------|-------|-------------|
-//! | `no-unwrap-in-kernels` | `tensor/src/ops/*`, `tensor/src/parallel.rs` | no `.unwrap()` / `.expect(` in hot kernels |
-//! | `no-instant-in-kernels` | `tensor/src/ops/*`, `tensor/src/parallel.rs` | no `Instant::now` timing inside kernels |
+//! | `no-unwrap-in-kernels` | `tensor/src/ops/*`, `tensor/src/parallel.rs`, `tensor/src/simd.rs` | no `.unwrap()` / `.expect(` in hot kernels |
+//! | `no-instant-in-kernels` | `tensor/src/ops/*`, `tensor/src/parallel.rs`, `tensor/src/simd.rs` | no `Instant::now` timing inside kernels |
 //! | `no-clone-in-forward` | all crates | no tensor-data copies (`.to_vec()`, `.data().clone()`) inside `forward*` fns |
 //! | `no-grad-in-inference` | all crates | `predict` / `evaluate` fns must run under `no_grad` (directly or by delegating to `predict`) |
 //! | `no-lock-in-worker` | worker loops | no lock/condvar acquisition (`.lock(`, `.wait(`) in per-block worker loops |
@@ -24,9 +24,11 @@
 //!
 //! "Worker loops" are the hot per-block functions of the parallel kernel
 //! path — functions in `tensor/src/parallel.rs`,
-//! `tensor/src/ops/matmul.rs` or `tensor/src/ops/attention.rs` whose name
-//! ends in `_block` or is `drain_tasks` (the naming contract those files
-//! document). They run on
+//! `tensor/src/ops/matmul.rs`, `tensor/src/ops/attention.rs`,
+//! `tensor/src/ops/qmm.rs`, or `tensor/src/simd.rs` whose name ends in
+//! `_block` or `_lanes` or is `drain_tasks` (the naming contract those
+//! files document; `_lanes` fns are the `f32x8` microkernel loops the
+//! `_block` kernels call). They run on
 //! pool threads inside a claimed task, where a lock could deadlock the
 //! pool, an allocation serialises on the global allocator, and console
 //! I/O both blocks and interleaves.
@@ -251,13 +253,19 @@ struct OpenFn {
 /// un-filtered by any allowlist. `path_label` is used for reporting and
 /// for path-scoped rules, so pass a repo-relative path.
 pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
-    let in_kernels =
-        path_label.contains("tensor/src/ops/") || path_label.contains("tensor/src/parallel.rs");
+    let in_kernels = path_label.contains("tensor/src/ops/")
+        || path_label.contains("tensor/src/parallel.rs")
+        || path_label.contains("tensor/src/simd.rs");
     // Files that may define per-block worker-loop fns (`*_block`,
-    // `drain_tasks`) subject to the no-lock/no-alloc/no-println rules.
+    // `*_lanes`, `drain_tasks`) subject to the no-lock/no-alloc/no-println
+    // rules. `simd.rs` hosts the `_lanes` microkernel loops the `_block`
+    // kernels call, and `qmm.rs` the int8 quantized matmul blocks — both
+    // run inside claimed pool tasks just like the f32 kernels.
     let in_worker_file = path_label.contains("tensor/src/parallel.rs")
         || path_label.contains("tensor/src/ops/matmul.rs")
-        || path_label.contains("tensor/src/ops/attention.rs");
+        || path_label.contains("tensor/src/ops/attention.rs")
+        || path_label.contains("tensor/src/ops/qmm.rs")
+        || path_label.contains("tensor/src/simd.rs");
     // Files that may define plan-executor hot loops (`*_plan_loop`),
     // subject to the no-alloc/no-unwrap/no-span plan rules. `plan.rs`
     // hosts the forward replay loop, `plan_train.rs` the backward and
@@ -318,8 +326,10 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
                     text: trimmed.to_string(),
                 });
             }
-            let in_worker_fn =
-                in_worker_file && (current_fn.ends_with("_block") || current_fn == "drain_tasks");
+            let in_worker_fn = in_worker_file
+                && (current_fn.ends_with("_block")
+                    || current_fn.ends_with("_lanes")
+                    || current_fn == "drain_tasks");
             if in_worker_fn {
                 if code.contains(".lock(") || code.contains(".wait(") {
                     violations.push(Violation {

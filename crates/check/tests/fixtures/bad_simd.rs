@@ -1,0 +1,37 @@
+// Lint fixture (never compiled): an f32x8 microkernel file violating the
+// kernel rules (no-unwrap, no-Instant) and the worker-loop rules inside a
+// `_lanes` lane loop (no-lock, no-alloc, no-println). Line numbers matter —
+// trip.rs asserts them.
+
+fn dot_lanes(a: &[f32], b: &[f32], state: &SharedState) -> f32 {
+    let _guard = state.mutex.lock();
+    let lanes = vec![0.0f32; 8];
+    println!("n = {}", a.len());
+    let first = b.first().unwrap();
+    lanes[0] + *first
+}
+
+fn qmm_row_block(xq: &[i8], out: &mut [f32]) {
+    let codes: Vec<i8> = xq.iter().copied().collect();
+    for (o, &c) in out.iter_mut().zip(&codes) {
+        *o = c as f32;
+    }
+}
+
+fn simd_enabled_cached() -> bool {
+    // Not a `_lanes`/`_block` fn: allocation is fine here, but the
+    // file-wide kernel rules still catch the expect and the timing below.
+    let t0 = std::time::Instant::now();
+    let mode = std::env::var("TIMEKD_SIMD").expect("env");
+    mode.len() as u128 > t0.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper_lanes() {
+        // Inside a test module the same patterns are exempt.
+        let _v = vec![1.0f32; 8];
+        let _ = x.unwrap();
+        println!("exempt");
+    }
+}

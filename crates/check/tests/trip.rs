@@ -501,6 +501,84 @@ fn real_train_plan_module_passes_its_own_lint() {
 }
 
 #[test]
+fn simd_lane_loop_rules_trip_on_exact_lines() {
+    // tensor/src/simd.rs is both a kernel file (no-unwrap/no-Instant
+    // file-wide) and a worker file whose `_lanes` fns are worker loops:
+    // the lock (line 7), vec! (line 8) and println (line 9) inside
+    // dot_lanes trip the worker rules, the `.collect()` inside
+    // qmm_row_block (line 15) trips the alloc rule, and the unwrap/expect
+    // (lines 10, 25) and Instant::now (line 24) trip the kernel rules —
+    // even in simd_enabled_cached, which is not a worker fn.
+    let vs = scan_source("crates/tensor/src/simd.rs", &fixture("bad_simd.rs"));
+    let of_rule = |rule: &str| -> Vec<usize> {
+        vs.iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    };
+    assert_eq!(of_rule("no-lock-in-worker"), vec![7], "{vs:?}");
+    assert_eq!(of_rule("no-alloc-in-worker"), vec![8, 15], "{vs:?}");
+    assert_eq!(of_rule("no-println-in-worker"), vec![9], "{vs:?}");
+    assert_eq!(of_rule("no-unwrap-in-kernels"), vec![10, 25], "{vs:?}");
+    assert_eq!(of_rule("no-instant-in-kernels"), vec![24], "{vs:?}");
+    assert!(
+        vs.iter().all(|v| v.line < 30),
+        "violations inside #[cfg(test)] must be exempt: {vs:?}"
+    );
+}
+
+#[test]
+fn qmm_worker_rules_trip() {
+    // ops/qmm.rs `_block` fns are worker loops too (the quantized matmul
+    // runs inside claimed pool tasks like the f32 kernels).
+    let vs = scan_source("crates/tensor/src/ops/qmm.rs", &fixture("bad_simd.rs"));
+    let allocs: Vec<usize> = vs
+        .iter()
+        .filter(|v| v.rule == "no-alloc-in-worker")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(allocs, vec![8, 15], "{vs:?}");
+}
+
+#[test]
+fn simd_rules_do_not_trip_outside_kernel_files() {
+    // Same source labelled outside the kernel/worker paths: no rule
+    // applies (the fixture has no forward/predict fns).
+    let vs = scan_source("crates/nn/src/bad_simd.rs", &fixture("bad_simd.rs"));
+    assert!(
+        vs.is_empty(),
+        "kernel and worker rules are path-scoped: {vs:?}"
+    );
+}
+
+#[test]
+fn real_simd_module_passes_its_own_lint() {
+    // The shipped microkernels promise lock-free, alloc-free, I/O-free
+    // lane loops — they must stay clean under their own rules.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tensor/src/simd.rs");
+    let source = std::fs::read_to_string(&path).expect("read simd.rs");
+    let vs = scan_source("crates/tensor/src/simd.rs", &source);
+    assert!(
+        vs.is_empty(),
+        "shipped simd module violates its own lint: {vs:?}"
+    );
+}
+
+#[test]
+fn real_qmm_module_passes_its_own_lint() {
+    // The shipped quantized matmul promises alloc-free `_block` loops
+    // (activations quantize into caller scratch) — it must stay clean
+    // under its own rules.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../tensor/src/ops/qmm.rs");
+    let source = std::fs::read_to_string(&path).expect("read qmm.rs");
+    let vs = scan_source("crates/tensor/src/ops/qmm.rs", &source);
+    assert!(
+        vs.is_empty(),
+        "shipped qmm module violates its own lint: {vs:?}"
+    );
+}
+
+#[test]
 fn allowlist_suppresses_worker_rules() {
     let source = fixture("bad_worker.rs");
     let label = "crates/tensor/src/ops/matmul.rs";

@@ -49,8 +49,9 @@ pub use forecaster::Forecaster;
 pub use model_io::{load_checkpoint, save_checkpoint};
 pub use norm_helpers::layer_norm_const;
 pub use plan::{
-    compile_student_plan, compile_student_training_plan, student_plan_spec, student_train_spec,
-    PlannedStudent, PlannedTrainer,
+    compile_student_plan, compile_student_training_plan, student_plan_spec,
+    student_plan_spec_with_precision, student_train_spec, PlannedStudent, PlannedTrainer,
+    QuantizedStudent,
 };
 pub use sca::SubtractiveCrossAttention;
 pub use student::{Student, StudentOutput};

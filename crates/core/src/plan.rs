@@ -12,8 +12,8 @@ use std::collections::HashMap;
 
 use timekd_nn::Module;
 use timekd_tensor::{
-    Plan, PlanError, PlanExecutor, PlanOptimizer, PlanSpec, Tensor, TrainExecutor, TrainSpec,
-    ValueSource,
+    Plan, PlanError, PlanExecutor, PlanOptimizer, PlanSpec, Precision, Tensor, TrainExecutor,
+    TrainSpec, ValueSource,
 };
 
 use crate::config::TimeKdConfig;
@@ -25,10 +25,17 @@ use crate::symbolic::{trace_student_forecast, trace_student_loss};
 /// leaves in the symbolic trace) lower to per-column mean/std steps over
 /// it — with the same `1e-5` epsilon as the real layer.
 pub fn student_plan_spec() -> PlanSpec {
+    student_plan_spec_with_precision(Precision::F32)
+}
+
+/// [`student_plan_spec`] with an explicit executor precision — `Int8`
+/// compiles the quantized inference path ([`QuantizedStudent`]).
+pub fn student_plan_spec_with_precision(precision: Precision) -> PlanSpec {
     PlanSpec {
         input_label: "x".to_string(),
         col_mean_leaves: vec!["student.revin.mu".to_string()],
         col_std_leaves: vec![("student.revin.std".to_string(), 1e-5)],
+        precision,
     }
 }
 
@@ -58,57 +65,68 @@ pub struct PlannedStudent {
     num_vars: usize,
 }
 
-impl PlannedStudent {
-    /// Compiles the plan for `student`'s geometry and binds its parameters.
-    ///
-    /// Binding zips the symbolic trace's parameter registration order with
-    /// [`Module::params`] order (the module mirrors register in lockstep),
-    /// cross-checking label-by-label that every shape agrees.
-    pub fn new(student: &Student, config: &TimeKdConfig) -> Result<PlannedStudent, PlanError> {
-        let (ctx, forecast) = trace_student_forecast(
-            config,
-            student.input_len(),
-            student.horizon(),
-            student.num_vars(),
-        )
-        .map_err(|e| PlanError {
-            message: format!("student trace failed: {e}"),
-        })?;
-        let plan = Plan::compile(&forecast, &student_plan_spec())?;
+/// Compiles the forecast plan for `student`'s geometry at the given
+/// precision and binds the student's parameters to an executor.
+///
+/// Binding zips the symbolic trace's parameter registration order with
+/// [`Module::params`] order (the module mirrors register in lockstep),
+/// cross-checking label-by-label that every shape agrees.
+fn bind_student_forecast(
+    student: &Student,
+    config: &TimeKdConfig,
+    precision: Precision,
+) -> Result<(Plan, PlanExecutor), PlanError> {
+    let (ctx, forecast) = trace_student_forecast(
+        config,
+        student.input_len(),
+        student.horizon(),
+        student.num_vars(),
+    )
+    .map_err(|e| PlanError {
+        message: format!("student trace failed: {e}"),
+    })?;
+    let plan = Plan::compile(&forecast, &student_plan_spec_with_precision(precision))?;
 
-        let sym_params = ctx.params();
-        let real_params = student.params();
-        if sym_params.len() != real_params.len() {
+    let sym_params = ctx.params();
+    let real_params = student.params();
+    if sym_params.len() != real_params.len() {
+        return Err(PlanError {
+            message: format!(
+                "parameter count mismatch: trace has {}, student has {}",
+                sym_params.len(),
+                real_params.len()
+            ),
+        });
+    }
+    let mut by_label: HashMap<String, Tensor> = HashMap::with_capacity(real_params.len());
+    for (sym, real) in sym_params.iter().zip(&real_params) {
+        if sym.sizes() != real.dims() {
             return Err(PlanError {
                 message: format!(
-                    "parameter count mismatch: trace has {}, student has {}",
-                    sym_params.len(),
-                    real_params.len()
+                    "parameter `{}` shape mismatch: trace {:?}, student {:?}",
+                    sym.label(),
+                    sym.sizes(),
+                    real.dims()
                 ),
             });
         }
-        let mut by_label: HashMap<String, Tensor> = HashMap::with_capacity(real_params.len());
-        for (sym, real) in sym_params.iter().zip(&real_params) {
-            if sym.sizes() != real.dims() {
-                return Err(PlanError {
-                    message: format!(
-                        "parameter `{}` shape mismatch: trace {:?}, student {:?}",
-                        sym.label(),
-                        sym.sizes(),
-                        real.dims()
-                    ),
-                });
-            }
-            by_label.insert(sym.label().to_string(), real.clone());
-        }
+        by_label.insert(sym.label().to_string(), real.clone());
+    }
 
-        let executor = PlanExecutor::new(&plan, |label, dims| {
-            by_label
-                .get(label)
-                .filter(|t| t.dims() == dims)
-                .map(|t| t.data().clone())
-        })?;
+    let executor = PlanExecutor::new(&plan, |label, dims| {
+        by_label
+            .get(label)
+            .filter(|t| t.dims() == dims)
+            .map(|t| t.data().clone())
+    })?;
+    Ok((plan, executor))
+}
 
+impl PlannedStudent {
+    /// Compiles the plan for `student`'s geometry and binds its parameters
+    /// (see [`bind_student_forecast`] for the binding contract).
+    pub fn new(student: &Student, config: &TimeKdConfig) -> Result<PlannedStudent, PlanError> {
+        let (plan, executor) = bind_student_forecast(student, config, Precision::F32)?;
         Ok(PlannedStudent {
             plan,
             executor,
@@ -148,6 +166,90 @@ impl PlannedStudent {
     ///
     /// The executor never touches a `Tensor` op, but the `no_grad` scope
     /// keeps that guarantee even if one ever sneaks in.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        timekd_tensor::no_grad(|| {
+            let mut out = vec![0.0f32; self.horizon * self.num_vars];
+            self.predict_into(x, &mut out);
+            Tensor::from_vec(out, [self.horizon, self.num_vars])
+        })
+    }
+
+    /// Resident parameter bytes of the bound executor.
+    pub fn param_bytes(&self) -> usize {
+        self.executor.param_bytes()
+    }
+}
+
+/// A [`Student`] whose predict path runs the compiled plan with int8
+/// weight matmuls: every projection weight that feeds a `Matmul2d` step is
+/// quantized once at bind time (per-output-column absmax scales),
+/// activations are row-quantized on the fly into executor scratch, and
+/// products accumulate in exact i32 before dequantizing at the activation
+/// boundary. Attention, RevIN, and element-wise ops stay f32.
+///
+/// Forecasts are approximate — the quantized-vs-f32 MSE delta is gated in
+/// `timekd-bench` — but remain bitwise deterministic at any
+/// `TIMEKD_THREADS` setting: the integer accumulation is order-free, and
+/// the residual f32 steps keep one pinned reduction order per SIMD mode
+/// (the two `TIMEKD_SIMD` modes are separately pinned, like everywhere
+/// else in the workspace).
+#[derive(Debug)]
+pub struct QuantizedStudent {
+    plan: Plan,
+    executor: PlanExecutor,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+}
+
+impl QuantizedStudent {
+    /// Compiles the int8-precision plan for `student`'s geometry and binds
+    /// (quantizing) its parameters.
+    pub fn new(student: &Student, config: &TimeKdConfig) -> Result<QuantizedStudent, PlanError> {
+        let (plan, executor) = bind_student_forecast(student, config, Precision::Int8)?;
+        Ok(QuantizedStudent {
+            plan,
+            executor,
+            input_len: student.input_len(),
+            horizon: student.horizon(),
+            num_vars: student.num_vars(),
+        })
+    }
+
+    /// The compiled plan (for inspection and verification).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Forecast horizon length.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Channel count.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Resident parameter bytes after bind-time quantization: int8 codes +
+    /// scales for the quantized weights, f32 for everything else (biases,
+    /// norm gains). Compare with [`PlannedStudent::param_bytes`].
+    pub fn param_bytes(&self) -> usize {
+        self.executor.param_bytes()
+    }
+
+    /// Predicts into a caller-provided `[horizon * num_vars]` buffer with
+    /// zero allocation and zero graph construction.
+    pub fn predict_into(&mut self, x: &Tensor, out: &mut [f32]) {
+        assert_eq!(
+            x.dims(),
+            &[self.input_len, self.num_vars],
+            "quantized student input shape"
+        );
+        self.executor.run(&x.data(), out);
+    }
+
+    /// Convenience wrapper returning a `[horizon, num_vars]` tensor.
     pub fn predict(&mut self, x: &Tensor) -> Tensor {
         timekd_tensor::no_grad(|| {
             let mut out = vec![0.0f32; self.horizon * self.num_vars];
@@ -477,6 +579,94 @@ mod tests {
         );
         assert!(plan.is_training());
         assert!(!plan.bwd_steps().is_empty());
+    }
+
+    #[test]
+    fn quantized_student_tracks_f32_and_shrinks_params() {
+        let config = small_config();
+        let (input_len, horizon, num_vars) = (24, 8, 5);
+        let mut rng = seeded_rng(7);
+        let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+        let mut planned = PlannedStudent::new(&student, &config).unwrap();
+        let mut quant = QuantizedStudent::new(&student, &config).unwrap();
+
+        // The int8 executor replaces f32 weight copies with codes+scales:
+        // the resident parameter footprint must shrink substantially.
+        assert!(
+            quant.param_bytes() < planned.param_bytes() / 2,
+            "quantized params {} vs f32 {}",
+            quant.param_bytes(),
+            planned.param_bytes()
+        );
+
+        let x = Tensor::randn([input_len, num_vars], 1.0, &mut rng);
+        let exact = planned.predict(&x);
+        let approx = quant.predict(&x);
+        let mse = exact
+            .to_vec()
+            .iter()
+            .zip(approx.to_vec())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / exact.to_vec().len() as f32;
+        // Untrained-student outputs are O(1); int8 weight+activation
+        // quantization should stay well inside this bound.
+        assert!(mse < 1e-2, "quantized forecast drifted: mse {mse}");
+        assert!(mse.is_finite());
+    }
+
+    #[test]
+    fn quantized_student_is_deterministic_across_threads() {
+        let config = small_config();
+        let (input_len, horizon, num_vars) = (24, 8, 5);
+        let mut rng = seeded_rng(13);
+        let student = Student::new(&config, input_len, horizon, num_vars, &mut rng);
+        let x = Tensor::randn([input_len, num_vars], 1.0, &mut rng);
+        // The quantized matmuls are order-free (i32 accumulation); the
+        // remaining f32 steps (attention, RevIN) have one pinned order per
+        // SIMD mode. So forecasts are bitwise stable across threads within
+        // each mode, while the two modes may differ by float rounding.
+        for simd_on in [true, false] {
+            let base = timekd_tensor::with_simd(simd_on, || {
+                // Bind inside the override so the executor's resolved
+                // mode follows it.
+                QuantizedStudent::new(&student, &config)
+                    .unwrap()
+                    .predict(&x)
+                    .to_vec()
+            });
+            for threads in [1, 2, 5] {
+                let out = parallel::with_threads(threads, || {
+                    timekd_tensor::with_simd(simd_on, || {
+                        QuantizedStudent::new(&student, &config)
+                            .unwrap()
+                            .predict(&x)
+                            .to_vec()
+                    })
+                });
+                assert_eq!(
+                    out, base,
+                    "quantized forecast diverges at threads={threads} simd={simd_on}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_executor_rejects_int8_plans() {
+        let config = small_config();
+        let (_ctx, loss) = trace_student_loss(&config, 24, 8, 5).unwrap();
+        let plan = Plan::compile_training(
+            &loss,
+            &student_plan_spec_with_precision(Precision::Int8),
+            &student_train_spec(PlanOptimizer::Sgd { lr: 0.1 }),
+        )
+        .unwrap();
+        let err = TrainExecutor::new(&plan, |_, _| None).unwrap_err();
+        assert!(
+            err.to_string().contains("inference-only"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -48,6 +48,14 @@
 //! inside and every output element an independent sum, so the key split
 //! cannot change results.
 //!
+//! The length-`T_k` dot/axpy sweeps run in one of two pinned reduction
+//! orders selected by `TIMEKD_SIMD` (see [`crate::simd`]): the 8-lane
+//! fused-multiply-add blocking of [`simd::dot_lanes`]/[`simd::axpy_lanes`]
+//! by default, or the original 4-wide [`dot4`]/[`axpy`] kernels when off.
+//! The mode is resolved once per dispatch, before fan-out, so every task
+//! of a call reduces identically and thread-count invariance holds in
+//! both modes.
+//!
 //! Naming contract with `timekd-check`: functions ending in `_block` are
 //! per-block worker loops — no locks, no allocation, no I/O inside them.
 //! Per-task scratch is preallocated by the dispatching code and carved
@@ -57,6 +65,7 @@ use std::rc::Rc;
 
 use crate::parallel;
 use crate::shape::Shape;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Minimum score-count (`H · T_q · T_k · dh`) before a fused attention
@@ -105,6 +114,32 @@ fn dot4(a: &[f32], b: &[f32]) -> f32 {
 fn axpy(dst: &mut [f32], a: f32, x: &[f32]) {
     for (o, &xx) in dst.iter_mut().zip(x) {
         *o += a * xx;
+    }
+}
+
+/// Mode-pinned dot product: [`simd::dot_lanes`] (8-lane fma blocking) in
+/// SIMD mode, [`dot4`] under `TIMEKD_SIMD=off`. The `simd` flag is
+/// resolved by the dispatcher before any fan-out, so every task of one
+/// attention call reduces in the same pinned order.
+#[inline(always)]
+fn dot_pinned(a: &[f32], b: &[f32], simd: bool) -> f32 {
+    if simd {
+        simd::dot_lanes(a, b)
+    } else {
+        dot4(a, b)
+    }
+}
+
+/// Mode-pinned axpy: one fused multiply-add per element in SIMD mode
+/// ([`simd::axpy_lanes`]), separate multiply and add under
+/// `TIMEKD_SIMD=off` ([`axpy`]). Element-independent either way; the two
+/// roundings are each internally deterministic.
+#[inline(always)]
+fn axpy_pinned(dst: &mut [f32], a: f32, x: &[f32], simd: bool) {
+    if simd {
+        simd::axpy_lanes(dst, a, x);
+    } else {
+        axpy(dst, a, x);
     }
 }
 
@@ -186,6 +221,7 @@ pub(crate) fn attn_fwd_row_block(
     tk: usize,
     dh: usize,
     scale: f32,
+    simd: bool,
 ) {
     let d = heads * dh;
     let inv_heads = 1.0 / heads as f32;
@@ -200,7 +236,7 @@ pub(crate) fn attn_fwd_row_block(
                 None => scores.fill(0.0),
             }
             for (kcol, &qd) in kt.chunks_exact(tk).zip(q_row) {
-                axpy(scores, scale * qd, kcol);
+                axpy_pinned(scores, scale * qd, kcol, simd);
             }
             let mut mx = f32::NEG_INFINITY;
             for &s in scores.iter() {
@@ -217,14 +253,15 @@ pub(crate) fn attn_fwd_row_block(
             m_block[r * heads + h] = mx;
             l_block[r * heads + h] = denom;
             let inv = 1.0 / denom;
-            axpy(
+            axpy_pinned(
                 &mut map_block[r * tk..(r + 1) * tk],
                 inv * inv_heads,
                 scores,
+                simd,
             );
             let out_head = &mut out_block[r * d + h * dh..r * d + (h + 1) * dh];
             for (o, vcol) in out_head.iter_mut().zip(vt.chunks_exact(tk)) {
-                *o = inv * dot4(scores, vcol);
+                *o = inv * dot_pinned(scores, vcol, simd);
             }
         }
     }
@@ -264,6 +301,7 @@ pub(crate) fn attn_bwd_dq_block(
     tk: usize,
     dh: usize,
     scale: f32,
+    simd: bool,
 ) {
     let d = heads * dh;
     let inv_heads = 1.0 / heads as f32;
@@ -285,7 +323,7 @@ pub(crate) fn attn_bwd_dq_block(
             None => p_row.fill(0.0),
         }
         for (kcol, &qd) in kt.chunks_exact(tk).zip(q_row) {
-            axpy(p_row, scale * qd, kcol);
+            axpy_pinned(p_row, scale * qd, kcol, simd);
         }
         for p in p_row.iter_mut() {
             *p = (*p - mx).exp() * inv;
@@ -296,7 +334,7 @@ pub(crate) fn attn_bwd_dq_block(
                 let g_head = &g[i * d + h * dh..i * d + (h + 1) * dh];
                 ds_row.fill(0.0);
                 for (vcol, &gd) in vt.chunks_exact(tk).zip(g_head) {
-                    axpy(ds_row, gd, vcol);
+                    axpy_pinned(ds_row, gd, vcol, simd);
                 }
             }
             (None, Some(g)) => {
@@ -306,13 +344,13 @@ pub(crate) fn attn_bwd_dq_block(
             }
             (None, None) => ds_row.fill(0.0),
         }
-        let dsum = dot4(p_row, ds_row);
+        let dsum = dot_pinned(p_row, ds_row, simd);
         for (ds, &p) in ds_row.iter_mut().zip(p_row.iter()) {
             *ds = p * (*ds - dsum) * scale;
         }
         let dq_row = &mut dq_block[r * dh..(r + 1) * dh];
         for (o, kcol) in dq_row.iter_mut().zip(kt.chunks_exact(tk)) {
-            *o += dot4(ds_row, kcol);
+            *o += dot_pinned(ds_row, kcol, simd);
         }
     }
 }
@@ -343,6 +381,7 @@ pub(crate) fn attn_bwd_dkv_block(
     tq: usize,
     tk: usize,
     dh: usize,
+    simd: bool,
 ) {
     let d = heads * dh;
     let rows = j1 - j0;
@@ -355,13 +394,13 @@ pub(crate) fn attn_bwd_dkv_block(
         let base = (h * tq + i) * tk;
         let ds_row = &ds_buf[base + j0..base + j1];
         for (kcol, &qd) in dkt.chunks_exact_mut(rows).zip(q_row) {
-            axpy(kcol, qd, ds_row);
+            axpy_pinned(kcol, qd, ds_row, simd);
         }
         if let Some(g) = g_out {
             let g_head = &g[i * d + h * dh..i * d + (h + 1) * dh];
             let p_row = &p_buf[base + j0..base + j1];
             for (vcol, &gd) in dvt.chunks_exact_mut(rows).zip(g_head) {
-                axpy(vcol, gd, p_row);
+                axpy_pinned(vcol, gd, p_row, simd);
             }
         }
     }
@@ -399,6 +438,7 @@ fn fused_attention_forward(
     scale: f32,
 ) {
     let worth = worth_parallel(heads, tq, tk, dh);
+    let simd = simd::simd_enabled();
     let ranges = parallel::block_ranges(tq, plan_blocks(tq, 1, worth));
     let d = heads * dh;
     // Per task: packed K and V panels ([dh, T_k] each) plus a score row.
@@ -432,7 +472,7 @@ fn fused_attention_forward(
         let (vt, scores) = rest.split_at_mut(tk * dh);
         attn_fwd_row_block(
             q, k, v, mask, out_block, map_block, m_block, l_block, kt, vt, scores, i0, i1, heads,
-            tq, tk, dh, scale,
+            tq, tk, dh, scale, simd,
         );
     });
 }
@@ -464,6 +504,7 @@ fn fused_attention_backward(
     scale: f32,
 ) {
     let worth = worth_parallel(heads, tq, tk, dh);
+    let simd = simd::simd_enabled();
 
     // Pass A: dQ plus the P/dS scratch, partitioned by (head,
     // query-row-range).
@@ -510,7 +551,7 @@ fn fused_attention_backward(
         let (kt, vt) = scr.split_at_mut(tk * dh);
         attn_bwd_dq_block(
             q, k, v, mask, g_out, g_map, &stats.m, &stats.l, dq_block, p_block, ds_block, kt, vt,
-            h, i0, i1, heads, tq, tk, dh, scale,
+            h, i0, i1, heads, tq, tk, dh, scale, simd,
         );
     });
 
@@ -555,6 +596,7 @@ fn fused_attention_backward(
         let (dkt, dvt) = scr.split_at_mut(tk * dh);
         attn_bwd_dkv_block(
             q, g_out, p_ref, ds_ref, dk_block, dv_block, dkt, dvt, h, j0, j1, heads, tq, tk, dh,
+            simd,
         );
     });
 }

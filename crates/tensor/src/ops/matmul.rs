@@ -5,11 +5,13 @@
 //! the workspace — nearly all teacher/student training wall-clock is
 //! attention and linear-layer GEMMs routed through here. They are:
 //!
-//! - **register-blocked**: the inner loops process four `k`-steps (NN/TN)
-//!   or four-wide partial dot products (NT) with independent accumulators,
-//!   which LLVM vectorises; the dense path has no per-element branches
-//!   (the old `a_ik == 0.0` skip pessimised dense GEMMs, which dominate —
-//!   see the `kernels` bench for the measured comparison);
+//! - **explicit-width microkernels**: in SIMD mode (the default) the NN
+//!   loop runs 4-row × 16-column [`F32x8`] register tiles of fused
+//!   multiply-adds and the NT loop runs the pinned 8-lane
+//!   [`simd::dot_lanes`] reduction; with `TIMEKD_SIMD=off` the original
+//!   4-wide scalar kernels run unchanged. The two modes are two
+//!   separately-pinned reduction orders (see [`crate::simd`]); the mode is
+//!   resolved once per dispatch, **before** any worker fan-out;
 //! - **packed**: the TN variant transposes its `[K, M]` operand once per
 //!   call so the hot loop streams contiguous rows, turning TN into the NN
 //!   kernel. NT needs no packing — its `[N, K]` operand is already
@@ -19,7 +21,9 @@
 //!   [`crate::parallel`]; every row is computed by exactly one task
 //!   running the same serial code as the `TIMEKD_THREADS=1` path, so
 //!   parallel results are bitwise identical to serial ones. Sizes below
-//!   [`PARALLEL_MULS_CUTOFF`] never touch the pool.
+//!   [`PARALLEL_MULS_CUTOFF`] never touch the pool, and
+//!   [`min_rows_per_block`] keeps parallel blocks coarse enough to
+//!   amortise dispatch.
 //!
 //! Naming contract with `timekd-check`: functions ending in `_block` are
 //! per-block worker loops — no locks, no allocation, no I/O inside them
@@ -27,6 +31,7 @@
 
 use crate::parallel;
 use crate::shape::Shape;
+use crate::simd::{self, F32x8};
 use crate::tensor::Tensor;
 
 /// Minimum multiply count (`m * k * n`) before a kernel call fans out to
@@ -44,14 +49,51 @@ fn worth_parallel(m: usize, k: usize, n: usize) -> bool {
     m.saturating_mul(k).saturating_mul(n) >= PARALLEL_MULS_CUTOFF
 }
 
-/// Serial NN worker loop: `out_block[i - i0, n] += a[i, k] * b[k, n]` for
-/// rows `i0..i1`. `a` and `b` are the full operands; `out_block` is the
-/// caller's exclusive row block.
+/// Work-aware minimum rows per parallel block.
+///
+/// The flat [`MIN_ROWS_PER_BLOCK`] floor let wide-but-short shapes split
+/// into blocks whose pool-dispatch overhead rivalled their kernel time:
+/// the v4 baseline's `mm_rect_512x64x256` row measured parallel *slower*
+/// than serial (18.8 vs 23.6 GFLOP/s in `BENCH_1786107316.json`). The
+/// floor now scales so every block carries at least
+/// [`PARALLEL_MULS_CUTOFF`] multiplies — the same "worth dispatching at
+/// all" threshold — before the pool may split finer. Partition granularity
+/// never affects results: every row block runs the same serial code at any
+/// split, so this is purely a scheduling heuristic.
+#[inline]
+fn min_rows_per_block(k: usize, n: usize) -> usize {
+    MIN_ROWS_PER_BLOCK.max(PARALLEL_MULS_CUTOFF.div_ceil(k.saturating_mul(n).max(1)))
+}
+
+/// NN worker loop: `out_block[i - i0, n] += a[i, k] * b[k, n]` for rows
+/// `i0..i1`. `a` and `b` are the full operands; `out_block` is the
+/// caller's exclusive row block. `simd` selects between the two pinned
+/// reduction orders; it is resolved by the dispatcher before fan-out so
+/// every block of one call runs the same mode.
+pub(crate) fn mm_row_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    simd: bool,
+) {
+    if simd {
+        mm_row_simd_block(a, b, out_block, i0, i1, k, n);
+    } else {
+        mm_row_scalar_block(a, b, out_block, i0, i1, k, n);
+    }
+}
+
+/// Scalar NN worker loop (`TIMEKD_SIMD=off`): the pre-SIMD kernel,
+/// unchanged, preserving its original pinned reduction order exactly.
 ///
 /// Four `k`-steps are fused per pass so each streamed element of `out`
-/// receives four fused multiply-adds per load/store, with a single-step
-/// tail for `k % 4` remainders.
-pub(crate) fn mm_row_block(
+/// receives four multiply-adds per load/store, with a single-step tail
+/// for `k % 4` remainders.
+pub(crate) fn mm_row_scalar_block(
     a: &[f32],
     b: &[f32],
     out_block: &mut [f32],
@@ -88,12 +130,194 @@ pub(crate) fn mm_row_block(
     }
 }
 
-/// Serial NT worker loop: `out_block[i - i0, j] += dot(a[i, :], b[j, :])`
-/// for rows `i0..i1`, contracting over the shared last axis of length `k`.
-/// Four independent accumulators per dot product; their combination order
-/// `(s0 + s1) + (s2 + s3)` is fixed, so results never depend on the
-/// thread split.
+/// SIMD NN worker loop (the default mode): 4-row × 16-column [`F32x8`]
+/// register tiles of fused multiply-adds, with 8-wide and scalar column
+/// tails and a single-row loop for `rows % 4` remainders.
+///
+/// Every output element accumulates exactly one ascending-`k` fmadd chain
+/// (`acc = fmadd(a[i,kk], b[kk,j], acc)`) no matter which tile path
+/// computes it — register tiling reorders the *schedule*, never a chain —
+/// so the SIMD-mode pinned order for NN is simply "one fused round per
+/// `k`-step, ascending", identical at any thread count and tile boundary.
+pub(crate) fn mm_row_simd_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+) {
+    const L: usize = F32x8::LANES;
+    let mut i = i0;
+    while i + 4 <= i1 {
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let r0 = (i - i0) * n;
+        let (r1, r2, r3) = (r0 + n, r0 + 2 * n, r0 + 3 * n);
+        let mut j = 0;
+        while j + 2 * L <= n {
+            let mut c00 = F32x8::load(&out_block[r0 + j..]);
+            let mut c01 = F32x8::load(&out_block[r0 + j + L..]);
+            let mut c10 = F32x8::load(&out_block[r1 + j..]);
+            let mut c11 = F32x8::load(&out_block[r1 + j + L..]);
+            let mut c20 = F32x8::load(&out_block[r2 + j..]);
+            let mut c21 = F32x8::load(&out_block[r2 + j + L..]);
+            let mut c30 = F32x8::load(&out_block[r3 + j..]);
+            let mut c31 = F32x8::load(&out_block[r3 + j + L..]);
+            for kk in 0..k {
+                let brow = &b[kk * n + j..];
+                let b0 = F32x8::load(brow);
+                let b1 = F32x8::load(&brow[L..]);
+                let s0 = F32x8::splat(a0[kk]);
+                c00 = s0.fma(b0, c00);
+                c01 = s0.fma(b1, c01);
+                let s1 = F32x8::splat(a1[kk]);
+                c10 = s1.fma(b0, c10);
+                c11 = s1.fma(b1, c11);
+                let s2 = F32x8::splat(a2[kk]);
+                c20 = s2.fma(b0, c20);
+                c21 = s2.fma(b1, c21);
+                let s3 = F32x8::splat(a3[kk]);
+                c30 = s3.fma(b0, c30);
+                c31 = s3.fma(b1, c31);
+            }
+            c00.store(&mut out_block[r0 + j..]);
+            c01.store(&mut out_block[r0 + j + L..]);
+            c10.store(&mut out_block[r1 + j..]);
+            c11.store(&mut out_block[r1 + j + L..]);
+            c20.store(&mut out_block[r2 + j..]);
+            c21.store(&mut out_block[r2 + j + L..]);
+            c30.store(&mut out_block[r3 + j..]);
+            c31.store(&mut out_block[r3 + j + L..]);
+            j += 2 * L;
+        }
+        while j + L <= n {
+            let mut c0 = F32x8::load(&out_block[r0 + j..]);
+            let mut c1 = F32x8::load(&out_block[r1 + j..]);
+            let mut c2 = F32x8::load(&out_block[r2 + j..]);
+            let mut c3 = F32x8::load(&out_block[r3 + j..]);
+            for kk in 0..k {
+                let bv = F32x8::load(&b[kk * n + j..]);
+                c0 = F32x8::splat(a0[kk]).fma(bv, c0);
+                c1 = F32x8::splat(a1[kk]).fma(bv, c1);
+                c2 = F32x8::splat(a2[kk]).fma(bv, c2);
+                c3 = F32x8::splat(a3[kk]).fma(bv, c3);
+            }
+            c0.store(&mut out_block[r0 + j..]);
+            c1.store(&mut out_block[r1 + j..]);
+            c2.store(&mut out_block[r2 + j..]);
+            c3.store(&mut out_block[r3 + j..]);
+            j += L;
+        }
+        while j < n {
+            let (mut t0, mut t1, mut t2, mut t3) = (
+                out_block[r0 + j],
+                out_block[r1 + j],
+                out_block[r2 + j],
+                out_block[r3 + j],
+            );
+            for kk in 0..k {
+                let bv = b[kk * n + j];
+                t0 = simd::fmadd(a0[kk], bv, t0);
+                t1 = simd::fmadd(a1[kk], bv, t1);
+                t2 = simd::fmadd(a2[kk], bv, t2);
+                t3 = simd::fmadd(a3[kk], bv, t3);
+            }
+            out_block[r0 + j] = t0;
+            out_block[r1 + j] = t1;
+            out_block[r2 + j] = t2;
+            out_block[r3 + j] = t3;
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < i1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let r0 = (i - i0) * n;
+        let mut j = 0;
+        while j + 2 * L <= n {
+            let mut c0 = F32x8::load(&out_block[r0 + j..]);
+            let mut c1 = F32x8::load(&out_block[r0 + j + L..]);
+            for kk in 0..k {
+                let brow = &b[kk * n + j..];
+                let s = F32x8::splat(a_row[kk]);
+                c0 = s.fma(F32x8::load(brow), c0);
+                c1 = s.fma(F32x8::load(&brow[L..]), c1);
+            }
+            c0.store(&mut out_block[r0 + j..]);
+            c1.store(&mut out_block[r0 + j + L..]);
+            j += 2 * L;
+        }
+        while j + L <= n {
+            let mut c0 = F32x8::load(&out_block[r0 + j..]);
+            for kk in 0..k {
+                c0 = F32x8::splat(a_row[kk]).fma(F32x8::load(&b[kk * n + j..]), c0);
+            }
+            c0.store(&mut out_block[r0 + j..]);
+            j += L;
+        }
+        while j < n {
+            let mut t = out_block[r0 + j];
+            for kk in 0..k {
+                t = simd::fmadd(a_row[kk], b[kk * n + j], t);
+            }
+            out_block[r0 + j] = t;
+            j += 1;
+        }
+        i += 1;
+    }
+}
+
+/// NT worker loop: `out_block[i - i0, j] += dot(a[i, :], b[j, :])` for
+/// rows `i0..i1`, contracting over the shared last axis of length `k`.
+/// `simd` selects the pinned reduction order, resolved before fan-out.
 pub(crate) fn mm_nt_row_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+    simd: bool,
+) {
+    if simd {
+        mm_nt_row_simd_block(a, b, out_block, i0, i1, k, n);
+    } else {
+        mm_nt_row_scalar_block(a, b, out_block, i0, i1, k, n);
+    }
+}
+
+/// SIMD NT worker loop: each output element is one [`simd::dot_lanes`]
+/// call — lane `i % 8` blocking, fma chains, fixed combine tree, ascending
+/// tail — so the reduction order is pinned per element and independent of
+/// the row split.
+pub(crate) fn mm_nt_row_simd_block(
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i1 {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out_block[(i - i0) * n..(i - i0 + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            *o += simd::dot_lanes(a_row, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Scalar NT worker loop (`TIMEKD_SIMD=off`): the pre-SIMD kernel,
+/// unchanged. Four independent accumulators per dot product; their
+/// combination order `(s0 + s1) + (s2 + s3)` is fixed, so results never
+/// depend on the thread split.
+pub(crate) fn mm_nt_row_scalar_block(
     a: &[f32],
     b: &[f32],
     out_block: &mut [f32],
@@ -166,13 +390,14 @@ pub(crate) fn mm_accumulate(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: 
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
+    let simd = simd::simd_enabled();
     if !worth_parallel(m, k, n) {
         timekd_obs::POOL_SERIAL_FALLBACK.add(1);
-        mm_row_block(a, b, out, 0, m, k, n);
+        mm_row_block(a, b, out, 0, m, k, n, simd);
         return;
     }
-    parallel::par_row_blocks(out, m, n, MIN_ROWS_PER_BLOCK, |i0, i1, block| {
-        mm_row_block(a, b, block, i0, i1, k, n);
+    parallel::par_row_blocks(out, m, n, min_rows_per_block(k, n), |i0, i1, block| {
+        mm_row_block(a, b, block, i0, i1, k, n, simd);
     });
 }
 
@@ -193,13 +418,14 @@ pub(crate) fn mm_tn_accumulate(
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
     let at = pack_transpose(a, k, m);
+    let simd = simd::simd_enabled();
     if !worth_parallel(m, k, n) {
         timekd_obs::POOL_SERIAL_FALLBACK.add(1);
-        mm_row_block(&at, b, out, 0, m, k, n);
+        mm_row_block(&at, b, out, 0, m, k, n, simd);
         return;
     }
-    parallel::par_row_blocks(out, m, n, MIN_ROWS_PER_BLOCK, |i0, i1, block| {
-        mm_row_block(&at, b, block, i0, i1, k, n);
+    parallel::par_row_blocks(out, m, n, min_rows_per_block(k, n), |i0, i1, block| {
+        mm_row_block(&at, b, block, i0, i1, k, n, simd);
     });
 }
 
@@ -218,13 +444,14 @@ pub(crate) fn mm_nt_accumulate(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(out.len(), m * n);
+    let simd = simd::simd_enabled();
     if !worth_parallel(m, k, n) {
         timekd_obs::POOL_SERIAL_FALLBACK.add(1);
-        mm_nt_row_block(a, b, out, 0, m, k, n);
+        mm_nt_row_block(a, b, out, 0, m, k, n, simd);
         return;
     }
-    parallel::par_row_blocks(out, m, n, MIN_ROWS_PER_BLOCK, |i0, i1, block| {
-        mm_nt_row_block(a, b, block, i0, i1, k, n);
+    parallel::par_row_blocks(out, m, n, min_rows_per_block(k, n), |i0, i1, block| {
+        mm_nt_row_block(a, b, block, i0, i1, k, n, simd);
     });
 }
 

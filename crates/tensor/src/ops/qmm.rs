@@ -1,0 +1,259 @@
+//! Int8 quantized matmul: the reduced-precision student inference path.
+//!
+//! Quantization scheme (symmetric, zero-point free):
+//!
+//! - **Weights** are quantized once at executor bind time with a
+//!   *per-output-column* absmax scale: `scale_j = absmax_j / 127`,
+//!   `q[j, kk] = round(w[kk, j] / scale_j)` clamped to `[-127, 127]`. The
+//!   quantized matrix is stored transposed (`[N, K]`) so the kernel's dot
+//!   products stream both operands contiguously. An all-zero column gets
+//!   `scale_j = 0` and all-zero codes, dequantizing exactly to zero.
+//! - **Activations** are quantized dynamically per row with the same
+//!   absmax rule (`scale_i = absmax_i / 127`) into caller-preallocated
+//!   scratch — the planned executor never allocates per run.
+//! - **Accumulation** is `i32`: products of `i8` codes are exact and
+//!   integer addition is associative, so the quantized kernel is bitwise
+//!   deterministic under *any* loop order or thread split for free.
+//! - **Dequantization** happens at the activation boundary:
+//!   `out[i, j] = acc_ij · scale_x_i · scale_w_j`, two f32 rounds per
+//!   output element.
+//!
+//! Worst-case round-trip error per weight is `scale_j / 2` (half a code
+//! step); the end-to-end effect on student forecasts is gated by the
+//! quantized-vs-f32 MSE-delta check in `timekd-bench`.
+//!
+//! Naming contract with `timekd-check`: functions ending in `_block` are
+//! per-block worker loops — no locks, no allocation, no I/O inside them.
+
+/// An `[K, N]` f32 weight matrix quantized to int8 with per-column absmax
+/// scales, stored transposed as `[N, K]` for contiguous kernel dots.
+#[derive(Clone, Debug)]
+pub struct QuantizedMatrix {
+    /// Quantized codes, `[N, K]` layout (row `j` holds output column `j`).
+    data: Vec<i8>,
+    /// Per-output-column dequantization scales (`absmax_j / 127`).
+    scales: Vec<f32>,
+    /// Contraction length.
+    k: usize,
+    /// Output columns.
+    n: usize,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes a row-major `[k, n]` weight matrix.
+    pub fn quantize(w: &[f32], k: usize, n: usize) -> QuantizedMatrix {
+        assert_eq!(w.len(), k * n, "quantize: weight buffer is not [k, n]");
+        let mut data = vec![0i8; k * n];
+        let mut scales = vec![0.0f32; n];
+        for j in 0..n {
+            let mut absmax = 0.0f32;
+            for kk in 0..k {
+                absmax = absmax.max(w[kk * n + j].abs());
+            }
+            if absmax == 0.0 {
+                continue; // scale stays 0.0, codes stay 0: exact zeros.
+            }
+            let inv = 127.0 / absmax;
+            scales[j] = absmax / 127.0;
+            for kk in 0..k {
+                let q = (w[kk * n + j] * inv).round().clamp(-127.0, 127.0);
+                data[j * k + kk] = q as i8;
+            }
+        }
+        QuantizedMatrix { data, scales, k, n }
+    }
+
+    /// Contraction length `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output column count `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Storage footprint in bytes (codes + scales).
+    pub fn bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Quantized codes in `[N, K]` layout.
+    pub fn codes(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Per-output-column dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Reconstructs the row-major `[k, n]` f32 matrix (test/debug aid);
+    /// every element is within `scales[j] / 2` of the original.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.k * self.n];
+        for j in 0..self.n {
+            for kk in 0..self.k {
+                out[kk * self.n + j] = self.data[j * self.k + kk] as f32 * self.scales[j];
+            }
+        }
+        out
+    }
+}
+
+/// Quantizes `m` activation rows of length `k` into caller scratch:
+/// `xq[i, :]` gets the int8 codes of row `i`, `xs[i]` its dequant scale
+/// (`absmax_i / 127`; 0 for an all-zero row, with all-zero codes).
+pub(crate) fn quantize_rows_block(x: &[f32], xq: &mut [i8], xs: &mut [f32], m: usize, k: usize) {
+    for i in 0..m {
+        let row = &x[i * k..(i + 1) * k];
+        let q_row = &mut xq[i * k..(i + 1) * k];
+        let mut absmax = 0.0f32;
+        for &v in row.iter() {
+            absmax = absmax.max(v.abs());
+        }
+        if absmax == 0.0 {
+            xs[i] = 0.0;
+            for q in q_row.iter_mut() {
+                *q = 0;
+            }
+            continue;
+        }
+        let inv = 127.0 / absmax;
+        xs[i] = absmax / 127.0;
+        for (q, &v) in q_row.iter_mut().zip(row) {
+            *q = (v * inv).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
+}
+
+/// Quantized NN worker loop: `out[i, j] = (Σ_kk xq[i, kk] · wq[j, kk]) ·
+/// xs[i] · ws[j]` for rows `i0..i1`, with exact i32 accumulation (the
+/// integer sum is associative, so any blocking yields identical bits).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qmm_row_block(
+    xq: &[i8],
+    xs: &[f32],
+    wq: &[i8],
+    ws: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    i1: usize,
+    k: usize,
+    n: usize,
+) {
+    for i in i0..i1 {
+        let x_row = &xq[i * k..(i + 1) * k];
+        let sx = xs[i];
+        let out_row = &mut out_block[(i - i0) * n..(i - i0 + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let w_row = &wq[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&xv, &wv) in x_row.iter().zip(w_row) {
+                acc += xv as i32 * wv as i32;
+            }
+            *o = acc as f32 * sx * ws[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let (k, n) = (13, 7);
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| (i as f32 * 0.73).sin() * (1.0 + (i % 5) as f32))
+            .collect();
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        let back = q.dequantize();
+        for j in 0..n {
+            let half_step = q.scales()[j] * 0.5 + 1e-9;
+            for kk in 0..k {
+                let err = (back[kk * n + j] - w[kk * n + j]).abs();
+                assert!(
+                    err <= half_step,
+                    "col {j} row {kk}: err {err} > {half_step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_column_is_exact() {
+        let (k, n) = (5, 3);
+        let mut w = vec![0.0f32; k * n];
+        for kk in 0..k {
+            w[kk * n] = 1.0 + kk as f32; // only column 0 is nonzero
+        }
+        let q = QuantizedMatrix::quantize(&w, k, n);
+        assert_eq!(q.scales()[1], 0.0);
+        assert_eq!(q.scales()[2], 0.0);
+        let back = q.dequantize();
+        for kk in 0..k {
+            assert_eq!(back[kk * n + 1], 0.0);
+            assert_eq!(back[kk * n + 2], 0.0);
+        }
+    }
+
+    #[test]
+    fn qmm_matches_dequantized_f32_matmul_exactly() {
+        // With both operands quantized, qmm must equal the f32 matmul of
+        // the *dequantized* operands up to the two dequant rounds — on
+        // small integer accumulators the float product of scales is exact
+        // enough to compare bitwise against the explicit formula.
+        let (m, k, n) = (4, 9, 6);
+        let x: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 7 % 23) as f32 - 11.0) * 0.3)
+            .collect();
+        let w: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 5 % 17) as f32 - 8.0) * 0.21)
+            .collect();
+        let qw = QuantizedMatrix::quantize(&w, k, n);
+        let mut xq = vec![0i8; m * k];
+        let mut xs = vec![0.0f32; m];
+        quantize_rows_block(&x, &mut xq, &mut xs, m, k);
+        let mut out = vec![0.0f32; m * n];
+        qmm_row_block(&xq, &xs, qw.codes(), qw.scales(), &mut out, 0, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += xq[i * k + kk] as i32 * qw.codes()[j * k + kk] as i32;
+                }
+                let want = acc as f32 * xs[i] * qw.scales()[j];
+                assert_eq!(out[i * n + j].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_product_approximates_f32_product() {
+        let (m, k, n) = (3, 32, 5);
+        let x: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let w: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+        let qw = QuantizedMatrix::quantize(&w, k, n);
+        let mut xq = vec![0i8; m * k];
+        let mut xs = vec![0.0f32; m];
+        quantize_rows_block(&x, &mut xq, &mut xs, m, k);
+        let mut got = vec![0.0f32; m * n];
+        qmm_row_block(&xq, &xs, qw.codes(), qw.scales(), &mut got, 0, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut want = 0.0f32;
+                for kk in 0..k {
+                    want += x[i * k + kk] * w[kk * n + j];
+                }
+                let err = (got[i * n + j] - want).abs();
+                // ~1% relative of the row/col magnitudes for k=32.
+                assert!(
+                    err < 0.05,
+                    "({i},{j}): {got:?} vs {want} (err {err})",
+                    got = got[i * n + j]
+                );
+            }
+        }
+    }
+}

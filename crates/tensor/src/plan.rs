@@ -53,6 +53,7 @@ use std::fmt;
 
 use crate::ops::attention::attn_fwd_row_block;
 use crate::ops::matmul::mm_row_block;
+use crate::ops::qmm::{qmm_row_block, quantize_rows_block, QuantizedMatrix};
 use crate::plan_train::{BwdStep, PlanOptimizer, UpdateStep};
 use crate::symbolic::{SymAttr, SymbolicTensor};
 
@@ -85,6 +86,22 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// Numeric precision a plan's executor should use for its weight matmuls.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// Full f32 kernels everywhere (the default).
+    #[default]
+    F32,
+    /// Int8 weight matmuls for inference: parameters feeding `Matmul2d`
+    /// steps are quantized at bind time (per-column absmax scales, see
+    /// [`QuantizedMatrix`]), activations are quantized per row on the
+    /// fly, accumulation is exact i32, and outputs dequantize back to f32
+    /// at the activation boundary. Everything else (attention, RevIN,
+    /// element-wise ops) stays f32. Inference-only: training executors
+    /// reject int8 plans.
+    Int8,
+}
+
 /// How to treat the symbolic graph's constant leaves during lowering.
 #[derive(Clone, Debug, Default)]
 pub struct PlanSpec {
@@ -96,6 +113,9 @@ pub struct PlanSpec {
     /// Labels (with epsilon) of `[1, N]` constant leaves lowered to a
     /// per-column standard deviation of the input (RevIN `std`).
     pub col_std_leaves: Vec<(String, f32)>,
+    /// Executor precision mode for weight matmuls; compiled into the plan
+    /// so executors bound later replay the same numeric contract.
+    pub precision: Precision,
 }
 
 /// The executable operation of one schedule step.
@@ -907,6 +927,15 @@ enum ExecOp {
         k: usize,
         n: usize,
     },
+    /// Int8 weight matmul: activations from `srcs[0]` are row-quantized
+    /// into executor scratch and contracted against `qweights[w]` with i32
+    /// accumulation; `srcs[1]` (the f32 param) is not read at run time.
+    QuantMatmul {
+        m: usize,
+        k: usize,
+        n: usize,
+        w: usize,
+    },
     CopyReshape,
     Permute {
         strides: Vec<usize>,
@@ -960,6 +989,16 @@ pub struct PlanExecutor {
     attn_scores: Vec<f32>,
     attn_map: Vec<f32>,
     attn_stats: Vec<f32>,
+    /// SIMD mode, resolved once at construction (reading the env may
+    /// allocate; the plan loop must not).
+    pub(crate) simd: bool,
+    /// Weights quantized at bind time for `QuantMatmul` steps (int8
+    /// plans only; empty otherwise).
+    qweights: Vec<QuantizedMatrix>,
+    /// Per-run activation-quantization scratch: int8 codes.
+    q_codes: Vec<i8>,
+    /// Per-run activation-quantization scratch: per-row scales.
+    q_scales: Vec<f32>,
 }
 
 /// Effective stride of `src` (aligned to the trailing axes of `out`) along
@@ -1046,6 +1085,15 @@ impl PlanExecutor {
 
         let mut exec = Vec::with_capacity(plan.steps().len());
         let (mut kt_len, mut vt_len, mut sc_len, mut map_len, mut st_len) = (0, 0, 0, 0, 0);
+        // Int8 plans quantize parameters that feed Matmul2d steps at bind
+        // time. Inference-only: a training plan's backward pass reads the
+        // f32 weights, so quantization is limited to forward-only plans
+        // (TrainExecutor rejects int8 specs outright).
+        let quantize = plan.spec().precision == Precision::Int8 && plan.bwd_steps().is_empty();
+        let mut qweights: Vec<QuantizedMatrix> = Vec::new();
+        let (mut qx_len, mut qs_len) = (0usize, 0usize);
+        let mut param_uses = vec![0usize; params.len()];
+        let mut param_quant_uses = vec![0usize; params.len()];
         for step in plan.steps() {
             let out_v = &plan.values()[step.output];
             let Loc::Arena {
@@ -1061,6 +1109,9 @@ impl PlanExecutor {
             let mut srcs = [Loc::Input; 3];
             for (i, &vid) in step.inputs.iter().enumerate().take(3) {
                 srcs[i] = loc_of(vid)?;
+                if let Loc::Param { idx } = srcs[i] {
+                    param_uses[idx] += 1;
+                }
                 // The executor's raw-pointer split of the arena is sound
                 // only because inputs never alias the output; reject any
                 // plan where they would (a verified plan never does).
@@ -1107,10 +1158,16 @@ impl PlanExecutor {
                 }
                 PlanOp::Matmul2d => {
                     let (a, b) = (in_dims(0), in_dims(1));
-                    ExecOp::Matmul {
-                        m: a[0],
-                        k: a[1],
-                        n: b[1],
+                    let (m, k, n) = (a[0], a[1], b[1]);
+                    if let (true, Loc::Param { idx }) = (quantize, srcs[1]) {
+                        param_quant_uses[idx] += 1;
+                        qx_len = qx_len.max(m * k);
+                        qs_len = qs_len.max(m);
+                        let w = qweights.len();
+                        qweights.push(QuantizedMatrix::quantize(&params[idx], k, n));
+                        ExecOp::QuantMatmul { m, k, n, w }
+                    } else {
+                        ExecOp::Matmul { m, k, n }
                     }
                 }
                 PlanOp::Reshape => ExecOp::CopyReshape,
@@ -1174,6 +1231,15 @@ impl PlanExecutor {
             return Err(PlanError::new("plan root is not arena-backed".to_string()));
         };
 
+        // A parameter whose every use was lowered to a quantized matmul is
+        // dead in f32 form — drop the copy so the int8 executor actually
+        // shrinks its resident footprint.
+        for (idx, p) in params.iter_mut().enumerate() {
+            if param_quant_uses[idx] > 0 && param_quant_uses[idx] == param_uses[idx] {
+                *p = Vec::new();
+            }
+        }
+
         let target_len = plan.target().map_or(0, |vid| plan.values()[vid].len());
         Ok(PlanExecutor {
             exec,
@@ -1188,7 +1254,26 @@ impl PlanExecutor {
             attn_scores: vec![0.0f32; sc_len],
             attn_map: vec![0.0f32; map_len],
             attn_stats: vec![0.0f32; 2 * st_len],
+            // Resolved once here: the first env read may allocate, and the
+            // plan loop must stay allocation-free.
+            simd: crate::simd::simd_enabled(),
+            qweights,
+            q_codes: vec![0i8; qx_len],
+            q_scales: vec![0.0f32; qs_len],
         })
+    }
+
+    /// Resident parameter bytes: live f32 copies plus quantized weights
+    /// (codes + scales). For an int8 plan this is what the student actually
+    /// keeps in memory after bind-time quantization.
+    pub fn param_bytes(&self) -> usize {
+        let f32_bytes: usize = self
+            .params
+            .iter()
+            .map(|p| p.len() * std::mem::size_of::<f32>())
+            .sum();
+        let q_bytes: usize = self.qweights.iter().map(|q| q.bytes()).sum();
+        f32_bytes + q_bytes
     }
 
     /// Element count the input slice must have.
@@ -1216,6 +1301,7 @@ impl PlanExecutor {
         let arena_ptr = self.arena.as_mut_ptr();
         let params = &self.params;
         let target = &self.target;
+        let simd = self.simd;
         for step in &self.exec {
             // SAFETY: `arena` is allocated to `plan.arena_len()` and every
             // `Loc::Arena` range was bounds-checked at construction; the
@@ -1315,7 +1401,29 @@ impl PlanExecutor {
                 }
                 ExecOp::Matmul { m, k, n } => {
                     out.fill(0.0);
-                    mm_row_block(src(0), src(1), out, 0, *m, *k, *n);
+                    mm_row_block(src(0), src(1), out, 0, *m, *k, *n, simd);
+                }
+                ExecOp::QuantMatmul { m, k, n, w } => {
+                    let (m, k, n) = (*m, *k, *n);
+                    quantize_rows_block(
+                        src(0),
+                        &mut self.q_codes[..m * k],
+                        &mut self.q_scales[..m],
+                        m,
+                        k,
+                    );
+                    let qw = &self.qweights[*w];
+                    qmm_row_block(
+                        &self.q_codes[..m * k],
+                        &self.q_scales[..m],
+                        qw.codes(),
+                        qw.scales(),
+                        out,
+                        0,
+                        m,
+                        k,
+                        n,
+                    );
                 }
                 ExecOp::CopyReshape => {
                     out.copy_from_slice(src(0));
@@ -1373,6 +1481,7 @@ impl PlanExecutor {
                         *tk,
                         *dh,
                         *scale,
+                        simd,
                     );
                 }
                 ExecOp::ColMean { t, n } => {
@@ -1434,6 +1543,7 @@ mod tests {
             input_label: "x".to_string(),
             col_mean_leaves: Vec::new(),
             col_std_leaves: Vec::new(),
+            precision: Precision::F32,
         }
     }
 
@@ -1540,6 +1650,7 @@ mod tests {
             input_label: "x".to_string(),
             col_mean_leaves: vec!["mu".to_string()],
             col_std_leaves: vec![("std".to_string(), 1e-5)],
+            precision: Precision::F32,
         };
         let plan = Plan::compile(&root, &spec).unwrap();
         let stat_steps = plan.steps().iter().filter(|s| s.sym_id.is_none()).count();

@@ -36,7 +36,7 @@ use crate::ops::attention::{attn_bwd_dkv_block, attn_bwd_dq_block, attn_fwd_row_
 use crate::ops::matmul::{mm_nt_row_block, mm_row_block, pack_transpose_into};
 use crate::plan::{
     assign_slots, eff_strides, lower_forward, BinKind, Loc, Plan, PlanError, PlanExecutor, PlanOp,
-    PlanSlot, PlanSpec, PlanValue, ValueId, ValueSource, MAX_PLAN_RANK,
+    PlanSlot, PlanSpec, PlanValue, Precision, ValueId, ValueSource, MAX_PLAN_RANK,
 };
 use crate::symbolic::SymbolicTensor;
 
@@ -586,6 +586,11 @@ impl TrainExecutor {
                 "plan has no reverse schedule; use Plan::compile_training",
             ));
         }
+        if plan.spec().precision == Precision::Int8 {
+            return Err(PlanError::new(
+                "int8 plans are inference-only: the backward pass reads f32 weights",
+            ));
+        }
         let optimizer = *plan
             .optimizer()
             .ok_or_else(|| PlanError::new("training plan has no optimizer"))?;
@@ -941,6 +946,7 @@ impl TrainExecutor {
         } = self;
         let params = &fwd.params;
         let target = &fwd.target;
+        let simd = fwd.simd;
         let arena = &mut fwd.arena;
         for step in bwd.iter() {
             {
@@ -1087,7 +1093,7 @@ impl TrainExecutor {
                             // serial path.
                             let b = resolve(step.srcs[1], arena_r, params, input, target);
                             sa.fill(0.0);
-                            mm_nt_row_block(g, b, sa, 0, *m, *n, *k);
+                            mm_nt_row_block(g, b, sa, 0, *m, *n, *k, simd);
                         }
                         if wb {
                             // dB = Aᵀ · g via the same packed-transpose +
@@ -1096,7 +1102,7 @@ impl TrainExecutor {
                             let at = &mut at_buf[..m * k];
                             pack_transpose_into(a, at, *m, *k);
                             sb.fill(0.0);
-                            mm_row_block(at, g, sb, 0, *k, *m, *n);
+                            mm_row_block(at, g, sb, 0, *k, *m, *n, simd);
                         }
                     }
                     BwdExecOp::PermuteInv { strides, dims } => {
@@ -1164,6 +1170,7 @@ impl TrainExecutor {
                             *tk,
                             *dh,
                             *scale,
+                            simd,
                         );
                         // Pass A: dQ plus the saved P/dS row maps, one
                         // full-range block per head (bitwise equal to any
@@ -1191,6 +1198,7 @@ impl TrainExecutor {
                                 *tk,
                                 *dh,
                                 *scale,
+                                simd,
                             );
                         }
                         // Pass B: dK/dV from the saved row maps.
@@ -1211,6 +1219,7 @@ impl TrainExecutor {
                                 *tq,
                                 *tk,
                                 *dh,
+                                simd,
                             );
                         }
                     }
@@ -1297,6 +1306,7 @@ mod tests {
             input_label: "x".to_string(),
             col_mean_leaves: Vec::new(),
             col_std_leaves: Vec::new(),
+            precision: Precision::F32,
         }
     }
 

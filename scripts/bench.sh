@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Perf-baseline smoke gate: runs the kernel bench bin on the QUICK profile
 # into a scratch directory, then re-invokes it with --validate to check the
-# emitted JSON against the timekd-kernel-bench/v4 schema (which requires
-# the planned_training section — the planned-vs-dynamic full training
-# step). Fails if the bin crashes, emits nothing, or emits a file that
-# does not conform.
+# emitted JSON against the timekd-kernel-bench/v5 schema (which requires
+# the simd-vs-scalar kernel columns and the quantized_student section —
+# int8 weights vs the f32 plan, accuracy-gated inside the bin itself).
+# Fails if the bin crashes, trips the quantization MSE gate, emits
+# nothing, or emits a file that does not conform.
 #
 # Full (committed) baselines are produced by running with QUICK=0 and with
 # no TIMEKD_BENCH_DIR override, which writes BENCH_<unix-seconds>.json at

@@ -30,6 +30,12 @@ cargo build --release --workspace
 echo "==> tests"
 cargo test -q --workspace
 
+echo "==> tensor tests under the scalar fallback (TIMEKD_SIMD=off)"
+# The f32x8 microkernels ship with a scalar fallback pinned to its own
+# reduction order; run the tensor suite once in that mode so the fallback
+# (and its determinism contract) stays green.
+TIMEKD_SIMD=off cargo test -q -p timekd-tensor
+
 echo "==> bench smoke (QUICK kernel bench + schema validation)"
 # Explicit propagation: a validator failure inside the smoke must fail CI
 # even if this script is ever sourced or run without `set -e` semantics.
