@@ -348,7 +348,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Checks a parsed document against the `timekd-kernel-bench/v5` schema
+/// Checks a parsed document against the `timekd-kernel-bench/v6` schema
 /// emitted by `cargo run -p timekd-bench --bin kernels`. Returns every
 /// problem found (not just the first) so a broken baseline is diagnosable
 /// in one pass.
@@ -435,10 +435,47 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
         need_num(&format!("quantized_student.{key}"));
     }
 
+    // v6: the batched-training section — one row per micro-batch size
+    // comparing the per-window planned epoch against the data-parallel
+    // batched replay with pinned window-order gradient reduction.
+    match doc.get("batched_training").map(Json::as_arr) {
+        Some(Some(rows)) if !rows.is_empty() => {
+            for (i, row) in rows.iter().enumerate() {
+                if row.get("name").and_then(Json::as_str).is_none() {
+                    problems.push(format!(
+                        "`batched_training[{i}].name` missing or not a string"
+                    ));
+                }
+                for key in [
+                    "micro_batch",
+                    "input_len",
+                    "horizon",
+                    "num_vars",
+                    "windows",
+                    "iters",
+                    "epoch_per_window_ms",
+                    "epoch_batched_ms",
+                    "speedup_batched",
+                    "reduce_steps",
+                    "update_steps",
+                ] {
+                    match row.get(key).map(Json::as_num) {
+                        Some(Some(v)) if v.is_finite() => {}
+                        _ => problems.push(format!(
+                            "`batched_training[{i}].{key}` missing or not finite"
+                        )),
+                    }
+                }
+            }
+        }
+        Some(Some(_)) => problems.push("`batched_training` must be a non-empty array".to_string()),
+        _ => problems.push("missing key `batched_training`".to_string()),
+    }
+
     match doc.get("schema").map(Json::as_str) {
-        Some(Some("timekd-kernel-bench/v5")) => {}
+        Some(Some("timekd-kernel-bench/v6")) => {}
         Some(other) => problems.push(format!(
-            "`schema` must be \"timekd-kernel-bench/v5\", got {other:?}"
+            "`schema` must be \"timekd-kernel-bench/v6\", got {other:?}"
         )),
         None => problems.push("missing key `schema`".to_string()),
     }
@@ -544,7 +581,7 @@ mod tests {
     #[test]
     fn roundtrip_bench_shape() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v5")),
+            ("schema", Json::str("timekd-kernel-bench/v6")),
             ("created_unix_s", Json::num(1_722_000_000.0)),
             ("quick", Json::Bool(true)),
             (
@@ -568,7 +605,7 @@ mod tests {
         );
         assert_eq!(
             parsed.get_path("schema").and_then(Json::as_str),
-            Some("timekd-kernel-bench/v5")
+            Some("timekd-kernel-bench/v6")
         );
     }
 
@@ -690,8 +727,23 @@ mod tests {
         ];
         let quant_row: Vec<(&str, Json)> =
             quant_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
+        let batched_keys = [
+            "micro_batch",
+            "input_len",
+            "horizon",
+            "num_vars",
+            "windows",
+            "iters",
+            "epoch_per_window_ms",
+            "epoch_batched_ms",
+            "speedup_batched",
+            "reduce_steps",
+            "update_steps",
+        ];
+        let mut batched_row = vec![("name", Json::str("batched_b4"))];
+        batched_row.extend(batched_keys.iter().map(|k| (*k, Json::num(1.0))));
         Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v5")),
+            ("schema", Json::str("timekd-kernel-bench/v6")),
             (
                 "notes",
                 Json::Arr(vec![Json::str("partition-granularity fix")]),
@@ -710,6 +762,7 @@ mod tests {
             ("planned_student", Json::obj(planned_row)),
             ("planned_training", Json::obj(training_row)),
             ("quantized_student", Json::obj(quant_row)),
+            ("batched_training", Json::Arr(vec![Json::obj(batched_row)])),
             (
                 "end_to_end",
                 Json::obj(vec![
@@ -888,9 +941,14 @@ mod tests {
 
     #[test]
     fn validator_rejects_stale_schema_strings() {
-        // The schema bump is load-bearing: an old v3 or v4 baseline must
-        // be rejected by name even if it were otherwise field-complete.
-        for stale in ["timekd-kernel-bench/v3", "timekd-kernel-bench/v4"] {
+        // The schema bump is load-bearing: an old v3, v4, or v5 baseline
+        // must be rejected by name even if it were otherwise
+        // field-complete.
+        for stale in [
+            "timekd-kernel-bench/v3",
+            "timekd-kernel-bench/v4",
+            "timekd-kernel-bench/v5",
+        ] {
             let mut doc = minimal_valid_doc();
             if let Json::Obj(pairs) = &mut doc {
                 if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "schema") {
@@ -899,8 +957,58 @@ mod tests {
             }
             let problems = validate_kernel_bench(&doc).expect_err("must fail");
             assert_eq!(problems.len(), 1, "{stale}: {problems:?}");
-            assert!(problems[0].contains("timekd-kernel-bench/v5"), "{stale}");
+            assert!(problems[0].contains("timekd-kernel-bench/v6"), "{stale}");
         }
+    }
+
+    #[test]
+    fn validator_requires_batched_training_section() {
+        // v6 gate: a v5-shaped doc (no batched_training) must fail with a
+        // missing-section diagnostic.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "batched_training");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(
+            problems,
+            vec!["missing key `batched_training`".to_string()],
+            "{problems:?}"
+        );
+
+        // An empty array is just as stale as a missing one.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            if let Some((_, v)) = pairs.iter_mut().find(|(k, _)| k == "batched_training") {
+                *v = Json::Arr(vec![]);
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(
+            problems,
+            vec!["`batched_training` must be a non-empty array".to_string()]
+        );
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_batched_field() {
+        let mut doc = minimal_valid_doc();
+        if let Some(Json::Arr(rows)) = match &mut doc {
+            Json::Obj(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "batched_training")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Json::Obj(row) = &mut rows[0] {
+                if let Some((_, v)) = row.iter_mut().find(|(k, _)| k == "speedup_batched") {
+                    *v = Json::str("fast");
+                }
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("batched_training[0].speedup_batched"));
     }
 
     #[test]

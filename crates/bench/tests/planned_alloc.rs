@@ -14,9 +14,17 @@
 //! the global counters. A plain single-threaded `main` makes the
 //! measurement window deterministic.
 
-use timekd::{PlannedStudent, PlannedTrainer, Student, TimeKdConfig};
+use std::collections::HashMap;
+
+use timekd::{
+    compile_student_training_plan_batched, trace_student_loss, PlannedStudent, PlannedTrainer,
+    Student, TimeKdConfig,
+};
 use timekd_bench::PeakAlloc;
-use timekd_tensor::{seeded_rng, PlanOptimizer, Tensor};
+use timekd_nn::Module;
+use timekd_tensor::{
+    parallel::with_threads, seeded_rng, BatchTrainExecutor, PlanOptimizer, Tensor,
+};
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc::new();
@@ -94,4 +102,80 @@ fn main() {
     println!(
         "planned_alloc: 64 planned_train_step calls, zero heap movement ({live_before} live bytes)"
     );
+
+    // Same proof for the *batched* training path: staging every lane plus
+    // the data-parallel replay, pinned window-order reduction, and fused
+    // update must all run from pre-sized per-lane arenas. Forced onto the
+    // serial fold (`with_threads(1)`) so pool job bookkeeping — which is
+    // outside the plan's zero-alloc promise — stays out of the window.
+    let batch = 4;
+    let plan = compile_student_training_plan_batched(
+        &config,
+        input_len,
+        horizon,
+        num_vars,
+        PlanOptimizer::AdamW {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        },
+        batch,
+    )
+    .expect("batched training plan compiles");
+    let (ctx, _) =
+        trace_student_loss(&config, input_len, horizon, num_vars).expect("student loss traces");
+    let by_label: HashMap<String, Tensor> = ctx
+        .params()
+        .iter()
+        .zip(student.params())
+        .map(|(sym, real)| (sym.label().to_string(), real.clone()))
+        .collect();
+    let mut exec = BatchTrainExecutor::new(&plan, |label, dims| {
+        by_label
+            .get(label)
+            .filter(|t| t.dims() == dims)
+            .map(|t| t.data().clone())
+    })
+    .expect("batched executor binds");
+    let ys: Vec<Tensor> = (0..batch)
+        .map(|_| Tensor::randn([horizon, num_vars], 0.5, &mut rng))
+        .collect();
+
+    with_threads(1, || {
+        // Warm-up batch outside the window.
+        for (lane, y) in ys.iter().enumerate() {
+            exec.stage_window(lane, &x.data(), &y.data());
+        }
+        exec.run_batch(batch);
+
+        let live_before = ALLOC.live_bytes();
+        ALLOC.reset_peak();
+        for _ in 0..64 {
+            for (lane, y) in ys.iter().enumerate() {
+                exec.stage_window(lane, &x.data(), &y.data());
+            }
+            exec.run_batch(batch);
+        }
+        let live_after = ALLOC.live_bytes();
+        let peak_after = ALLOC.peak_bytes();
+
+        assert_eq!(
+            live_after, live_before,
+            "batched training step must not leak or allocate"
+        );
+        assert_eq!(
+            peak_after, live_before,
+            "batched training step must not allocate even transiently"
+        );
+        assert!(
+            (0..batch).all(|w| exec.lane_loss(w).is_finite()),
+            "batched lane losses must be finite"
+        );
+        println!(
+            "planned_alloc: 64 batched run_batch calls (B={batch}), zero heap movement \
+             ({live_before} live bytes)"
+        );
+    });
 }

@@ -19,7 +19,11 @@
 //!   the chained backward passes: adjoint completeness (frozen parameters
 //!   provably receive no update), reverse-topological validity,
 //!   saved-activation liveness over the combined forward+backward
-//!   timeline, and a bitwise plan-vs-dynamic training diff.
+//!   timeline, and a bitwise plan-vs-dynamic training diff. Batched
+//!   training plans get two further static passes: batch-reduction
+//!   completeness (every trained gradient folded into lane 0 exactly
+//!   once per extra window, in the pinned window order) and per-lane
+//!   arena disjointness.
 //!
 //! Modifiers: `--json` renders the verifier report as stable, diffable
 //! JSON; `--strict` turns stale-allowlist warnings into failures.

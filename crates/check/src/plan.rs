@@ -57,6 +57,22 @@
 //!    bitwise-identical parameters vs the dynamic `Student` training
 //!    idiom under the same optimizer.
 //!
+//! ## Batched plans
+//!
+//! Plans compiled by `Plan::compile_training_batched` get two more static
+//! passes over their batch metadata, run against both the per-window
+//! training plan (where the metadata must be vacuous) and a `B = 4`
+//! batched compile of the same configuration:
+//!
+//! 9. **batch-reduction** — re-derive the full pinned reduction sequence
+//!    from the update schedule (source lanes `1..B` ascending, update
+//!    order within a lane) and require the plan's
+//!    [`ReduceStep`](timekd_tensor::ReduceStep) list to
+//!    match it exactly, so every trained gradient is folded into lane 0
+//!    exactly once per extra window and in the deterministic order.
+//! 10. **lane-disjoint** — require the per-lane arena stride to cover a
+//!     full arena, so no two lanes' gradient buffers can alias.
+//!
 //! Each pass has a fault-injection test (via
 //! [`PlanFault`](timekd_tensor::PlanFault)) proving it actually fires.
 
@@ -177,7 +193,7 @@ pub fn check_topo_validity(plan: &Plan, config: &str) -> Vec<Finding> {
         for &v in &step.inputs {
             let external = matches!(
                 vals[v].source,
-                ValueSource::Input | ValueSource::Param | ValueSource::Target
+                ValueSource::Input | ValueSource::Param | ValueSource::Target | ValueSource::Aux(_)
             );
             if !external && !produced[v] {
                 out.push(finding(
@@ -807,6 +823,100 @@ pub fn check_saved_liveness(plan: &Plan, config: &str) -> Vec<Finding> {
     out
 }
 
+/// Pass 9: batch-reduction completeness. Per-window plans must carry no
+/// batch metadata at all; batched plans must reduce every trained
+/// gradient into lane 0 exactly once per extra lane, in the pinned order
+/// (ascending source lane — i.e. window index — first, update-schedule
+/// order within a lane). The expected sequence is re-derived from the
+/// update schedule; the compiler's list is only compared against it.
+pub fn check_batch_reduction(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let batch = plan.batch();
+    if batch == 0 {
+        if !plan.reduce_steps().is_empty() {
+            out.push(finding(
+                "batch-reduction",
+                config,
+                format!(
+                    "per-window plan carries {} reduce step(s); it must carry none",
+                    plan.reduce_steps().len()
+                ),
+            ));
+        }
+        if plan.lane_stride() != 0 {
+            out.push(finding(
+                "batch-reduction",
+                config,
+                format!(
+                    "per-window plan declares a lane stride of {}; it must declare none",
+                    plan.lane_stride()
+                ),
+            ));
+        }
+        return out;
+    }
+    let expected: Vec<(usize, usize)> = (1..batch)
+        .flat_map(|lane| plan.update_steps().iter().map(move |u| (lane, u.grad)))
+        .collect();
+    let actual: Vec<(usize, usize)> = plan
+        .reduce_steps()
+        .iter()
+        .map(|r| (r.src_lane, r.grad))
+        .collect();
+    if actual.len() != expected.len() {
+        out.push(finding(
+            "batch-reduction",
+            config,
+            format!(
+                "batched plan (B={batch}) records {} reduce step(s); the update schedule \
+                 implies {} (one per trained gradient per extra lane)",
+                actual.len(),
+                expected.len()
+            ),
+        ));
+        return out;
+    }
+    for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+        if a != e {
+            let vals = plan.values();
+            out.push(finding(
+                "batch-reduction",
+                config,
+                format!(
+                    "reduce step {i} folds `{}` from lane {}, but the pinned order \
+                     requires `{}` from lane {}",
+                    vals[a.1].label, a.0, vals[e.1].label, e.0
+                ),
+            ));
+            return out;
+        }
+    }
+    out
+}
+
+/// Pass 10: per-lane arena disjointness. A batched plan replays one lane
+/// per window; the declared lane stride must cover a full arena so no
+/// two lanes' buffers can alias.
+pub fn check_lane_disjointness(plan: &Plan, config: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if plan.batch() == 0 {
+        return out;
+    }
+    if plan.lane_stride() < plan.arena_len() {
+        out.push(finding(
+            "lane-disjoint",
+            config,
+            format!(
+                "lane stride {} is smaller than the {}-element arena: adjacent lanes \
+                 would alias",
+                plan.lane_stride(),
+                plan.arena_len()
+            ),
+        ));
+    }
+    out
+}
+
 /// The chained backward verification: completeness, then reverse-topo,
 /// then saved-liveness — each pass runs only when every earlier backward
 /// pass came back clean, so the first firing pass names the fault class
@@ -1018,6 +1128,25 @@ pub fn verify_plan_config(
     out.extend(check_arena_bound(&train_plan, label));
     out.extend(check_graph_diff(&train_plan, &loss, label));
     out.extend(verify_backward_chain(&train_plan, label));
+
+    // Batch metadata: vacuous on the per-window plan, then fully proven
+    // on a B=4 batched compile of the same configuration.
+    out.extend(check_batch_reduction(&train_plan, label));
+    out.extend(check_lane_disjointness(&train_plan, label));
+    let batched = match Plan::compile_training_batched(
+        &loss,
+        &student_plan_spec(),
+        &student_train_spec(verification_optimizer()),
+        4,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            out.push(finding("plan-compile", label, e.message));
+            return out;
+        }
+    };
+    out.extend(check_batch_reduction(&batched, label));
+    out.extend(check_lane_disjointness(&batched, label));
     out
 }
 
@@ -1194,6 +1323,14 @@ pub fn verify_plans() -> PlanReport {
             format!(
                 "planned training steps are bitwise identical to dynamic Student \
                  training ({g}/{g} student geometries)"
+            ),
+            format!(
+                "every trained gradient is reduced into lane 0 exactly once per extra \
+                 lane, in the pinned window order (B=4, {n}/{n} configs)"
+            ),
+            format!(
+                "per-lane gradient arenas are disjoint: the lane stride covers a full \
+                 arena ({n}/{n} configs)"
             ),
         ];
     }
@@ -1380,6 +1517,68 @@ mod tests {
             );
             let fs = verify_backward_chain(&plan, "t");
             assert!(!fs.is_empty(), "{fault:?} was not caught by the chain");
+            assert!(
+                fs.iter().all(|f| f.kind == owner),
+                "{fault:?} expected only `{owner}` findings, got {fs:?}"
+            );
+        }
+    }
+
+    fn tiny_batched_plan(batch: usize) -> Plan {
+        let (_ctx, loss) = trace_student_loss(&tiny_cfg(), 24, 8, 3).unwrap();
+        Plan::compile_training_batched(
+            &loss,
+            &student_plan_spec(),
+            &student_train_spec(verification_optimizer()),
+            batch,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_batched_plans_pass_batch_passes() {
+        for batch in [1, 4] {
+            let plan = tiny_batched_plan(batch);
+            let mut fs = check_batch_reduction(&plan, "t");
+            fs.extend(check_lane_disjointness(&plan, "t"));
+            assert!(fs.is_empty(), "B={batch}: {fs:?}");
+        }
+        // Per-window plans must be vacuously clean: no batch metadata.
+        let plan = tiny_train_plan();
+        let mut fs = check_batch_reduction(&plan, "t");
+        fs.extend(check_lane_disjointness(&plan, "t"));
+        assert!(fs.is_empty(), "per-window: {fs:?}");
+    }
+
+    #[test]
+    fn batch_fault_isolation_matrix() {
+        // Each batch fault is caught by exactly its owning pass, and by no
+        // forward, backward, or sibling batch pass.
+        let cfg = tiny_cfg();
+        let (_ctx, loss) = trace_student_loss(&cfg, 24, 8, 3).unwrap();
+        let owners = [
+            (PlanFault::DropReduceStep, "batch-reduction"),
+            (PlanFault::OverlapLaneArenas, "lane-disjoint"),
+        ];
+        for (fault, owner) in owners {
+            let mut plan = Plan::compile_training_batched(
+                &loss,
+                &student_plan_spec(),
+                &student_train_spec(verification_optimizer()),
+                4,
+            )
+            .unwrap();
+            plan.inject_fault(fault);
+            let mut other = all_static_passes(&plan);
+            other.extend(check_graph_diff(&plan, &loss, "t"));
+            other.extend(verify_backward_chain(&plan, "t"));
+            assert!(
+                other.is_empty(),
+                "{fault:?} leaked into a non-batch pass: {other:?}"
+            );
+            let mut fs = check_batch_reduction(&plan, "t");
+            fs.extend(check_lane_disjointness(&plan, "t"));
+            assert!(!fs.is_empty(), "{fault:?} was not caught");
             assert!(
                 fs.iter().all(|f| f.kind == owner),
                 "{fault:?} expected only `{owner}` findings, got {fs:?}"

@@ -1,0 +1,39 @@
+// Lint fixture (never compiled): forbidden constructs inside the batched
+// executor's reduction and fan-out hot paths. In plan_batch.rs the
+// *-in-plan-loop rules cover `*_plan_loop` AND `*_block` fns. Line
+// numbers matter — trip.rs asserts them.
+fn reduce_plan_loop(&mut self, count: usize) {
+    let mut order = vec![0usize; count];
+    order.push(count);
+    let first = self.reduce.first().unwrap();
+    let _span = timekd_obs::span("plan.reduce");
+    for r in &self.reduce {
+        order[0] += r.len;
+    }
+}
+
+fn replay_lanes_block(&mut self, count: usize) {
+    // Fan-out blocks are held to the same contract in this module.
+    let shards = self.lanes.to_vec();
+    let _ = (shards, count);
+}
+
+fn bind_batched(plan: &Plan) -> Vec<f32> {
+    // Bind-time code is not a plan loop: allocation, expect and spans
+    // are all legal here.
+    let _span = timekd_obs::span("plan.bind");
+    let mut m = Vec::with_capacity(plan.len());
+    m.push(0.0);
+    plan.first().expect("non-empty plan");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper_reduce_plan_loop() {
+        // Inside a test module the same constructs are exempt.
+        let g = vec![0.0f32].first().copied().unwrap();
+        let _span = timekd_obs::span("exempt");
+        let _ = g;
+    }
+}

@@ -652,6 +652,110 @@ pub fn trace_student_loss(
     Ok((ctx, loss))
 }
 
+/// Label of the auxiliary constant carrying the teacher attention `A_PE`
+/// `[N, N]` in [`trace_student_objective`]. Fed per window at run time via
+/// the plan executor's aux slots.
+pub const TEACHER_ATT_LABEL: &str = "teacher_att";
+/// Label of the auxiliary constant carrying the teacher embedding `E_GT`
+/// `[N, D]` in [`trace_student_objective`].
+pub const TEACHER_EMB_LABEL: &str = "teacher_emb";
+
+/// The full student objective (Alg. 2, Eq. 29–30) traced for plan
+/// compilation: `λ_p·(λ_c·L_cd + λ_e·L_fd) + λ_f·L_fcst` with the teacher's
+/// privileged products as auxiliary *constants* instead of detached graph
+/// tensors (the plan compiler has no lowering for detach-derived leaves,
+/// and the real trainer runs the teacher under `no_grad` anyway, so a
+/// constant is the faithful mirror).
+#[derive(Debug)]
+pub struct StudentObjectiveTrace {
+    /// The tracing context (student parameter registry).
+    pub ctx: SymCtx,
+    /// The total-loss root.
+    pub loss: SymbolicTensor,
+    /// `L_cd` scalar, absent when ablated (the zero term is skipped
+    /// structurally — adding an exact `+0` is a bitwise no-op on the
+    /// non-negative remaining losses, so values still match the dynamic
+    /// path bit for bit).
+    pub correlation: Option<SymbolicTensor>,
+    /// `L_fd` scalar, absent when ablated.
+    pub feature: Option<SymbolicTensor>,
+    /// `L_fcst` scalar (always present).
+    pub forecast: SymbolicTensor,
+}
+
+/// Traces the complete student training objective against auxiliary
+/// teacher-product constants ([`TEACHER_ATT_LABEL`], [`TEACHER_EMB_LABEL`]).
+/// Ablated distillation arms are skipped structurally, so only the leaves a
+/// configuration actually consumes appear in the graph.
+pub fn trace_student_objective(
+    config: &TimeKdConfig,
+    input_len: usize,
+    horizon: usize,
+    num_vars: usize,
+) -> Result<StudentObjectiveTrace, ShapeError> {
+    let ab = config.ablation;
+    let ctx = SymCtx::new();
+    let student = SymStudent::new(
+        &ctx,
+        "student",
+        config,
+        input_len,
+        horizon,
+        num_vars,
+        Fault::None,
+    );
+    let x = ctx.constant(
+        "x",
+        vec![SymDim::new("L", input_len), SymDim::new("N", num_vars)],
+    );
+    let y = ctx.constant(
+        "y",
+        vec![SymDim::new("M", horizon), SymDim::new("N", num_vars)],
+    );
+    let out = student.forward(&x)?;
+    let correlation = if ab.correlation_distillation {
+        let t_att = ctx.constant(
+            TEACHER_ATT_LABEL,
+            vec![SymDim::new("N", num_vars), SymDim::new("N", num_vars)],
+        );
+        Some(sym_smooth_l1_loss(&out.attention, &t_att)?)
+    } else {
+        None
+    };
+    let feature = if ab.feature_distillation {
+        let t_emb = ctx.constant(
+            TEACHER_EMB_LABEL,
+            vec![SymDim::new("N", num_vars), SymDim::new("D", config.dim)],
+        );
+        Some(sym_smooth_l1_loss(&out.embedding, &t_emb)?)
+    } else {
+        None
+    };
+    let forecast = sym_smooth_l1_loss(&out.forecast, &y)?;
+    let combined = match (&correlation, &feature) {
+        (Some(c), Some(f)) => Some(
+            c.mul_scalar(config.lambda_cd)
+                .add(&f.mul_scalar(config.lambda_fd))?,
+        ),
+        (Some(c), None) => Some(c.mul_scalar(config.lambda_cd)),
+        (None, Some(f)) => Some(f.mul_scalar(config.lambda_fd)),
+        (None, None) => None,
+    };
+    let loss = match &combined {
+        Some(cmb) => cmb
+            .mul_scalar(config.lambda_pkd)
+            .add(&forecast.mul_scalar(config.lambda_fcst))?,
+        None => forecast.mul_scalar(config.lambda_fcst),
+    };
+    Ok(StudentObjectiveTrace {
+        ctx,
+        loss,
+        correlation,
+        feature,
+        forecast,
+    })
+}
+
 /// Traces only the student *inference* path — `student(x).forecast` with no
 /// loss on top. This is the graph the plan compiler lowers into a static
 /// execution plan, so its root must be exactly what `Student::predict`

@@ -6,11 +6,12 @@ use std::rc::Rc;
 use timekd_data::{ForecastWindow, WindowPrompts};
 use timekd_lm::{pretrain_lm, FrozenLm, PretrainConfig, PromptTokenizer};
 use timekd_nn::{clip_grad_norm, smooth_l1_loss, AdamW, AdamWConfig, Module};
-use timekd_tensor::{seeded_rng, Tensor};
+use timekd_tensor::{seeded_rng, PlanOptimizer, Tensor};
 
 use crate::config::TimeKdConfig;
 use crate::distill::pkd_losses;
 use crate::forecaster::Forecaster;
+use crate::plan::PlannedBatchTrainer;
 use crate::student::Student;
 use crate::teacher::{render_prompts, CrossModalityTeacher};
 
@@ -40,6 +41,10 @@ pub struct TimeKd {
     student: Student,
     optimizer: AdamW,
     warmup_done: bool,
+    /// The batched planned student trainer, built lazily on the first
+    /// student epoch and reused for every following one (it owns the
+    /// fused AdamW moment state, so it must survive across epochs).
+    planned: Option<PlannedBatchTrainer>,
 }
 
 impl TimeKd {
@@ -90,6 +95,7 @@ impl TimeKd {
             student,
             optimizer,
             warmup_done: false,
+            planned: None,
         }
     }
 
@@ -183,9 +189,100 @@ impl TimeKd {
     /// **Algorithm 2** + Eq. 29: one pass training the student on
     /// `λ_p·(λ_c·L_cd + λ_e·L_fd) + λ_f·L_fcst` against the (frozen for
     /// this pass) teacher's privileged outputs.
+    ///
+    /// The whole step — forward, backward, gradient reduction, clipping,
+    /// fused AdamW — replays a compiled batched training plan
+    /// ([`PlannedBatchTrainer`]): windows are processed in micro-batches
+    /// of [`TimeKdConfig::micro_batch`] with one optimizer step per batch.
+    /// At `micro_batch == 1` (the default) this is bitwise identical to
+    /// the dynamic per-window loop
+    /// ([`train_student_epoch_dynamic`](Self::train_student_epoch_dynamic)),
+    /// which stays as the equivalence oracle.
     pub fn train_student_epoch(&mut self, windows: &[ForecastWindow]) -> EpochStats {
         let _span = timekd_obs::span("epoch.student");
         assert!(!windows.is_empty(), "no training windows");
+        let batch = self.config.micro_batch.max(1);
+        if self.planned.as_ref().is_some_and(|t| t.batch() != batch) {
+            self.planned = None;
+        }
+        let mut trainer = match self.planned.take() {
+            Some(t) => t,
+            None => {
+                // Mirror the dynamic optimizer exactly: AdamW at the base
+                // LR with decoupled weight decay disabled.
+                let cfg = AdamWConfig {
+                    weight_decay: 0.0,
+                    ..Default::default()
+                };
+                PlannedBatchTrainer::new(
+                    &self.student,
+                    &self.config,
+                    PlanOptimizer::AdamW {
+                        lr: self.config.lr,
+                        beta1: cfg.beta1,
+                        beta2: cfg.beta2,
+                        eps: cfg.eps,
+                        weight_decay: cfg.weight_decay,
+                    },
+                    batch,
+                )
+                .unwrap_or_else(|e| panic!("batched student training plan: {e}"))
+            }
+        };
+        let mut agg = EpochStats {
+            total: 0.0,
+            reconstruction: 0.0,
+            correlation: 0.0,
+            feature: 0.0,
+            forecast: 0.0,
+        };
+        for chunk in windows.chunks(batch) {
+            let count = chunk.len();
+            for (lane, w) in chunk.iter().enumerate() {
+                let prompts = self.prompts_for(w);
+                // Teacher provides targets only: no graph, no update.
+                let t_out = timekd_tensor::no_grad(|| self.teacher.forward(&w.x, &w.y, &prompts));
+                trainer.stage_window(lane, &w.x, &w.y);
+                let _stage = timekd_obs::span("pkd.stage");
+                trainer.stage_teacher(lane, &t_out.attention, &t_out.embedding);
+            }
+            let lr = self.config.lr * self.config.lr_schedule.factor(self.optimizer.steps());
+            self.optimizer.set_lr(lr);
+            trainer.set_lr(lr);
+            trainer.set_step_count(self.optimizer.steps());
+            {
+                let _batch = timekd_obs::span("plan.student_batch");
+                trainer.run_batch(count);
+            }
+            self.optimizer.note_external_step();
+            self.assert_frozen_lm_invariant();
+            for lane in 0..count {
+                agg.total += trainer.lane_total(lane);
+                agg.correlation += trainer.lane_correlation(lane);
+                agg.feature += trainer.lane_feature(lane);
+                agg.forecast += trainer.lane_forecast(lane);
+            }
+        }
+        trainer.write_back();
+        self.planned = Some(trainer);
+        let k = windows.len() as f32;
+        agg.total /= k;
+        agg.correlation /= k;
+        agg.feature /= k;
+        agg.forecast /= k;
+        agg
+    }
+
+    /// The dynamic per-window reference implementation of
+    /// [`train_student_epoch`](Self::train_student_epoch): one graph
+    /// build, backward, clip, and optimizer step per window. Kept as the
+    /// equivalence oracle for the planned path. Calling it invalidates
+    /// any live planned trainer (its bound parameters would go stale), so
+    /// use one path per model instance when comparing.
+    pub fn train_student_epoch_dynamic(&mut self, windows: &[ForecastWindow]) -> EpochStats {
+        let _span = timekd_obs::span("epoch.student");
+        assert!(!windows.is_empty(), "no training windows");
+        self.planned = None;
         let params = self.student.params();
         let mut agg = EpochStats {
             total: 0.0,
@@ -472,6 +569,90 @@ mod tests {
         assert!(audit.is_clean(), "{}", audit.report());
         assert!(audit.stats.params > 10, "{}", audit.report());
         assert!(audit.stats.max_depth > 5, "{}", audit.report());
+    }
+
+    fn epoch_bits(s: &EpochStats) -> [u32; 5] {
+        [
+            s.total.to_bits(),
+            s.reconstruction.to_bits(),
+            s.correlation.to_bits(),
+            s.feature.to_bits(),
+            s.forecast.to_bits(),
+        ]
+    }
+
+    fn student_param_bits(model: &TimeKd) -> Vec<Vec<u32>> {
+        model
+            .student
+            .params()
+            .iter()
+            .map(|p| p.to_vec().iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn planned_student_epoch_is_bitwise_identical_to_dynamic() {
+        // The batched planned path at micro_batch = 1 must reproduce the
+        // dynamic per-window loop bit for bit — losses, per-component
+        // stats, and every student parameter — at any thread count.
+        let (mut reference, ds) = tiny_model();
+        let train: Vec<_> = ds.windows(Split::Train, 16);
+        let subset = &train[..5.min(train.len())];
+        let dyn_stats = reference.train_student_epoch_dynamic(subset);
+        let dyn_params = student_param_bits(&reference);
+        for threads in [1, 2, 5] {
+            let (mut m, _) = tiny_model();
+            let stats =
+                timekd_tensor::parallel::with_threads(threads, || m.train_student_epoch(subset));
+            assert_eq!(
+                epoch_bits(&stats),
+                epoch_bits(&dyn_stats),
+                "epoch stats diverge at {threads} threads"
+            );
+            assert_eq!(
+                student_param_bits(&m),
+                dyn_params,
+                "student params diverge at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_student_epoch_is_thread_invariant_with_uneven_tail() {
+        // micro_batch = 5 over 7 windows: one full batch + a 2-window
+        // tail, replayed data-parallel. The pinned window-indexed
+        // reduction order must make every thread count bitwise agree.
+        let run = |threads: usize| {
+            let (mut m, ds) = tiny_model();
+            let mut cfg = *m.config();
+            cfg.micro_batch = 5;
+            m.config = cfg;
+            let train: Vec<_> = ds.windows(Split::Train, 16);
+            let subset = &train[..7.min(train.len())];
+            let stats =
+                timekd_tensor::parallel::with_threads(threads, || m.train_student_epoch(subset));
+            (epoch_bits(&stats), student_param_bits(&m))
+        };
+        let baseline = run(1);
+        for threads in [2, 5] {
+            assert_eq!(run(threads), baseline, "diverges at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn batched_epoch_still_improves_validation() {
+        let (mut model, ds) = tiny_model();
+        let mut cfg = *model.config();
+        cfg.micro_batch = 4;
+        model.config = cfg;
+        let train: Vec<_> = ds.windows(Split::Train, 16);
+        let val: Vec<_> = ds.windows(Split::Val, 8);
+        let (mse0, _) = model.evaluate(&val);
+        for _ in 0..3 {
+            model.train_epoch(&train);
+        }
+        let (mse1, _) = model.evaluate(&val);
+        assert!(mse1 < mse0, "val MSE {mse0} -> {mse1}");
     }
 
     #[test]

@@ -70,6 +70,14 @@ impl AdamW {
         self.step_count
     }
 
+    /// Records one optimizer step that was applied *outside* this
+    /// optimizer — e.g. by a compiled training plan's fused update — so
+    /// the bias-correction clock stays in sync when dynamic and planned
+    /// steps are interleaved on the same schedule.
+    pub fn note_external_step(&mut self) {
+        self.step_count += 1;
+    }
+
     /// True if this optimizer has ever stepped the parameter with node id
     /// `id`. Lets invariant checks prove frozen parameters were never
     /// touched (moment state is created on first step).

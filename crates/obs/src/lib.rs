@@ -165,8 +165,12 @@ pub static LM_CACHE_HITS: Counter = Counter::new("lm_cache.hits");
 pub static LM_CACHE_MISSES: Counter = Counter::new("lm_cache.misses");
 /// FrozenLm digest collisions (digest matched but token sequence differed).
 pub static LM_CACHE_COLLISIONS: Counter = Counter::new("lm_cache.collisions");
+/// Execution-plan compilations (cache misses in the core plan cache).
+/// Epoch loops must reuse compiled plans, so this stays flat across epochs
+/// of a fixed geometry — the plan-cache tests assert exactly that.
+pub static PLAN_COMPILES: Counter = Counter::new("plan.compiles");
 
-fn all_counters() -> [&'static Counter; 7] {
+fn all_counters() -> [&'static Counter; 8] {
     [
         &POOL_JOBS,
         &POOL_TASKS,
@@ -175,6 +179,7 @@ fn all_counters() -> [&'static Counter; 7] {
         &LM_CACHE_HITS,
         &LM_CACHE_MISSES,
         &LM_CACHE_COLLISIONS,
+        &PLAN_COMPILES,
     ]
 }
 

@@ -59,6 +59,7 @@ pub mod io;
 mod ops;
 pub mod parallel;
 pub mod plan;
+pub mod plan_batch;
 pub mod plan_train;
 pub mod rng;
 #[cfg(feature = "sanitize")]
@@ -76,6 +77,7 @@ pub use plan::{
     Plan, PlanError, PlanExecutor, PlanFault, PlanOp, PlanSlot, PlanSpec, PlanStep, PlanValue,
     Precision, ValueId, ValueSource,
 };
+pub use plan_batch::{BatchTrainExecutor, ReduceStep};
 pub use plan_train::{BwdStep, GradMode, PlanOptimizer, TrainExecutor, TrainSpec, UpdateStep};
 pub use rng::SeededRng;
 pub use shape::{IndexIter, Shape};

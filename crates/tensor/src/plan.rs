@@ -54,6 +54,7 @@ use std::fmt;
 use crate::ops::attention::attn_fwd_row_block;
 use crate::ops::matmul::mm_row_block;
 use crate::ops::qmm::{qmm_row_block, quantize_rows_block, QuantizedMatrix};
+use crate::plan_batch::ReduceStep;
 use crate::plan_train::{BwdStep, PlanOptimizer, UpdateStep};
 use crate::symbolic::{SymAttr, SymbolicTensor};
 
@@ -113,6 +114,12 @@ pub struct PlanSpec {
     /// Labels (with epsilon) of `[1, N]` constant leaves lowered to a
     /// per-column standard deviation of the input (RevIN `std`).
     pub col_std_leaves: Vec<(String, f32)>,
+    /// Labels of auxiliary constant leaves fed per step at run time (e.g.
+    /// teacher activations in a distillation objective). A label's index
+    /// in this list is its [`PlanExecutor::set_aux`] feed slot; labels
+    /// absent from a particular graph are tolerated (their slots are
+    /// empty).
+    pub aux_labels: Vec<String>,
     /// Executor precision mode for weight matmuls; compiled into the plan
     /// so executors bound later replay the same numeric contract.
     pub precision: Precision,
@@ -164,6 +171,18 @@ pub enum PlanOp {
         /// Per-head dim.
         dh: usize,
     },
+    /// The `[T_q, T_k]` head-averaged attention map of a fused unmasked
+    /// multi-head attention (the distillation surface; context discarded).
+    FusedAttentionMap {
+        /// Head count.
+        heads: usize,
+        /// Query length.
+        tq: usize,
+        /// Key length.
+        tk: usize,
+        /// Per-head dim.
+        dh: usize,
+    },
     /// Synthesized per-column mean of the `[T, N]` input (RevIN `mu`).
     ColMean,
     /// Synthesized per-column std of the `[T, N]` input (RevIN `std`).
@@ -192,6 +211,10 @@ pub enum ValueSource {
     /// A gradient buffer first written by the backward step with this
     /// index (training plans only).
     Grad(usize),
+    /// An auxiliary per-step constant fed at run time via
+    /// [`PlanExecutor::set_aux`]; the index is the position of the leaf's
+    /// label in [`PlanSpec::aux_labels`].
+    Aux(usize),
 }
 
 /// One value (tensor) of a compiled plan.
@@ -285,6 +308,14 @@ pub enum PlanFault {
     /// the dynamic engine trains (caught only by the plan-vs-dynamic
     /// gradient diff; training plans only).
     UpdateFrozenParam,
+    /// Remove one cross-lane reduction step from a batched training plan
+    /// — one trainable parameter's gradient from one window never lands
+    /// (breaks batch-reduction completeness; batched plans only).
+    DropReduceStep,
+    /// Shrink the per-lane arena stride below the arena extent so
+    /// neighbouring lane arenas overlap (breaks per-worker lane
+    /// disjointness; batched plans only).
+    OverlapLaneArenas,
 }
 
 /// A compiled, shape-specialized execution plan. See the module docs.
@@ -301,6 +332,12 @@ pub struct Plan {
     pub(crate) update_steps: Vec<UpdateStep>,
     pub(crate) target: Option<ValueId>,
     pub(crate) optimizer: Option<PlanOptimizer>,
+    pub(crate) grad_clip: Option<f32>,
+    pub(crate) clip_grads: Vec<ValueId>,
+    pub(crate) pinned: Vec<ValueId>,
+    pub(crate) batch: usize,
+    pub(crate) lane_stride: usize,
+    pub(crate) reduce_steps: Vec<ReduceStep>,
 }
 
 /// Intermediate result of forward lowering, shared by [`Plan::compile`]
@@ -328,7 +365,7 @@ impl Plan {
             root: root_val,
             ..
         } = lowering;
-        let (slots, arena_len) = assign_slots(&mut values, &steps, &[], &[], root_val);
+        let (slots, arena_len) = assign_slots(&mut values, &steps, &[], &[], root_val, &[]);
         Ok(Plan {
             spec: spec.clone(),
             values,
@@ -341,6 +378,12 @@ impl Plan {
             update_steps: Vec::new(),
             target: None,
             optimizer: None,
+            grad_clip: None,
+            clip_grads: Vec::new(),
+            pinned: Vec::new(),
+            batch: 0,
+            lane_stride: 0,
+            reduce_steps: Vec::new(),
         })
     }
 }
@@ -443,6 +486,26 @@ pub(crate) fn lower_forward(
                         });
                         val_of.insert(node.id(), id);
                         target_val = Some(id);
+                        continue;
+                    }
+                    if let Some(k) = spec.aux_labels.iter().position(|l| *l == label) {
+                        if values.iter().any(|v| v.source == ValueSource::Aux(k)) {
+                            return Err(PlanError::new(format!(
+                                "aux leaf `{label}` appears more than once"
+                            )));
+                        }
+                        let id = values.len();
+                        values.push(PlanValue {
+                            source: ValueSource::Aux(k),
+                            dims: node.sizes(),
+                            label,
+                            sym_ids: vec![node.id()],
+                            slot: None,
+                            requires_grad: false,
+                            frozen: false,
+                            adjoint_of: None,
+                        });
+                        val_of.insert(node.id(), id);
                         continue;
                     }
                     let stat_op = if spec.col_mean_leaves.contains(&label) {
@@ -628,6 +691,56 @@ impl Plan {
         self.optimizer.as_ref()
     }
 
+    /// Global gradient-clipping threshold compiled into the plan, if any.
+    pub fn grad_clip(&self) -> Option<f32> {
+        self.grad_clip
+    }
+
+    /// Gradient values in the pinned clipping traversal order (matches the
+    /// dynamic `clip_grad_norm` parameter order).
+    pub fn clip_grads(&self) -> &[ValueId] {
+        &self.clip_grads
+    }
+
+    /// Values pinned live through the end of the combined timeline so
+    /// their arena bytes stay readable after a step (e.g. per-component
+    /// loss scalars).
+    pub fn pinned(&self) -> &[ValueId] {
+        &self.pinned
+    }
+
+    /// Windows per batch for batched training plans (0 = non-batched).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Per-lane arena stride, in elements, for batched training plans
+    /// (0 = non-batched). Lane `w` conceptually occupies
+    /// `[w·stride, w·stride + arena_len)`.
+    pub fn lane_stride(&self) -> usize {
+        self.lane_stride
+    }
+
+    /// The pinned cross-lane gradient-reduction schedule (empty for
+    /// non-batched plans). Order is the determinism contract: source
+    /// lanes ascend by window index, and within a lane the gradients
+    /// follow the update-step order.
+    pub fn reduce_steps(&self) -> &[ReduceStep] {
+        &self.reduce_steps
+    }
+
+    /// Finds the value realizing symbolic node `sym_id`, if lowered.
+    pub fn value_for_sym(&self, sym_id: u64) -> Option<ValueId> {
+        self.values.iter().position(|v| v.sym_ids.contains(&sym_id))
+    }
+
+    /// Arena range `(offset, len)` of an arena-backed value.
+    pub fn arena_range(&self, vid: ValueId) -> Option<(usize, usize)> {
+        let value = self.values.get(vid)?;
+        let slot = self.slots.get(value.slot?)?;
+        Some((slot.offset, value.len()))
+    }
+
     /// True when the plan carries a backward + optimizer schedule.
     pub fn is_training(&self) -> bool {
         !self.bwd_steps.is_empty()
@@ -686,6 +799,18 @@ impl Plan {
             }
             PlanFault::ReorderBackward => crate::plan_train::inject_reorder_backward(self),
             PlanFault::UpdateFrozenParam => crate::plan_train::inject_update_frozen_param(self),
+            PlanFault::DropReduceStep => {
+                assert!(
+                    self.batch > 1 && !self.reduce_steps.is_empty(),
+                    "plan is not batched"
+                );
+                let mid = self.reduce_steps.len() / 2;
+                self.reduce_steps.remove(mid);
+            }
+            PlanFault::OverlapLaneArenas => {
+                assert!(self.batch > 1, "plan is not batched");
+                self.lane_stride = self.arena_len - 1;
+            }
         }
     }
 }
@@ -760,6 +885,17 @@ fn lower_op(node: &SymbolicTensor) -> Result<PlanOp, PlanError> {
                 dh: qd[2],
             }
         }
+        "fused_attention_map" => {
+            let q = &node.parents()[0];
+            let k = &node.parents()[1];
+            let (qd, kd) = (q.sizes(), k.sizes());
+            PlanOp::FusedAttentionMap {
+                heads: qd[0],
+                tq: qd[1],
+                tk: kd[1],
+                dh: qd[2],
+            }
+        }
         "smooth_l1" => PlanOp::SmoothL1,
         "sum" => PlanOp::Sum,
         _ => return Err(unsupported()),
@@ -782,12 +918,16 @@ fn lower_op(node: &SymbolicTensor) -> Result<PlanOp, PlanError> {
 /// and the arena is the concatenation of all slots. With empty backward
 /// and update schedules this degenerates byte-identically to the original
 /// forward-only analysis.
+///
+/// `pinned` values are held live through the very end of the timeline
+/// (like the root) so callers can read their bytes after a step.
 pub(crate) fn assign_slots(
     values: &mut [PlanValue],
     steps: &[PlanStep],
     bwd_steps: &[BwdStep],
     update_steps: &[UpdateStep],
     root: ValueId,
+    pinned: &[ValueId],
 ) -> (Vec<PlanSlot>, usize) {
     let fwd_end = steps.len();
     let end = fwd_end + bwd_steps.len() + update_steps.len();
@@ -817,6 +957,9 @@ pub(crate) fn assign_slots(
         last_use[upd.grad] = last_use[upd.grad].max(t);
     }
     last_use[root] = end;
+    for &v in pinned {
+        last_use[v] = end;
+    }
 
     // slot -> (size, assigned intervals)
     let mut slots: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
@@ -873,6 +1016,7 @@ pub(crate) enum Loc {
     Param { idx: usize },
     Input,
     Target,
+    Aux(usize),
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -948,6 +1092,16 @@ enum ExecOp {
         dh: usize,
         scale: f32,
     },
+    /// Head-averaged attention map only: the context output lands in the
+    /// `attn_out_sink` scratch (discarded) and `v` is a zero buffer the
+    /// map bits never depend on.
+    AttentionMap {
+        heads: usize,
+        tq: usize,
+        tk: usize,
+        dh: usize,
+        scale: f32,
+    },
     ColMean {
         t: usize,
         n: usize,
@@ -984,11 +1138,20 @@ pub struct PlanExecutor {
     root_len: usize,
     /// Per-step training target buffer (empty for forward-only plans).
     pub(crate) target: Vec<f32>,
+    /// Per-step auxiliary constant buffers, indexed like
+    /// [`PlanSpec::aux_labels`] (empty slots for labels absent from the
+    /// graph).
+    pub(crate) aux: Vec<Vec<f32>>,
     attn_kt: Vec<f32>,
     attn_vt: Vec<f32>,
     attn_scores: Vec<f32>,
     attn_map: Vec<f32>,
     attn_stats: Vec<f32>,
+    /// Discarded context output of `AttentionMap` steps.
+    attn_out_sink: Vec<f32>,
+    /// All-zero `v` operand for `AttentionMap` steps (the kernel packs a
+    /// value matrix unconditionally; the map does not depend on it).
+    attn_zero_v: Vec<f32>,
     /// SIMD mode, resolved once at construction (reading the env may
     /// allocate; the plan loop must not).
     pub(crate) simd: bool,
@@ -1060,6 +1223,7 @@ impl PlanExecutor {
                 ValueSource::Param => Ok(Loc::Param {
                     idx: param_idx[&vid],
                 }),
+                ValueSource::Aux(k) => Ok(Loc::Aux(k)),
                 ValueSource::Step(_) | ValueSource::Grad(_) => {
                     let slot = value.slot.ok_or_else(|| {
                         PlanError::new(format!("step value `{}` has no slot", value.label))
@@ -1085,6 +1249,7 @@ impl PlanExecutor {
 
         let mut exec = Vec::with_capacity(plan.steps().len());
         let (mut kt_len, mut vt_len, mut sc_len, mut map_len, mut st_len) = (0, 0, 0, 0, 0);
+        let (mut out_sink_len, mut zero_v_len) = (0usize, 0usize);
         // Int8 plans quantize parameters that feed Matmul2d steps at bind
         // time. Inference-only: a training plan's backward pass reads the
         // f32 weights, so quantization is limited to forward-only plans
@@ -1198,6 +1363,21 @@ impl PlanExecutor {
                         scale: 1.0 / (*dh as f32).sqrt(),
                     }
                 }
+                PlanOp::FusedAttentionMap { heads, tq, tk, dh } => {
+                    kt_len = kt_len.max(dh * tk);
+                    vt_len = vt_len.max(dh * tk);
+                    sc_len = sc_len.max(*tk);
+                    st_len = st_len.max(tq * heads);
+                    out_sink_len = out_sink_len.max(tq * heads * dh);
+                    zero_v_len = zero_v_len.max(heads * tk * dh);
+                    ExecOp::AttentionMap {
+                        heads: *heads,
+                        tq: *tq,
+                        tk: *tk,
+                        dh: *dh,
+                        scale: 1.0 / (*dh as f32).sqrt(),
+                    }
+                }
                 PlanOp::ColMean => {
                     let dims = in_dims(0);
                     ExecOp::ColMean {
@@ -1241,6 +1421,16 @@ impl PlanExecutor {
         }
 
         let target_len = plan.target().map_or(0, |vid| plan.values()[vid].len());
+        let aux: Vec<Vec<f32>> = (0..plan.spec().aux_labels.len())
+            .map(|k| {
+                let len = plan
+                    .values()
+                    .iter()
+                    .find(|v| v.source == ValueSource::Aux(k))
+                    .map_or(0, |v| v.len());
+                vec![0.0f32; len]
+            })
+            .collect();
         Ok(PlanExecutor {
             exec,
             arena: vec![0.0f32; plan.arena_len()],
@@ -1249,11 +1439,14 @@ impl PlanExecutor {
             root_off,
             root_len,
             target: vec![0.0f32; target_len],
+            aux,
             attn_kt: vec![0.0f32; kt_len],
             attn_vt: vec![0.0f32; vt_len],
             attn_scores: vec![0.0f32; sc_len],
             attn_map: vec![0.0f32; map_len],
             attn_stats: vec![0.0f32; 2 * st_len],
+            attn_out_sink: vec![0.0f32; out_sink_len],
+            attn_zero_v: vec![0.0f32; zero_v_len],
             // Resolved once here: the first env read may allocate, and the
             // plan loop must stay allocation-free.
             simd: crate::simd::simd_enabled(),
@@ -1286,6 +1479,19 @@ impl PlanExecutor {
         self.root_len
     }
 
+    /// Expected length of auxiliary feed slot `k` (0 when the label is
+    /// absent from the compiled graph).
+    pub fn aux_len(&self, k: usize) -> usize {
+        self.aux[k].len()
+    }
+
+    /// Feeds auxiliary constant `k` (index into the spec's `aux_labels`)
+    /// for subsequent runs. Panics on length mismatch.
+    pub fn set_aux(&mut self, k: usize, data: &[f32]) {
+        assert_eq!(data.len(), self.aux[k].len(), "aux length mismatch");
+        self.aux[k].copy_from_slice(data);
+    }
+
     /// Executes the plan on `input`, writing the root value into `out`.
     /// Performs no allocation and records no spans.
     pub fn run(&mut self, input: &[f32], out: &mut [f32]) {
@@ -1301,6 +1507,7 @@ impl PlanExecutor {
         let arena_ptr = self.arena.as_mut_ptr();
         let params = &self.params;
         let target = &self.target;
+        let aux = &self.aux;
         let simd = self.simd;
         for step in &self.exec {
             // SAFETY: `arena` is allocated to `plan.arena_len()` and every
@@ -1320,6 +1527,7 @@ impl PlanExecutor {
                     Loc::Param { idx } => &params[idx],
                     Loc::Input => input,
                     Loc::Target => target,
+                    Loc::Aux(k) => &aux[k],
                 }
             };
             match &step.op {
@@ -1484,6 +1692,39 @@ impl PlanExecutor {
                         simd,
                     );
                 }
+                ExecOp::AttentionMap {
+                    heads,
+                    tq,
+                    tk,
+                    dh,
+                    scale,
+                } => {
+                    let (q, k) = (src(0), src(1));
+                    let half = self.attn_stats.len() / 2;
+                    let (m_sink, l_sink) = self.attn_stats.split_at_mut(half);
+                    out.fill(0.0);
+                    attn_fwd_row_block(
+                        q,
+                        k,
+                        &self.attn_zero_v[..heads * tk * dh],
+                        None,
+                        &mut self.attn_out_sink[..tq * heads * dh],
+                        out,
+                        &mut m_sink[..tq * heads],
+                        &mut l_sink[..tq * heads],
+                        &mut self.attn_kt[..dh * tk],
+                        &mut self.attn_vt[..dh * tk],
+                        &mut self.attn_scores[..*tk],
+                        0,
+                        *tq,
+                        *heads,
+                        *tq,
+                        *tk,
+                        *dh,
+                        *scale,
+                        simd,
+                    );
+                }
                 ExecOp::ColMean { t, n } => {
                     let a = src(0);
                     for j in 0..*n {
@@ -1543,6 +1784,7 @@ mod tests {
             input_label: "x".to_string(),
             col_mean_leaves: Vec::new(),
             col_std_leaves: Vec::new(),
+            aux_labels: Vec::new(),
             precision: Precision::F32,
         }
     }
@@ -1650,6 +1892,7 @@ mod tests {
             input_label: "x".to_string(),
             col_mean_leaves: vec!["mu".to_string()],
             col_std_leaves: vec![("std".to_string(), 1e-5)],
+            aux_labels: Vec::new(),
             precision: Precision::F32,
         };
         let plan = Plan::compile(&root, &spec).unwrap();

@@ -107,6 +107,30 @@ pub struct TrainSpec {
     pub target_label: String,
     /// Fused optimizer appended after the reverse schedule.
     pub optimizer: PlanOptimizer,
+    /// Global gradient-norm clipping threshold applied between the
+    /// reverse schedule and the optimizer sweep, bitwise-matching
+    /// `timekd_nn::clip_grad_norm`.
+    pub grad_clip: Option<f32>,
+    /// Parameter labels in the dynamic clipping traversal order (the
+    /// caller's `Module::params` order). Empty means plan update order.
+    pub clip_param_order: Vec<String>,
+    /// Symbolic node ids whose values must stay readable from the arena
+    /// after a step (e.g. per-component loss scalars); each is pinned
+    /// live through the end of the combined timeline.
+    pub pinned: Vec<u64>,
+}
+
+impl TrainSpec {
+    /// A spec with no clipping, default clip order, and no pinned values.
+    pub fn new(target_label: impl Into<String>, optimizer: PlanOptimizer) -> TrainSpec {
+        TrainSpec {
+            target_label: target_label.into(),
+            optimizer,
+            grad_clip: None,
+            clip_param_order: Vec::new(),
+            pinned: Vec::new(),
+        }
+    }
 }
 
 /// Replicates `Tensor::backward`'s iterative topological sort over
@@ -258,6 +282,7 @@ impl Plan {
                 PlanOp::FusedAttention { .. } => {
                     (vec![inputs[0], inputs[1], inputs[2]], &[0, 1, 2])
                 }
+                PlanOp::FusedAttentionMap { .. } => (vec![inputs[0], inputs[1]], &[0, 1]),
                 PlanOp::ColMean | PlanOp::ColStd { .. } => {
                     return Err(PlanError::new(format!(
                         "op `{}` has no adjoint lowering",
@@ -296,8 +321,61 @@ impl Plan {
             }
         }
 
-        let (slots, arena_len) =
-            assign_slots(&mut values, &steps, &bwd_steps, &update_steps, root_val);
+        // Pinned component values (loss-term scalars the caller reads
+        // back after a step).
+        let mut pinned: Vec<ValueId> = Vec::new();
+        for &sid in &train.pinned {
+            let vid = *val_of.get(&sid).ok_or_else(|| {
+                PlanError::new(format!("pinned symbolic node {sid} was not lowered"))
+            })?;
+            pinned.push(vid);
+        }
+
+        // Gradient-clipping schedule: the gradients of the named
+        // parameters, in the caller's dynamic traversal order (every
+        // update-step gradient must be covered or clipping would diverge
+        // from `clip_grad_norm` over the full parameter list).
+        let mut clip_grads: Vec<ValueId> = Vec::new();
+        if train.grad_clip.is_some() {
+            if train.clip_param_order.is_empty() {
+                clip_grads = update_steps.iter().map(|u| u.grad).collect();
+            } else {
+                for label in &train.clip_param_order {
+                    let vid = values
+                        .iter()
+                        .position(|v| v.source == ValueSource::Param && v.label == *label)
+                        .ok_or_else(|| {
+                            PlanError::new(format!("clip order names unknown parameter `{label}`"))
+                        })?;
+                    if let Some(&g) = grad_of.get(&vid) {
+                        clip_grads.push(g);
+                    }
+                }
+            }
+            for u in &update_steps {
+                if !clip_grads.contains(&u.grad) {
+                    return Err(PlanError::new(format!(
+                        "clip order does not cover trained parameter `{}`",
+                        values[u.param].label
+                    )));
+                }
+            }
+        }
+
+        // The clip pass reads every clipped gradient after the full
+        // reverse schedule (like the dynamic engine), so those gradients
+        // must survive to the end of the timeline alongside explicit pins.
+        let mut pin_live: Vec<ValueId> = pinned.clone();
+        pin_live.extend(clip_grads.iter().copied());
+
+        let (slots, arena_len) = assign_slots(
+            &mut values,
+            &steps,
+            &bwd_steps,
+            &update_steps,
+            root_val,
+            &pin_live,
+        );
         Ok(Plan {
             spec: spec.clone(),
             values,
@@ -310,6 +388,12 @@ impl Plan {
             update_steps,
             target: Some(target_val),
             optimizer: Some(train.optimizer),
+            grad_clip: train.grad_clip,
+            clip_grads,
+            pinned,
+            batch: 0,
+            lane_stride: 0,
+            reduce_steps: Vec::new(),
         })
     }
 }
@@ -489,6 +573,16 @@ enum BwdExecOp {
         dh: usize,
         scale: f32,
     },
+    /// Backward of the head-averaged attention map: the upstream gradient
+    /// arrives on the `[T_q, T_k]` map (`g_map`), the context output was
+    /// discarded (`g_out = None`), and `v` contributes nothing.
+    AttentionMap {
+        heads: usize,
+        tq: usize,
+        tk: usize,
+        dh: usize,
+        scale: f32,
+    },
 }
 
 #[derive(Debug)]
@@ -532,12 +626,14 @@ fn resolve<'a>(
     params: &'a [Vec<f32>],
     input: &'a [f32],
     target: &'a [f32],
+    aux: &'a [Vec<f32>],
 ) -> &'a [f32] {
     match loc {
         Loc::Arena { off, len } => &arena[off..off + len],
         Loc::Param { idx } => &params[idx],
         Loc::Input => input,
         Loc::Target => target,
+        Loc::Aux(k) => &aux[k],
     }
 }
 
@@ -549,10 +645,14 @@ fn resolve<'a>(
 /// are bitwise identical to dynamic training at any `TIMEKD_THREADS`.
 #[derive(Debug)]
 pub struct TrainExecutor {
-    fwd: PlanExecutor,
+    pub(crate) fwd: PlanExecutor,
     bwd: Vec<BwdExec>,
     upd: Vec<UpdExec>,
     opt: OptExec,
+    /// Gradient arena regions in the pinned clipping traversal order.
+    clip: Vec<(usize, usize)>,
+    /// Clipping threshold, when the plan compiled one in.
+    clip_max: Option<f32>,
     /// Per-step adjoint scratch: each backward step's operand-gradient
     /// contributions, packed side by side.
     scratch: Vec<f32>,
@@ -569,6 +669,8 @@ pub struct TrainExecutor {
     attn_scores: Vec<f32>,
     attn_out_sink: Vec<f32>,
     attn_map_sink: Vec<f32>,
+    /// All-zero `v` operand for map-only attention backward recomputes.
+    attn_zero_v: Vec<f32>,
     input_len: usize,
     target_len: usize,
 }
@@ -610,6 +712,7 @@ impl TrainExecutor {
             match value.source {
                 ValueSource::Input => Ok(Loc::Input),
                 ValueSource::Target => Ok(Loc::Target),
+                ValueSource::Aux(k) => Ok(Loc::Aux(k)),
                 ValueSource::Param => Ok(Loc::Param {
                     idx: param_pos[&vid],
                 }),
@@ -639,6 +742,7 @@ impl TrainExecutor {
         let mut at_len = 0usize;
         let (mut p_len, mut kt_len, mut stat_len) = (0usize, 0usize, 0usize);
         let (mut out_sink_len, mut map_sink_len, mut score_len) = (0usize, 0usize, 0usize);
+        let mut zero_v_len = 0usize;
         for bstep in plan.bwd_steps() {
             let (g_off, g_len) = match bstep.grad_in {
                 Some(g) => arena_loc(g)?,
@@ -757,6 +861,26 @@ impl TrainExecutor {
                                 vec![(0, hq), (hq, hk), (hq + hk, hk)],
                             )
                         }
+                        PlanOp::FusedAttentionMap { heads, tq, tk, dh } => {
+                            let (hq, hk) = (heads * tq * dh, heads * tk * dh);
+                            p_len = p_len.max(heads * tq * tk);
+                            kt_len = kt_len.max(tk * dh);
+                            stat_len = stat_len.max(tq * heads);
+                            out_sink_len = out_sink_len.max(tq * heads * dh);
+                            map_sink_len = map_sink_len.max(tq * tk);
+                            score_len = score_len.max(*tk);
+                            zero_v_len = zero_v_len.max(heads * tk * dh);
+                            (
+                                BwdExecOp::AttentionMap {
+                                    heads: *heads,
+                                    tq: *tq,
+                                    tk: *tk,
+                                    dh: *dh,
+                                    scale: 1.0 / (*dh as f32).sqrt(),
+                                },
+                                vec![(0, hq), (hq, hk)],
+                            )
+                        }
                         PlanOp::ColMean | PlanOp::ColStd { .. } => {
                             return Err(PlanError::new(format!(
                                 "op `{}` has no adjoint lowering",
@@ -862,6 +986,13 @@ impl TrainExecutor {
             },
         };
 
+        // Clipping schedule: arena regions in the plan's pinned traversal
+        // order.
+        let mut clip: Vec<(usize, usize)> = Vec::with_capacity(plan.clip_grads().len());
+        for &g in plan.clip_grads() {
+            clip.push(arena_loc(g)?);
+        }
+
         let input_len = plan.values()[plan.input()].len();
         let target_len = plan.target().map_or(0, |vid| plan.values()[vid].len());
         Ok(TrainExecutor {
@@ -869,6 +1000,8 @@ impl TrainExecutor {
             bwd,
             upd,
             opt,
+            clip,
+            clip_max: plan.grad_clip(),
             scratch: vec![0.0; scratch_len],
             at_buf: vec![0.0; at_len],
             attn_p: vec![0.0; p_len],
@@ -881,6 +1014,7 @@ impl TrainExecutor {
             attn_scores: vec![0.0; score_len],
             attn_out_sink: vec![0.0; out_sink_len],
             attn_map_sink: vec![0.0; map_sink_len],
+            attn_zero_v: vec![0.0; zero_v_len],
             input_len,
             target_len,
         })
@@ -906,8 +1040,82 @@ impl TrainExecutor {
         &self.fwd.params[idx]
     }
 
-    /// Runs one full training step — forward, reverse schedule, fused
-    /// optimizer — and returns the loss. Performs no heap allocation.
+    /// Current step count of the fused optimizer (0 for SGD).
+    pub fn step_count(&self) -> u64 {
+        match &self.opt {
+            OptExec::Sgd { .. } => 0,
+            OptExec::AdamW { step_count, .. } => *step_count,
+        }
+    }
+
+    /// Overrides the AdamW step counter — shared-counter semantics when
+    /// the surrounding trainer also steps other parameter groups through
+    /// the same dynamic optimizer. No-op for SGD.
+    pub fn set_step_count(&mut self, n: u64) {
+        if let OptExec::AdamW { step_count, .. } = &mut self.opt {
+            *step_count = n;
+        }
+    }
+
+    /// Overrides the fused optimizer's learning rate (lr schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        match &mut self.opt {
+            OptExec::Sgd { lr: l } => *l = lr,
+            OptExec::AdamW { lr: l, .. } => *l = lr,
+        }
+    }
+
+    /// Stages the target window for subsequent replays.
+    pub fn set_target(&mut self, target: &[f32]) {
+        assert_eq!(
+            target.len(),
+            self.target_len,
+            "train target length mismatch"
+        );
+        self.fwd.target.copy_from_slice(target);
+    }
+
+    /// Feeds auxiliary constant `k` for subsequent replays.
+    pub fn set_aux(&mut self, k: usize, data: &[f32]) {
+        self.fwd.set_aux(k, data);
+    }
+
+    /// Expected length of auxiliary feed slot `k`.
+    pub fn aux_len(&self, k: usize) -> usize {
+        self.fwd.aux_len(k)
+    }
+
+    /// Loss scalar left in the arena by the last forward pass.
+    pub fn loss(&self) -> f32 {
+        self.fwd.arena[self.fwd.root_off]
+    }
+
+    /// Reads `len` arena elements at `off` — for pinned component values
+    /// whose ranges come from [`Plan::arena_range`].
+    pub fn arena_value(&self, off: usize, len: usize) -> &[f32] {
+        &self.fwd.arena[off..off + len]
+    }
+
+    /// Forward + reverse schedules only — no clipping, no optimizer. The
+    /// per-lane replay of the batched executor.
+    pub(crate) fn run_forward_backward(&mut self, input: &[f32]) {
+        self.fwd.execute_plan_loop(input);
+        self.backward_plan_loop(input);
+    }
+
+    /// The fused optimizer sweep alone.
+    pub(crate) fn run_optimizer(&mut self) {
+        self.optimizer_plan_loop();
+    }
+
+    /// The gradient-clipping pass alone (no-op unless compiled in).
+    pub(crate) fn run_grad_clip(&mut self) {
+        self.clip_plan_loop();
+    }
+
+    /// Runs one full training step — forward, reverse schedule, gradient
+    /// clipping (when compiled in), fused optimizer — and returns the
+    /// loss. Performs no heap allocation.
     pub fn run_train_step(&mut self, input: &[f32], target: &[f32]) -> f32 {
         assert_eq!(input.len(), self.input_len, "train input length mismatch");
         assert_eq!(
@@ -918,8 +1126,42 @@ impl TrainExecutor {
         self.fwd.target.copy_from_slice(target);
         self.fwd.execute_plan_loop(input);
         self.backward_plan_loop(input);
+        self.clip_plan_loop();
         self.optimizer_plan_loop();
         self.fwd.arena[self.fwd.root_off]
+    }
+
+    /// Applies global gradient-norm clipping over the compiled clip
+    /// schedule, bitwise-matching `timekd_nn::clip_grad_norm`: one serial
+    /// ascending sum of squares per region (the dynamic per-parameter
+    /// `iter().sum()`), folded into the total in traversal order, then a
+    /// uniform scale of every region.
+    fn clip_plan_loop(&mut self) {
+        let TrainExecutor {
+            fwd,
+            clip,
+            clip_max,
+            ..
+        } = self;
+        let Some(max_norm) = *clip_max else { return };
+        let arena = &mut fwd.arena;
+        let mut total = 0.0f32;
+        for &(off, len) in clip.iter() {
+            let mut region = 0.0f32;
+            for &g in &arena[off..off + len] {
+                region += g * g;
+            }
+            total += region;
+        }
+        let norm = total.sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for &(off, len) in clip.iter() {
+                for g in &mut arena[off..off + len] {
+                    *g *= scale;
+                }
+            }
+        }
     }
 
     /// Replays the reverse schedule. Compute phase: read the arena, write
@@ -942,10 +1184,12 @@ impl TrainExecutor {
             attn_scores,
             attn_out_sink,
             attn_map_sink,
+            attn_zero_v,
             ..
         } = self;
         let params = &fwd.params;
         let target = &fwd.target;
+        let aux = &fwd.aux;
         let simd = fwd.simd;
         let arena = &mut fwd.arena;
         for step in bwd.iter() {
@@ -981,8 +1225,8 @@ impl TrainExecutor {
                             matches!(kind, BinKind::Mul | BinKind::Div | BinKind::SmoothL1);
                         let (a, b) = if values_read {
                             (
-                                resolve(step.srcs[0], arena_r, params, input, target),
-                                resolve(step.srcs[1], arena_r, params, input, target),
+                                resolve(step.srcs[0], arena_r, params, input, target, aux),
+                                resolve(step.srcs[1], arena_r, params, input, target, aux),
                             )
                         } else {
                             // Add/Sub never touch operand data (the
@@ -1036,20 +1280,20 @@ impl TrainExecutor {
                         }
                     }
                     BwdExecOp::Rsqrt => {
-                        let x = resolve(step.srcs[0], arena_r, params, input, target);
-                        let y = resolve(step.srcs[1], arena_r, params, input, target);
+                        let x = resolve(step.srcs[0], arena_r, params, input, target, aux);
+                        let y = resolve(step.srcs[1], arena_r, params, input, target, aux);
                         for i in 0..g.len() {
                             scratch[i] = g[i] * (-0.5) * y[i] / x[i];
                         }
                     }
                     BwdExecOp::Square => {
-                        let x = resolve(step.srcs[0], arena_r, params, input, target);
+                        let x = resolve(step.srcs[0], arena_r, params, input, target, aux);
                         for i in 0..g.len() {
                             scratch[i] = g[i] * 2.0 * x[i];
                         }
                     }
                     BwdExecOp::Relu => {
-                        let x = resolve(step.srcs[0], arena_r, params, input, target);
+                        let x = resolve(step.srcs[0], arena_r, params, input, target, aux);
                         for i in 0..g.len() {
                             scratch[i] = if x[i] > 0.0 { g[i] } else { 0.0 };
                         }
@@ -1057,7 +1301,7 @@ impl TrainExecutor {
                     BwdExecOp::Gelu => {
                         // Same constants as the dynamic kernel.
                         const C: f32 = 0.797_884_6; // sqrt(2/π)
-                        let x = resolve(step.srcs[0], arena_r, params, input, target);
+                        let x = resolve(step.srcs[0], arena_r, params, input, target, aux);
                         for i in 0..g.len() {
                             let xi = x[i];
                             let x3 = 0.044715 * xi * xi * xi;
@@ -1091,14 +1335,14 @@ impl TrainExecutor {
                         if wa {
                             // dA = g · Bᵀ, the dynamic `mm_nt_accumulate`
                             // serial path.
-                            let b = resolve(step.srcs[1], arena_r, params, input, target);
+                            let b = resolve(step.srcs[1], arena_r, params, input, target, aux);
                             sa.fill(0.0);
                             mm_nt_row_block(g, b, sa, 0, *m, *n, *k, simd);
                         }
                         if wb {
                             // dB = Aᵀ · g via the same packed-transpose +
                             // row-block kernel as `mm_tn_accumulate`.
-                            let a = resolve(step.srcs[0], arena_r, params, input, target);
+                            let a = resolve(step.srcs[0], arena_r, params, input, target, aux);
                             let at = &mut at_buf[..m * k];
                             pack_transpose_into(a, at, *m, *k);
                             sb.fill(0.0);
@@ -1135,9 +1379,9 @@ impl TrainExecutor {
                         dh,
                         scale,
                     } => {
-                        let q = resolve(step.srcs[0], arena_r, params, input, target);
-                        let k = resolve(step.srcs[1], arena_r, params, input, target);
-                        let v = resolve(step.srcs[2], arena_r, params, input, target);
+                        let q = resolve(step.srcs[0], arena_r, params, input, target, aux);
+                        let k = resolve(step.srcs[1], arena_r, params, input, target, aux);
+                        let v = resolve(step.srcs[2], arena_r, params, input, target, aux);
                         let (hq, hk) = (heads * tq * dh, heads * tk * dh);
                         let (dq, rest) = scratch.split_at_mut(hq);
                         let (dk, rest2) = rest.split_at_mut(hk);
@@ -1210,6 +1454,98 @@ impl TrainExecutor {
                                 &attn_ds[..heads * tq * tk],
                                 &mut dk[h * tk * dh..(h + 1) * tk * dh],
                                 &mut dv[h * tk * dh..(h + 1) * tk * dh],
+                                &mut attn_dkt[..tk * dh],
+                                &mut attn_dvt[..tk * dh],
+                                h,
+                                0,
+                                *tk,
+                                *heads,
+                                *tq,
+                                *tk,
+                                *dh,
+                                simd,
+                            );
+                        }
+                    }
+                    BwdExecOp::AttentionMap {
+                        heads,
+                        tq,
+                        tk,
+                        dh,
+                        scale,
+                    } => {
+                        // The upstream gradient lands on the head-averaged
+                        // map; the context output was discarded, so
+                        // `g_out = None` and `v`/`dv` drop out — exactly
+                        // the dynamic map-node closure.
+                        let q = resolve(step.srcs[0], arena_r, params, input, target, aux);
+                        let k = resolve(step.srcs[1], arena_r, params, input, target, aux);
+                        let (hq, hk) = (heads * tq * dh, heads * tk * dh);
+                        let (dq, rest) = scratch.split_at_mut(hq);
+                        let dk = &mut rest[..hk];
+                        dq.fill(0.0);
+                        dk.fill(0.0);
+                        // Recompute the softmax stats deterministically —
+                        // the map kernel packs `v` unconditionally, so it
+                        // gets the pre-zeroed sink the map never reads.
+                        let half = attn_stats.len() / 2;
+                        let (m_sink, l_sink) = attn_stats.split_at_mut(half);
+                        attn_map_sink[..tq * tk].fill(0.0);
+                        attn_fwd_row_block(
+                            q,
+                            k,
+                            &attn_zero_v[..heads * tk * dh],
+                            None,
+                            &mut attn_out_sink[..tq * heads * dh],
+                            &mut attn_map_sink[..tq * tk],
+                            &mut m_sink[..tq * heads],
+                            &mut l_sink[..tq * heads],
+                            &mut attn_kt[..dh * tk],
+                            &mut attn_vt[..dh * tk],
+                            &mut attn_scores[..*tk],
+                            0,
+                            *tq,
+                            *heads,
+                            *tq,
+                            *tk,
+                            *dh,
+                            *scale,
+                            simd,
+                        );
+                        for h in 0..*heads {
+                            attn_bwd_dq_block(
+                                q,
+                                k,
+                                &[],
+                                None,
+                                None,
+                                Some(g),
+                                &m_sink[..tq * heads],
+                                &l_sink[..tq * heads],
+                                &mut dq[h * tq * dh..(h + 1) * tq * dh],
+                                &mut attn_p[h * tq * tk..(h + 1) * tq * tk],
+                                &mut attn_ds[h * tq * tk..(h + 1) * tq * tk],
+                                &mut attn_kt[..tk * dh],
+                                &mut attn_vt[..tk * dh],
+                                h,
+                                0,
+                                *tq,
+                                *heads,
+                                *tq,
+                                *tk,
+                                *dh,
+                                *scale,
+                                simd,
+                            );
+                        }
+                        for h in 0..*heads {
+                            attn_bwd_dkv_block(
+                                q,
+                                None,
+                                &attn_p[..heads * tq * tk],
+                                &attn_ds[..heads * tq * tk],
+                                &mut dk[h * tk * dh..(h + 1) * tk * dh],
+                                &mut [],
                                 &mut attn_dkt[..tk * dh],
                                 &mut attn_dvt[..tk * dh],
                                 h,
@@ -1306,6 +1642,7 @@ mod tests {
             input_label: "x".to_string(),
             col_mean_leaves: Vec::new(),
             col_std_leaves: Vec::new(),
+            aux_labels: Vec::new(),
             precision: Precision::F32,
         }
     }
@@ -1420,15 +1757,8 @@ mod tests {
     ) -> (Vec<f32>, Vec<f32>, f32) {
         let ctx = SymCtx::new();
         let loss = mlp_loss(&ctx);
-        let plan = Plan::compile_training(
-            &loss,
-            &spec(),
-            &TrainSpec {
-                target_label: "y".to_string(),
-                optimizer,
-            },
-        )
-        .expect("training plan compiles");
+        let plan = Plan::compile_training(&loss, &spec(), &TrainSpec::new("y", optimizer))
+            .expect("training plan compiles");
         let mut exec = TrainExecutor::new(&plan, |label, _| match label {
             "w" => Some(w0.to_vec()),
             "bias" => Some(b0.to_vec()),
@@ -1519,10 +1849,7 @@ mod tests {
         let plan = Plan::compile_training(
             &loss,
             &spec(),
-            &TrainSpec {
-                target_label: "y".to_string(),
-                optimizer: PlanOptimizer::Sgd { lr: 0.2 },
-            },
+            &TrainSpec::new("y", PlanOptimizer::Sgd { lr: 0.2 }),
         )
         .unwrap();
         let mut exec = TrainExecutor::new(&plan, |label, _| {
@@ -1568,10 +1895,7 @@ mod tests {
         let plan = Plan::compile_training(
             &loss,
             &spec(),
-            &TrainSpec {
-                target_label: "y".to_string(),
-                optimizer: PlanOptimizer::Sgd { lr: 0.1 },
-            },
+            &TrainSpec::new("y", PlanOptimizer::Sgd { lr: 0.1 }),
         )
         .unwrap();
         // The frozen param still receives a gradient buffer (the dynamic
@@ -1618,10 +1942,7 @@ mod tests {
         let err = Plan::compile_training(
             &loss,
             &spec(),
-            &TrainSpec {
-                target_label: "y".to_string(),
-                optimizer: PlanOptimizer::Sgd { lr: 0.1 },
-            },
+            &TrainSpec::new("y", PlanOptimizer::Sgd { lr: 0.1 }),
         )
         .expect_err("vector loss must be rejected");
         assert!(err.message.contains("scalar loss"), "{}", err.message);

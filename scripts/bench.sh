@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Perf-baseline smoke gate: runs the kernel bench bin on the QUICK profile
 # into a scratch directory, then re-invokes it with --validate to check the
-# emitted JSON against the timekd-kernel-bench/v5 schema (which requires
-# the simd-vs-scalar kernel columns and the quantized_student section —
-# int8 weights vs the f32 plan, accuracy-gated inside the bin itself).
+# emitted JSON against the timekd-kernel-bench/v6 schema (which requires
+# the simd-vs-scalar kernel columns, the quantized_student section —
+# int8 weights vs the f32 plan, accuracy-gated inside the bin itself —
+# and the batched_training section: on QUICK that is one B=4 row comparing
+# the per-window planned epoch against the data-parallel batched replay,
+# thread-invariance asserted bitwise inside the bin).
 # Fails if the bin crashes, trips the quantization MSE gate, emits
 # nothing, or emits a file that does not conform.
 #

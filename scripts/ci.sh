@@ -21,7 +21,7 @@ cargo run -q -p timekd-check -- --verify
 echo "==> timekd-check --graph (dynamic audits + symbolic cross-check)"
 cargo run -q -p timekd-check -- --graph
 
-echo "==> timekd-check --plan (forward: liveness, arena, graph diff; training: adjoint completeness, reverse schedule, saved-activation liveness, bitwise plan-vs-dynamic updates — all configs)"
+echo "==> timekd-check --plan (forward: liveness, arena, graph diff; training: adjoint completeness, reverse schedule, saved-activation liveness, bitwise plan-vs-dynamic updates; batched: reduction completeness, per-lane arena disjointness — all configs)"
 cargo run -q -p timekd-check -- --plan --strict
 
 echo "==> release build"
@@ -29,6 +29,17 @@ cargo build --release --workspace
 
 echo "==> tests"
 cargo test -q --workspace
+
+echo "==> batched training determinism suite (planned vs dynamic oracle, thread invariance, zero-alloc replay)"
+# Re-run the bitwise gates by name so a filtered or flaky-skipped workspace
+# run can never silently drop them: the planned epoch must reproduce the
+# dynamic per-window loop bit for bit, and the batched fold must be
+# thread-count invariant.
+cargo test -q -p timekd -- --exact \
+  trainer::tests::planned_student_epoch_is_bitwise_identical_to_dynamic \
+  trainer::tests::batched_student_epoch_is_thread_invariant_with_uneven_tail \
+  plan::tests::batch_trainer_reuses_cached_plan_across_rebuilds
+cargo test -q -p timekd-bench --test planned_alloc
 
 echo "==> tensor tests under the scalar fallback (TIMEKD_SIMD=off)"
 # The f32x8 microkernels ship with a scalar fallback pinned to its own
