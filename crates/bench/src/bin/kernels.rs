@@ -1125,11 +1125,37 @@ fn main() {
         );
     }
 
+    println!("  forecast serving load harness …");
+    let serve_spec = if quick {
+        timekd_bench::ServeLoadSpec::quick()
+    } else {
+        timekd_bench::ServeLoadSpec::full()
+    };
+    let serving = timekd_bench::run_serve_load(&serve_spec);
+    {
+        let fmt = |key: &str| serving.get(key).and_then(Json::as_num).unwrap_or(f64::NAN);
+        println!(
+            "    {:.0} req @ {:.0} req/s  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  occupancy {:.2}/{:.0}  errors {:.0}",
+            fmt("requests_total"),
+            fmt("throughput_rps"),
+            fmt("latency_p50_ms"),
+            fmt("latency_p95_ms"),
+            fmt("latency_p99_ms"),
+            fmt("mean_batch_occupancy"),
+            fmt("micro_batch"),
+            fmt("errors"),
+        );
+        if fmt("errors") > 0.0 {
+            eprintln!("serving load harness saw failed requests");
+            std::process::exit(1);
+        }
+    }
+
     let created = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let doc = Json::obj(vec![
-        ("schema", Json::str("timekd-kernel-bench/v6")),
+        ("schema", Json::str("timekd-kernel-bench/v7")),
         ("created_unix_s", Json::num(created as f64)),
         ("quick", Json::Bool(quick)),
         (
@@ -1152,6 +1178,12 @@ fn main() {
                      the per-window optimizer tail amortizes (ceiling ~(R+T)/R ≈ 1.4 for \
                      this geometry); the ≥1.5x regime needs ≥2 physical cores",
                 ),
+                Json::str(
+                    "v7: the serving section reports the timekd-serve closed-loop load \
+                     harness (real TCP clients against a registry-booted server); latency \
+                     quantiles are read back from the server's own /metrics histograms, \
+                     not measured client-side",
+                ),
             ]),
         ),
         (
@@ -1168,6 +1200,7 @@ fn main() {
         ("quantized_student", quantized_student),
         ("batched_training", Json::Arr(batched_training)),
         ("end_to_end", end_to_end),
+        ("serving", serving),
     ]);
     if let Err(problems) = validate_kernel_bench(&doc) {
         for p in &problems {

@@ -1,354 +1,13 @@
-//! Minimal dependency-free JSON: an emitter for the machine-readable
-//! `BENCH_*.json` perf baselines and a small recursive-descent parser used
-//! by `--validate` (and `scripts/bench.sh`) to check an emitted file
-//! against the expected schema.
-//!
-//! This is deliberately not a general JSON library: it supports exactly
-//! the subset the bench files use (objects, arrays, strings without
-//! exotic escapes, finite numbers, booleans, null) and keeps object keys
-//! in insertion order so emitted files are stable and diffable.
+//! The `BENCH_*.json` schema validator. The JSON value type and parser
+//! themselves live in `timekd_obs::json` (shared with the trace reports
+//! and the serving layer's `/metrics` endpoint); this module re-exports
+//! [`Json`] so existing `timekd_bench::json::Json` users keep working and
+//! adds the kernel-bench schema check used by `--validate` and
+//! `scripts/bench.sh`.
 
-use std::fmt;
+pub use timekd_obs::json::Json;
 
-/// A JSON value.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (the emitter rejects NaN/infinity).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience: an object from key/value pairs.
-    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Convenience: a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Convenience: a finite number. Panics on NaN/infinite input — a
-    /// perf baseline with unrepresentable numbers is a bug upstream.
-    pub fn num(v: f64) -> Json {
-        assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
-        Json::Num(v)
-    }
-
-    /// Looks up `key` in an object; `None` for missing keys or non-objects.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Walks a `.`-separated path of object keys.
-    pub fn get_path(&self, path: &str) -> Option<&Json> {
-        let mut cur = self;
-        for key in path.split('.') {
-            cur = cur.get(key)?;
-        }
-        Some(cur)
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Pretty-prints with two-space indentation and a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        let pad_in = "  ".repeat(indent + 1);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(v) => {
-                // Integers print without a fractional part; everything else
-                // with enough digits to round-trip comparisons in tests.
-                if v.fract() == 0.0 && v.abs() < 1e15 {
-                    out.push_str(&format!("{}", *v as i64));
-                } else {
-                    out.push_str(&format!("{v}"));
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad_in);
-                    item.write(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&pad);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    out.push_str(&pad_in);
-                    out.push_str(&format!("\"{k}\": "));
-                    v.write(out, indent + 1);
-                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&pad);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses JSON text. Errors carry a byte offset and message.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.render())
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-    if *pos < bytes.len() && bytes[*pos] == b {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!(
-            "expected `{}` at byte {}, found {:?}",
-            b as char,
-            *pos,
-            bytes.get(*pos).map(|&c| c as char)
-        ))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(bytes, pos),
-        other => Err(format!(
-            "unexpected {:?} at byte {}",
-            other.map(|&c| c as char),
-            *pos
-        )),
-    }
-}
-
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {}", *pos))
-    }
-}
-
-fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|e| format!("bad number `{text}` at byte {start}: {e}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    while *pos < bytes.len() {
-        match bytes[*pos] {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    other => {
-                        return Err(format!("bad escape {:?} at byte {}", other, *pos));
-                    }
-                }
-                *pos += 1;
-            }
-            _ => {
-                // Multi-byte UTF-8 passes through unchanged.
-                let s = &bytes[*pos..];
-                let ch_len = match s[0] {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let chunk = std::str::from_utf8(&s[..ch_len.min(s.len())])
-                    .map_err(|e| format!("bad UTF-8 at byte {}: {e}", *pos))?;
-                out.push_str(chunk);
-                *pos += chunk.len();
-            }
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            other => {
-                return Err(format!(
-                    "expected `,` or `]` at byte {}, found {:?}",
-                    *pos,
-                    other.map(|&c| c as char)
-                ));
-            }
-        }
-    }
-}
-
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'{')?;
-    let mut pairs = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(pairs));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        let key = parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
-        pairs.push((key, value));
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            other => {
-                return Err(format!(
-                    "expected `,` or `}}` at byte {}, found {:?}",
-                    *pos,
-                    other.map(|&c| c as char)
-                ));
-            }
-        }
-    }
-}
-
-/// Checks a parsed document against the `timekd-kernel-bench/v6` schema
+/// Checks a parsed document against the `timekd-kernel-bench/v7` schema
 /// emitted by `cargo run -p timekd-bench --bin kernels`. Returns every
 /// problem found (not just the first) so a broken baseline is diagnosable
 /// in one pass.
@@ -435,6 +94,29 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
         need_num(&format!("quantized_student.{key}"));
     }
 
+    // v7: the serving section — closed-loop load over the HTTP forecast
+    // endpoint with micro-batched planned inference. A missing section
+    // reports one `missing key` problem per expected field; the latency
+    // quantiles come from the same `timekd-obs` histograms `/metrics`
+    // renders.
+    for key in [
+        "clients",
+        "requests_per_client",
+        "requests_total",
+        "forecast_requests",
+        "errors",
+        "duration_ms",
+        "throughput_rps",
+        "latency_p50_ms",
+        "latency_p95_ms",
+        "latency_p99_ms",
+        "micro_batch",
+        "batches",
+        "mean_batch_occupancy",
+    ] {
+        need_num(&format!("serving.{key}"));
+    }
+
     // v6: the batched-training section — one row per micro-batch size
     // comparing the per-window planned epoch against the data-parallel
     // batched replay with pinned window-order gradient reduction.
@@ -473,9 +155,9 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
     }
 
     match doc.get("schema").map(Json::as_str) {
-        Some(Some("timekd-kernel-bench/v6")) => {}
+        Some(Some("timekd-kernel-bench/v7")) => {}
         Some(other) => problems.push(format!(
-            "`schema` must be \"timekd-kernel-bench/v6\", got {other:?}"
+            "`schema` must be \"timekd-kernel-bench/v7\", got {other:?}"
         )),
         None => problems.push("missing key `schema`".to_string()),
     }
@@ -577,64 +259,6 @@ pub fn validate_kernel_bench(doc: &Json) -> Result<(), Vec<String>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn roundtrip_bench_shape() {
-        let doc = Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v6")),
-            ("created_unix_s", Json::num(1_722_000_000.0)),
-            ("quick", Json::Bool(true)),
-            (
-                "kernels",
-                Json::Arr(vec![Json::obj(vec![
-                    ("name", Json::str("mm_256x256x256")),
-                    ("serial_ms", Json::num(12.5)),
-                    ("speedup_parallel", Json::num(3.02)),
-                ])]),
-            ),
-        ]);
-        let text = doc.render();
-        let parsed = Json::parse(&text).expect("parse");
-        assert_eq!(parsed, doc);
-        assert_eq!(
-            parsed
-                .get_path("kernels")
-                .and_then(Json::as_arr)
-                .map(<[Json]>::len),
-            Some(1)
-        );
-        assert_eq!(
-            parsed.get_path("schema").and_then(Json::as_str),
-            Some("timekd-kernel-bench/v6")
-        );
-    }
-
-    #[test]
-    fn integers_render_without_fraction() {
-        assert_eq!(Json::num(4.0).render(), "4\n");
-        assert_eq!(Json::num(0.25).render(), "0.25\n");
-    }
-
-    #[test]
-    fn parse_rejects_garbage() {
-        assert!(Json::parse("{\"a\": }").is_err());
-        assert!(Json::parse("[1, 2").is_err());
-        assert!(Json::parse("{} trailing").is_err());
-        assert!(Json::parse("nul").is_err());
-    }
-
-    #[test]
-    fn string_escapes_roundtrip() {
-        let doc = Json::str("line\nquote\" back\\slash\ttab");
-        let parsed = Json::parse(&doc.render()).expect("parse");
-        assert_eq!(parsed, doc);
-    }
-
-    #[test]
-    #[should_panic(expected = "finite")]
-    fn nan_is_rejected_at_build_time() {
-        let _ = Json::num(f64::NAN);
-    }
 
     fn minimal_valid_doc() -> Json {
         let kernel_keys = [
@@ -742,8 +366,25 @@ mod tests {
         ];
         let mut batched_row = vec![("name", Json::str("batched_b4"))];
         batched_row.extend(batched_keys.iter().map(|k| (*k, Json::num(1.0))));
+        let serving_keys = [
+            "clients",
+            "requests_per_client",
+            "requests_total",
+            "forecast_requests",
+            "errors",
+            "duration_ms",
+            "throughput_rps",
+            "latency_p50_ms",
+            "latency_p95_ms",
+            "latency_p99_ms",
+            "micro_batch",
+            "batches",
+            "mean_batch_occupancy",
+        ];
+        let serving_row: Vec<(&str, Json)> =
+            serving_keys.iter().map(|k| (*k, Json::num(1.0))).collect();
         Json::obj(vec![
-            ("schema", Json::str("timekd-kernel-bench/v6")),
+            ("schema", Json::str("timekd-kernel-bench/v7")),
             (
                 "notes",
                 Json::Arr(vec![Json::str("partition-granularity fix")]),
@@ -763,6 +404,7 @@ mod tests {
             ("planned_training", Json::obj(training_row)),
             ("quantized_student", Json::obj(quant_row)),
             ("batched_training", Json::Arr(vec![Json::obj(batched_row)])),
+            ("serving", Json::obj(serving_row)),
             (
                 "end_to_end",
                 Json::obj(vec![
@@ -941,13 +583,13 @@ mod tests {
 
     #[test]
     fn validator_rejects_stale_schema_strings() {
-        // The schema bump is load-bearing: an old v3, v4, or v5 baseline
-        // must be rejected by name even if it were otherwise
-        // field-complete.
+        // The schema bump is load-bearing: an old v3..v6 baseline must be
+        // rejected by name even if it were otherwise field-complete.
         for stale in [
             "timekd-kernel-bench/v3",
             "timekd-kernel-bench/v4",
             "timekd-kernel-bench/v5",
+            "timekd-kernel-bench/v6",
         ] {
             let mut doc = minimal_valid_doc();
             if let Json::Obj(pairs) = &mut doc {
@@ -957,7 +599,7 @@ mod tests {
             }
             let problems = validate_kernel_bench(&doc).expect_err("must fail");
             assert_eq!(problems.len(), 1, "{stale}: {problems:?}");
-            assert!(problems[0].contains("timekd-kernel-bench/v6"), "{stale}");
+            assert!(problems[0].contains("timekd-kernel-bench/v7"), "{stale}");
         }
     }
 
@@ -1033,6 +675,49 @@ mod tests {
                 .any(|p| p.contains("quantized_student.param_bytes_int8")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn validator_requires_serving_section() {
+        // v7 gate: a v6-shaped doc (no serving section) must fail with one
+        // missing-key diagnostic per expected serving field.
+        let mut doc = minimal_valid_doc();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "serving");
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 13, "{problems:?}");
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("serving.latency_p99_ms")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("serving.mean_batch_occupancy")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_serving_field() {
+        let mut doc = minimal_valid_doc();
+        if let Some(Json::Obj(row)) = match &mut doc {
+            Json::Obj(pairs) => pairs
+                .iter_mut()
+                .find(|(k, _)| k == "serving")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            if let Some((_, v)) = row.iter_mut().find(|(k, _)| k == "throughput_rps") {
+                *v = Json::str("fast");
+            }
+        }
+        let problems = validate_kernel_bench(&doc).expect_err("must fail");
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("serving.throughput_rps"));
     }
 
     #[test]

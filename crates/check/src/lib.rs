@@ -21,6 +21,9 @@
 //! | `no-alloc-in-plan-loop` | plan loops | no allocation (`vec![`, `Vec::`, `.push(`, `Box::new`, `.to_vec()`, `.collect()`) in the plan executors' step loops |
 //! | `no-unwrap-in-plan-loop` | plan loops | no `.unwrap()` / `.expect(` in the plan executors' step loops |
 //! | `no-span-in-plan-loop` | plan loops | no `timekd_obs` span/count hooks in the plan executors' step loops |
+//! | `no-alloc-in-serve-loop` | serve loops | no allocation (`vec![`, `Vec::`, `.push(`, `Box::new`, `.to_vec()`, `.collect()`) in the serving hot loops |
+//! | `no-unwrap-in-serve-loop` | serve loops | no `.unwrap()` / `.expect(` in the serving hot loops |
+//! | `no-println-in-serve-loop` | serve loops | no `print!`/`println!`/`dbg!` I/O in the serving hot loops |
 //!
 //! "Worker loops" are the hot per-block functions of the parallel kernel
 //! path — functions in `tensor/src/parallel.rs`,
@@ -45,6 +48,16 @@
 //! stray `Vec::push`, panic path, or span there silently voids the
 //! plan's performance contract — for training plans, on every forward,
 //! backward, *and* optimizer step of every epoch.
+//!
+//! "Serve loops" are the hot per-request functions of the forecast server
+//! — functions in `serve/src/` whose name ends in `_serve_loop` (the
+//! naming contract `timekd-serve` documents): the micro-batch fused
+//! execution loop and the listener accept loop. They sit on the serving
+//! critical path of every request, where an allocation serialises
+//! concurrent connections on the global allocator, an `unwrap` turns one
+//! bad request into a dead batcher for *all* tenants, and console I/O
+//! blocks the accept thread. Fallible work belongs in the per-connection
+//! handlers, which reply with an HTTP error instead of panicking.
 //!
 //! Test modules are exempt from every rule. Justified exceptions go in the
 //! repo-root `lint-allow.txt` allowlist (see [`Allowlist`]).
@@ -281,6 +294,12 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
     let in_plan_file = path_label.contains("tensor/src/plan.rs")
         || path_label.contains("tensor/src/plan_train.rs")
         || in_batch_file;
+    // Any module of the serving crate may define `*_serve_loop` fns —
+    // the micro-batch execution loop and the accept loop — subject to the
+    // no-alloc/no-unwrap/no-println serve rules. They run on the serving
+    // critical path of every request; fallible work belongs in the
+    // per-connection handlers, which answer with an HTTP error instead.
+    let in_serve_file = path_label.contains("serve/src/");
     let mut violations = Vec::new();
     let mut depth = 0usize;
     let mut in_block_comment = false;
@@ -414,6 +433,43 @@ pub fn scan_source(path_label: &str, source: &str) -> Vec<Violation> {
                 if code.contains("obs::span(") || code.contains("obs::count_op(") {
                     violations.push(Violation {
                         rule: "no-span-in-plan-loop",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+            }
+            // The serving hot loops (batcher execution, listener accept)
+            // promise the same: no per-request allocation, no panic paths
+            // that could kill the shared batcher or accept thread, and no
+            // console I/O on the critical path.
+            let in_serve_fn = in_serve_file && current_fn.ends_with("_serve_loop");
+            if in_serve_fn {
+                if code.contains("vec![")
+                    || code.contains("Vec::")
+                    || code.contains(".push(")
+                    || code.contains("Box::new")
+                    || code.contains(".to_vec()")
+                    || code.contains(".collect()")
+                {
+                    violations.push(Violation {
+                        rule: "no-alloc-in-serve-loop",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                if code.contains(".unwrap()") || code.contains(".expect(") {
+                    violations.push(Violation {
+                        rule: "no-unwrap-in-serve-loop",
+                        path: path_label.to_string(),
+                        line: lineno,
+                        text: trimmed.to_string(),
+                    });
+                }
+                if code.contains("println!") || code.contains("print!") || code.contains("dbg!") {
+                    violations.push(Violation {
+                        rule: "no-println-in-serve-loop",
                         path: path_label.to_string(),
                         line: lineno,
                         text: trimmed.to_string(),

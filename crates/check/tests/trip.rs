@@ -664,3 +664,68 @@ fn allowlist_suppresses_worker_rules() {
     );
     assert!(kept.iter().all(|v| v.rule != "no-alloc-in-worker"));
 }
+
+#[test]
+fn serve_loop_rules_trip_on_exact_lines() {
+    // The *-in-serve-loop rules are scoped to `*_serve_loop` fns anywhere
+    // under serve/src/: the vec! (line 6) and .push( (line 7) trip the
+    // alloc rule, the .unwrap() (line 8) the unwrap rule, and the
+    // println! (line 9) the println rule. Nothing in handle_request
+    // (per-connection handler code) or the test module may trip.
+    let vs = scan_source("crates/serve/src/batch.rs", &fixture("bad_serve.rs"));
+    let of_rule = |rule: &str| -> Vec<usize> {
+        vs.iter()
+            .filter(|v| v.rule == rule)
+            .map(|v| v.line)
+            .collect()
+    };
+    assert_eq!(of_rule("no-alloc-in-serve-loop"), vec![6, 7], "{vs:?}");
+    assert_eq!(of_rule("no-unwrap-in-serve-loop"), vec![8], "{vs:?}");
+    assert_eq!(of_rule("no-println-in-serve-loop"), vec![9], "{vs:?}");
+    assert!(
+        vs.iter().all(|v| v.line < 15),
+        "handle_request and the test module are out of scope: {vs:?}"
+    );
+}
+
+#[test]
+fn serve_loop_rules_cover_every_serve_module() {
+    // Unlike the plan rules, which name specific tensor files, the serve
+    // rules apply to any module of the serving crate — a new
+    // `*_serve_loop` fn in server.rs is held to the same contract.
+    let vs = scan_source("crates/serve/src/server.rs", &fixture("bad_serve.rs"));
+    assert!(
+        vs.iter().any(|v| v.rule == "no-alloc-in-serve-loop"),
+        "serve rules cover all of serve/src/: {vs:?}"
+    );
+}
+
+#[test]
+fn serve_loop_rules_do_not_trip_outside_serve_files() {
+    // Same source labelled outside serve/src/: the serve rules are
+    // path-scoped, like the worker and plan rules.
+    let vs = scan_source("crates/nn/src/bad_serve.rs", &fixture("bad_serve.rs"));
+    assert!(
+        vs.iter().all(|v| !v.rule.ends_with("-in-serve-loop")),
+        "serve rules are scoped to serve/src/: {vs:?}"
+    );
+}
+
+#[test]
+fn real_serve_modules_pass_their_own_lint() {
+    // The shipped batcher (run_serve_loop) and listener
+    // (accept_serve_loop) promise alloc-free, unwrap-free, I/O-free hot
+    // loops — they must stay clean under their own rules.
+    for file in ["batch.rs", "server.rs"] {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../serve/src")
+            .join(file);
+        let source =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read serve/src/{file}: {e}"));
+        let vs = scan_source(&format!("crates/serve/src/{file}"), &source);
+        assert!(
+            vs.is_empty(),
+            "shipped serve module {file} violates its own lint: {vs:?}"
+        );
+    }
+}

@@ -11,7 +11,11 @@
 //!   `&'static str` op name that `Tensor::from_op` already records.
 //! * **Global counters** ([`Counter`] statics) — lock-free atomics for
 //!   cross-thread facts: worker-pool jobs/tasks/serial fallbacks/slot waits,
-//!   per-worker busy time, and FrozenLm cache hits/misses/collisions.
+//!   per-worker busy time, FrozenLm cache hits/misses/collisions, and the
+//!   serving layer's request/batch/swap totals.
+//! * **Histograms** ([`Histogram`] statics, in [`hist`]) — lock-free
+//!   fixed log-bucket distributions for the serving layer's per-endpoint
+//!   latencies and micro-batch occupancy.
 //!
 //! Recording is enabled by the `TIMEKD_TRACE` environment variable (any value
 //! other than `0`, `false`, `off` or empty) or programmatically via
@@ -41,6 +45,14 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
+
+pub mod hist;
+pub mod json;
+
+pub use hist::{
+    bucket_bound, bucket_of, Histogram, HistogramSnapshot, HIST_BUCKETS, SERVE_ADMIN_LATENCY,
+    SERVE_BATCH_OCCUPANCY, SERVE_FORECAST_LATENCY, SERVE_METRICS_LATENCY, SERVE_OBSERVE_LATENCY,
+};
 
 // ---------------------------------------------------------------------------
 // Global enable gate
@@ -169,8 +181,20 @@ pub static LM_CACHE_COLLISIONS: Counter = Counter::new("lm_cache.collisions");
 /// Epoch loops must reuse compiled plans, so this stays flat across epochs
 /// of a fixed geometry — the plan-cache tests assert exactly that.
 pub static PLAN_COMPILES: Counter = Counter::new("plan.compiles");
+/// HTTP requests accepted by the serving layer (all endpoints).
+pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+/// Serving-layer requests answered with an error status (4xx/5xx).
+pub static SERVE_ERRORS: Counter = Counter::new("serve.errors");
+/// Micro-batches executed by the serving batcher.
+pub static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+/// Forecast requests fused into micro-batches (occupancy numerator).
+pub static SERVE_BATCHED_REQUESTS: Counter = Counter::new("serve.batched_requests");
+/// Successful model hot-swaps (`/admin/activate` accepted).
+pub static SERVE_SWAPS: Counter = Counter::new("serve.swaps");
+/// Rejected hot-swap attempts (registry fault; old version kept serving).
+pub static SERVE_SWAP_REJECTS: Counter = Counter::new("serve.swap_rejects");
 
-fn all_counters() -> [&'static Counter; 8] {
+fn all_counters() -> [&'static Counter; 14] {
     [
         &POOL_JOBS,
         &POOL_TASKS,
@@ -180,6 +204,12 @@ fn all_counters() -> [&'static Counter; 8] {
         &LM_CACHE_MISSES,
         &LM_CACHE_COLLISIONS,
         &PLAN_COMPILES,
+        &SERVE_REQUESTS,
+        &SERVE_ERRORS,
+        &SERVE_BATCHES,
+        &SERVE_BATCHED_REQUESTS,
+        &SERVE_SWAPS,
+        &SERVE_SWAP_REJECTS,
     ]
 }
 
@@ -394,6 +424,8 @@ pub struct Snapshot {
     pub counters: Vec<CounterValue>,
     /// Workers with nonzero busy time, by index.
     pub workers: Vec<WorkerBusy>,
+    /// Histograms with at least one observation, in registry order.
+    pub histograms: Vec<HistogramSnapshot>,
 }
 
 fn build_span_node(rec: &Recorder, idx: usize) -> SpanNode {
@@ -442,11 +474,17 @@ pub fn snapshot() -> Snapshot {
             (busy_ns > 0).then_some(WorkerBusy { worker: i, busy_ns })
         })
         .collect();
+    let histograms = hist::all_histograms()
+        .iter()
+        .map(|h| h.snapshot())
+        .filter(|s| s.count() > 0)
+        .collect();
     Snapshot {
         spans,
         ops,
         counters,
         workers,
+        histograms,
     }
 }
 
@@ -467,6 +505,9 @@ pub fn reset() {
     }
     for w in WORKER_BUSY_NS.iter() {
         w.store(0, Ordering::Relaxed);
+    }
+    for h in hist::all_histograms() {
+        h.reset();
     }
 }
 
@@ -563,20 +604,40 @@ impl Snapshot {
                 .collect();
             out.push_str(&format!("workers: {}\n", cols.join(" ")));
         }
+        if !self.histograms.is_empty() {
+            let cols: Vec<String> = self
+                .histograms
+                .iter()
+                .map(|h| {
+                    format!(
+                        "{}: n={} p50={:.0} p99={:.0}",
+                        h.name,
+                        h.count(),
+                        h.quantile(0.5),
+                        h.quantile(0.99)
+                    )
+                })
+                .collect();
+            out.push_str(&format!("histograms: {}\n", cols.join(" | ")));
+        }
         out
     }
+}
+
+/// Serializes tests that toggle the global gate or touch the global
+/// counter/histogram state; shared by this crate's test modules.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
-
-    /// Serializes tests: the gate, counters and worker table are global.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn locked() -> std::sync::MutexGuard<'static, ()> {
-        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+        crate::test_lock()
     }
 
     #[test]
@@ -722,6 +783,40 @@ mod tests {
         assert!(table.contains("matmul=1"));
         assert!(table.contains("pool.tasks=4"));
         reset();
+    }
+
+    #[test]
+    fn histograms_snapshot_and_reset_with_the_counters() {
+        let _g = locked();
+        set_enabled(true);
+        reset();
+        // Zero-observation histograms stay out of the snapshot; recorded
+        // ones appear with their counts, and reset() clears them alongside
+        // the serve counters.
+        assert!(snapshot().histograms.is_empty());
+        SERVE_FORECAST_LATENCY.record(1_500);
+        SERVE_FORECAST_LATENCY.record(900);
+        SERVE_BATCH_OCCUPANCY.record(3);
+        SERVE_REQUESTS.add(2);
+        SERVE_BATCHES.add(1);
+        let snap = snapshot();
+        assert_eq!(snap.histograms.len(), 2);
+        let fc = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.forecast.latency_ns")
+            .expect("forecast histogram present");
+        assert_eq!(fc.count(), 2);
+        assert_eq!(fc.sum, 2_400);
+        assert_eq!(snap.counter("serve.requests"), 2);
+        assert_eq!(snap.counter("serve.batches"), 1);
+        let table = snap.render_table();
+        assert!(table.contains("serve.forecast.latency_ns"));
+        reset();
+        set_enabled(false);
+        let snap = snapshot();
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.counter("serve.requests"), 0);
     }
 
     #[test]

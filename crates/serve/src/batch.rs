@@ -1,0 +1,150 @@
+//! The micro-batcher: a single thread owning `micro_batch` pre-bound
+//! [`PlanExecutor`] lanes plus their output buffers. Handler threads
+//! enqueue [`ForecastJob`]s; the batcher blocks for the first job of a
+//! round, opportunistically drains up to `micro_batch - 1` more that are
+//! already queued, replays the fused round over its lanes, and replies to
+//! each job with the forecast tagged by the model version that computed
+//! it.
+//!
+//! Hot-swap protocol: the batcher compares its lane generation against
+//! the server's swap generation *between rounds*. An in-flight round
+//! always drains on the lanes (and version) it started with — so every
+//! response is wholly one version, never mixed — and the next round
+//! rebinds fresh lanes from the newly active model.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use timekd_obs::{SERVE_BATCHED_REQUESTS, SERVE_BATCHES, SERVE_BATCH_OCCUPANCY};
+use timekd_tensor::PlanExecutor;
+
+use crate::registry::LoadedModel;
+use crate::server::Shared;
+
+/// One forecast request queued for fusion.
+#[derive(Debug)]
+pub struct ForecastJob {
+    /// Flattened `[input_len * num_vars]` history window.
+    pub input: Vec<f32>,
+    /// Where the batcher sends the result.
+    pub reply: mpsc::Sender<Result<ForecastReply, String>>,
+}
+
+/// A served forecast, tagged with the version that computed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastReply {
+    /// Model version the executing lanes were bound to.
+    pub version: u64,
+    /// Forecast horizon (rows).
+    pub horizon: usize,
+    /// Channel count (columns).
+    pub num_vars: usize,
+    /// Flattened `[horizon * num_vars]` forecast.
+    pub values: Vec<f32>,
+}
+
+struct Lanes {
+    model: Arc<LoadedModel>,
+    generation: u64,
+    execs: Vec<PlanExecutor>,
+    outs: Vec<Vec<f32>>,
+}
+
+fn bind_lanes(model: Arc<LoadedModel>, generation: u64, width: usize) -> Result<Lanes, String> {
+    let mut execs = Vec::with_capacity(width);
+    for _ in 0..width {
+        execs.push(model.make_executor().map_err(|e| e.to_string())?);
+    }
+    let outs = vec![vec![0.0f32; model.output_values()]; width];
+    Ok(Lanes {
+        model,
+        generation,
+        execs,
+        outs,
+    })
+}
+
+/// The fused replay over one round: each ready job runs on its own lane
+/// into its preallocated output. This is the serving hot loop — the
+/// `no-*-in-serve-loop` lints hold it to zero allocation, no unwrap and
+/// no I/O, exactly like the plan executors it drives.
+fn run_serve_loop(execs: &mut [PlanExecutor], jobs: &[ForecastJob], outs: &mut [Vec<f32>]) {
+    for ((exec, job), out) in execs.iter_mut().zip(jobs).zip(outs.iter_mut()) {
+        exec.run(&job.input, out);
+    }
+}
+
+/// Body of the batcher thread. Returns when every job sender has hung up
+/// (server shutdown drops the handler side).
+pub(crate) fn batcher_thread(shared: Arc<Shared>, rx: mpsc::Receiver<ForecastJob>) {
+    let width = shared.micro_batch.max(1);
+    let mut lanes = match bind_lanes(shared.current(), shared.swap_generation(), width) {
+        Ok(l) => l,
+        Err(e) => {
+            // The boot model failed to bind (should be impossible: load()
+            // probes an executor). Fail every job with the reason.
+            for job in rx.iter() {
+                let _ = job.reply.send(Err(format!("batcher has no model: {e}")));
+            }
+            return;
+        }
+    };
+    let mut ready: Vec<ForecastJob> = Vec::with_capacity(width);
+    loop {
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        // Rebind between rounds if a hot-swap happened; the previous round
+        // already drained on the old lanes.
+        let generation = shared.swap_generation();
+        if generation != lanes.generation {
+            match bind_lanes(shared.current(), generation, width) {
+                Ok(l) => lanes = l,
+                Err(e) => {
+                    let _ = first.reply.send(Err(format!("model rebind failed: {e}")));
+                    continue;
+                }
+            }
+        }
+
+        fn enqueue(ready: &mut Vec<ForecastJob>, model: &LoadedModel, job: ForecastJob) {
+            if job.input.len() == model.input_values() {
+                ready.push(job);
+            } else {
+                let _ = job.reply.send(Err(format!(
+                    "input has {} values, model v{} expects {}",
+                    job.input.len(),
+                    model.version(),
+                    model.input_values()
+                )));
+            }
+        }
+        ready.clear();
+        enqueue(&mut ready, &lanes.model, first);
+        while ready.len() < width {
+            match rx.try_recv() {
+                Ok(job) => enqueue(&mut ready, &lanes.model, job),
+                Err(_) => break,
+            }
+        }
+        if ready.is_empty() {
+            continue;
+        }
+
+        let k = ready.len();
+        run_serve_loop(&mut lanes.execs[..k], &ready, &mut lanes.outs[..k]);
+        SERVE_BATCHES.add(1);
+        SERVE_BATCHED_REQUESTS.add(k as u64);
+        SERVE_BATCH_OCCUPANCY.record(k as u64);
+        let manifest = lanes.model.manifest();
+        for (job, out) in ready.drain(..).zip(&lanes.outs) {
+            let _ = job.reply.send(Ok(ForecastReply {
+                version: lanes.model.version(),
+                horizon: manifest.horizon,
+                num_vars: manifest.num_vars,
+                values: out.clone(),
+            }));
+        }
+    }
+}

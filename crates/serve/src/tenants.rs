@@ -1,0 +1,127 @@
+//! Per-tenant sliding-window state: a Mutex-striped cache mapping tenant
+//! ids to their most recent observation rows. `/observe` appends rows;
+//! `/forecast` with a `tenant` field (and no explicit window) reads the
+//! last `input_len` rows back. Rows are stored geometry-agnostic (each row
+//! is one timestep across channels) and validated against the *current*
+//! model's geometry at forecast time, so a hot-swap to a different
+//! geometry degrades to a clear per-request error instead of serving
+//! stale-shaped data.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::registry::fnv1a;
+
+/// Rows kept per tenant regardless of model geometry; old rows roll off.
+const MAX_ROWS: usize = 1024;
+
+const SHARDS: usize = 16;
+
+/// Sharded tenant → sliding-window map.
+#[derive(Debug)]
+pub struct TenantCache {
+    shards: Vec<Mutex<HashMap<String, VecDeque<Vec<f32>>>>>,
+}
+
+impl Default for TenantCache {
+    fn default() -> Self {
+        TenantCache::new()
+    }
+}
+
+impl TenantCache {
+    /// An empty cache with [`SHARDS`] mutex stripes.
+    pub fn new() -> TenantCache {
+        TenantCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, tenant: &str) -> &Mutex<HashMap<String, VecDeque<Vec<f32>>>> {
+        &self.shards[(fnv1a(tenant.as_bytes()) as usize) % SHARDS]
+    }
+
+    /// Appends observation rows for `tenant`, trimming to the newest
+    /// [`MAX_ROWS`]. Returns the tenant's row count after the append.
+    pub fn observe(&self, tenant: &str, rows: &[Vec<f32>]) -> usize {
+        let mut shard = self.shard(tenant).lock().unwrap_or_else(|p| p.into_inner());
+        let window = shard.entry(tenant.to_string()).or_default();
+        for row in rows {
+            window.push_back(row.clone());
+            if window.len() > MAX_ROWS {
+                window.pop_front();
+            }
+        }
+        window.len()
+    }
+
+    /// The last `input_len` rows flattened row-major into
+    /// `[input_len * num_vars]`, validated against the requested geometry.
+    pub fn window(
+        &self,
+        tenant: &str,
+        input_len: usize,
+        num_vars: usize,
+    ) -> Result<Vec<f32>, String> {
+        let shard = self.shard(tenant).lock().unwrap_or_else(|p| p.into_inner());
+        let rows = shard
+            .get(tenant)
+            .ok_or_else(|| format!("unknown tenant `{tenant}`"))?;
+        if rows.len() < input_len {
+            return Err(format!(
+                "tenant `{tenant}` has {} rows, model needs {input_len}",
+                rows.len()
+            ));
+        }
+        let mut out = Vec::with_capacity(input_len * num_vars);
+        for row in rows.iter().skip(rows.len() - input_len) {
+            if row.len() != num_vars {
+                return Err(format!(
+                    "tenant `{tenant}` row has {} channels, model needs {num_vars}",
+                    row.len()
+                ));
+            }
+            out.extend_from_slice(row);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_then_window_roundtrips_latest_rows() {
+        let cache = TenantCache::new();
+        let rows: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32, 10.0 + i as f32]).collect();
+        assert_eq!(cache.observe("acme", &rows), 5);
+        let w = cache.window("acme", 3, 2).expect("window");
+        assert_eq!(w, vec![2.0, 12.0, 3.0, 13.0, 4.0, 14.0]);
+    }
+
+    #[test]
+    fn geometry_and_history_faults_are_reported() {
+        let cache = TenantCache::new();
+        assert!(cache.window("ghost", 2, 2).unwrap_err().contains("unknown"));
+        cache.observe("acme", &[vec![1.0, 2.0]]);
+        assert!(cache
+            .window("acme", 2, 2)
+            .unwrap_err()
+            .contains("1 rows, model needs 2"));
+        cache.observe("acme", &[vec![3.0]]);
+        let err = cache.window("acme", 2, 2).unwrap_err();
+        assert!(err.contains("channels"), "{err}");
+    }
+
+    #[test]
+    fn windows_roll_at_the_row_cap() {
+        let cache = TenantCache::new();
+        for i in 0..(MAX_ROWS + 10) {
+            cache.observe("t", &[vec![i as f32]]);
+        }
+        let w = cache.window("t", 1, 1).expect("window");
+        assert_eq!(w, vec![(MAX_ROWS + 9) as f32]);
+        assert_eq!(cache.observe("t", &[]), MAX_ROWS);
+    }
+}

@@ -41,6 +41,12 @@ cargo test -q -p timekd -- --exact \
   plan::tests::batch_trainer_reuses_cached_plan_across_rebuilds
 cargo test -q -p timekd-bench --test planned_alloc
 
+echo "==> serving integration suite (bitwise parity, hot-swap under load, registry faults)"
+# Same rationale as the determinism gates: re-run the serving contract
+# tests by name so a filtered workspace run can never silently drop them.
+cargo test -q -p timekd-serve --test http_serving
+cargo test -q -p timekd-serve --test registry_faults
+
 echo "==> tensor tests under the scalar fallback (TIMEKD_SIMD=off)"
 # The f32x8 microkernels ship with a scalar fallback pinned to its own
 # reduction order; run the tensor suite once in that mode so the fallback
