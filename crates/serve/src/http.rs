@@ -15,6 +15,15 @@ const MAX_HEAD_BYTES: usize = 8 * 1024;
 /// larger closes the connection instead of reading unbounded data.
 const DRAIN_FACTOR: usize = 4;
 
+/// Maximum read-timeout ticks tolerated *inside* a request (after its
+/// first byte) before the request fails as malformed. The stream's read
+/// timeout is the serving layer's shutdown-poll interval (25 ms by
+/// default), so this bounds a mid-request stall to a few seconds instead
+/// of pinning the handler thread forever — a partial request followed by
+/// an idle client would otherwise also hang `Server::shutdown()`, which
+/// joins every handler.
+const MAX_STALL_TICKS: u32 = 200;
+
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -52,7 +61,27 @@ pub enum ReadOutcome {
     },
 }
 
-fn read_byte(stream: &mut TcpStream, first: bool) -> Result<Option<u8>, ReadOutcome> {
+fn stalled() -> ReadOutcome {
+    ReadOutcome::Malformed(format!(
+        "request stalled for more than {MAX_STALL_TICKS} read-timeout ticks"
+    ))
+}
+
+/// Counts one read-timeout tick against the per-request stall budget.
+fn tick(stalls: &mut u32) -> Result<(), ReadOutcome> {
+    *stalls += 1;
+    if *stalls > MAX_STALL_TICKS {
+        Err(stalled())
+    } else {
+        Ok(())
+    }
+}
+
+fn read_byte(
+    stream: &mut TcpStream,
+    first: bool,
+    stalls: &mut u32,
+) -> Result<Option<u8>, ReadOutcome> {
     let mut b = [0u8; 1];
     loop {
         match stream.read(&mut b) {
@@ -62,8 +91,9 @@ fn read_byte(stream: &mut TcpStream, first: bool) -> Result<Option<u8>, ReadOutc
                 if first {
                     return Err(ReadOutcome::Idle);
                 }
-                // Mid-request stall: keep waiting (local clients are fast;
-                // a dead peer eventually errors or EOFs).
+                // Mid-request stall: keep waiting, but only within the
+                // bounded stall budget.
+                tick(stalls)?;
                 continue;
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -76,9 +106,10 @@ fn read_byte(stream: &mut TcpStream, first: bool) -> Result<Option<u8>, ReadOutc
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> ReadOutcome {
     // Head: accumulate until CRLFCRLF.
     let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut stalls = 0u32;
     loop {
         let first = head.is_empty();
-        match read_byte(stream, first) {
+        match read_byte(stream, first, &mut stalls) {
             Err(outcome) => return outcome,
             Ok(None) => {
                 return if head.is_empty() {
@@ -114,7 +145,9 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> ReadOutcome {
     }
 
     let mut content_length = 0usize;
-    let mut keep_alive = true; // HTTP/1.1 default
+    // Keep-alive is the HTTP/1.1 default; HTTP/1.0 defaults to close
+    // unless the client asks for keep-alive explicitly.
+    let mut keep_alive = !proto.eq_ignore_ascii_case("HTTP/1.0");
     for line in lines {
         if line.is_empty() {
             continue;
@@ -132,7 +165,11 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> ReadOutcome {
                 }
             }
         } else if name == "connection" {
-            keep_alive = !value.eq_ignore_ascii_case("close");
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
     }
 
@@ -147,12 +184,13 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> ReadOutcome {
                     Ok(0) => break,
                     Ok(n) => left -= n,
                     Err(e)
-                        if e.kind() == ErrorKind::WouldBlock
-                            || e.kind() == ErrorKind::TimedOut
-                            || e.kind() == ErrorKind::Interrupted =>
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
                     {
-                        continue
+                        if tick(&mut stalls).is_err() {
+                            break;
+                        }
                     }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => break,
                 }
             }
@@ -173,13 +211,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> ReadOutcome {
         match stream.read(&mut body[filled..]) {
             Ok(0) => return ReadOutcome::Malformed("eof inside request body".to_string()),
             Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == ErrorKind::WouldBlock
-                    || e.kind() == ErrorKind::TimedOut
-                    || e.kind() == ErrorKind::Interrupted =>
-            {
-                continue
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if let Err(outcome) = tick(&mut stalls) {
+                    return outcome;
+                }
             }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(e) => return ReadOutcome::Malformed(format!("read error: {e}")),
         }
     }
@@ -296,5 +333,39 @@ mod tests {
             ReadOutcome::Request(req) => assert!(!req.keep_alive),
             other => panic!("expected request, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn http10_defaults_to_close_unless_keepalive_requested() {
+        match framed(b"GET /healthz HTTP/1.0\r\n\r\n", 64) {
+            ReadOutcome::Request(req) => assert!(!req.keep_alive, "1.0 default must be close"),
+            other => panic!("expected request, got {other:?}"),
+        }
+        match framed(b"GET /healthz HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 64) {
+            ReadOutcome::Request(req) => assert!(req.keep_alive, "explicit keep-alive honored"),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_request_stall_fails_instead_of_hanging() {
+        // A client that sends a partial head and then idles must not pin
+        // the reader forever: after MAX_STALL_TICKS read-timeout ticks the
+        // request fails as malformed.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"POST /forecast HTTP/1.1\r\n").expect("write");
+        client.flush().expect("flush");
+        let (mut server_side, _) = listener.accept().expect("accept");
+        server_side
+            .set_read_timeout(Some(std::time::Duration::from_millis(1)))
+            .expect("set timeout");
+        let out = read_request(&mut server_side, 1024);
+        match out {
+            ReadOutcome::Malformed(msg) => assert!(msg.contains("stalled"), "got `{msg}`"),
+            other => panic!("expected stalled Malformed, got {other:?}"),
+        }
+        drop(client);
     }
 }

@@ -45,6 +45,9 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Handler read-timeout (shutdown poll granularity) in milliseconds.
     pub read_timeout_ms: u64,
+    /// Maximum concurrent connection-handler threads; connections past
+    /// the cap are answered 503 and closed instead of spawning a thread.
+    pub max_connections: usize,
     /// Enable the global observability gate at startup so `/metrics` and
     /// the latency histograms record.
     pub enable_obs: bool,
@@ -52,7 +55,7 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Defaults: ephemeral loopback port, micro-batch 4, 1 MiB body cap,
-    /// 25 ms shutdown poll, observability on.
+    /// 25 ms shutdown poll, 256 concurrent connections, observability on.
     pub fn new(registry_root: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -60,6 +63,7 @@ impl ServeConfig {
             micro_batch: 4,
             max_body_bytes: 1 << 20,
             read_timeout_ms: 25,
+            max_connections: 256,
             enable_obs: true,
         }
     }
@@ -97,6 +101,7 @@ pub(crate) struct Shared {
     pub(crate) micro_batch: usize,
     pub(crate) max_body_bytes: usize,
     pub(crate) read_timeout_ms: u64,
+    pub(crate) max_connections: usize,
     pub(crate) tenants: TenantCache,
     pub(crate) shutdown: AtomicBool,
     current: Mutex<Arc<LoadedModel>>,
@@ -155,6 +160,7 @@ impl Server {
             micro_batch: cfg.micro_batch,
             max_body_bytes: cfg.max_body_bytes,
             read_timeout_ms: cfg.read_timeout_ms.max(1),
+            max_connections: cfg.max_connections.max(1),
             tenants: TenantCache::new(),
             shutdown: AtomicBool::new(false),
             current: Mutex::new(Arc::new(model)),
@@ -175,13 +181,25 @@ impl Server {
         let dispatch_shared = shared.clone();
         let dispatch = thread::spawn(move || {
             let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-            for stream in conn_rx {
+            for mut stream in conn_rx {
+                handlers.retain(|h| !h.is_finished());
+                if handlers.len() >= dispatch_shared.max_connections {
+                    // Shed load instead of spawning unboundedly: answer 503
+                    // and close so the client can back off and retry.
+                    SERVE_ERRORS.add(1);
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        &err_body("server at connection capacity").render(),
+                        false,
+                    );
+                    continue;
+                }
                 let shared = dispatch_shared.clone();
                 let jobs = job_tx.clone();
                 handlers.push(thread::spawn(move || {
                     handle_connection(stream, &shared, &jobs);
                 }));
-                handlers.retain(|h| !h.is_finished());
             }
             // Accept loop ended: join the remaining handlers, then drop the
             // last `job_tx` clone so the batcher drains and exits.
@@ -252,6 +270,9 @@ fn accept_serve_loop(
                 if shutdown.load(Ordering::Relaxed) {
                     return;
                 }
+                // Persistent accept errors (e.g. EMFILE under fd
+                // exhaustion) must not busy-spin the accept thread.
+                thread::sleep(Duration::from_millis(5));
             }
         }
     }

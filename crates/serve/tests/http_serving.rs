@@ -4,6 +4,7 @@
 
 mod common;
 
+use std::io::Read;
 use std::net::TcpStream;
 use std::sync::Arc;
 
@@ -281,6 +282,94 @@ fn hot_swap_under_load_never_drops_or_mixes_versions() {
     let resp = request(addr, "POST", "/forecast", &body);
     assert_eq!(resp.status, 200);
     assert_eq!(forecast_bits(&resp.json()), *ref_v2);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn connections_past_the_cap_are_shed_with_503() {
+    let _serial = common::serial();
+    timekd_obs::reset();
+    let root = temp_registry("conncap");
+    let _student = publish_version(&root, 1, 50, Precision::F32);
+    let mut cfg = ServeConfig::new(&root);
+    cfg.max_connections = 2;
+    let server = Server::start(cfg).expect("start");
+    let addr = server.addr();
+
+    // Two keep-alive connections occupy both handler slots.
+    let mut held: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(addr).expect("connect"))
+        .collect();
+    for conn in held.iter_mut() {
+        let resp = request_on(conn, "GET", "/healthz", "");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+
+    // A third connection is shed: an unsolicited 503 then EOF, without
+    // ever spawning a handler thread.
+    let mut extra = TcpStream::connect(addr).expect("connect");
+    let mut raw = String::new();
+    extra.read_to_string(&mut raw).expect("read shed response");
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    assert!(raw.contains("capacity"), "{raw}");
+    drop(extra);
+
+    // Freeing a slot re-admits new connections; the handler notices the
+    // closed peer within a read-timeout tick, so poll briefly.
+    drop(held.pop());
+    let mut admitted = false;
+    for _ in 0..200 {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(std::time::Duration::from_millis(50)))
+            .expect("set timeout");
+        let mut probe = [0u8; 1];
+        match conn.read(&mut probe) {
+            // Admitted handlers wait silently for a request; shed
+            // connections get an immediate 503 instead.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                conn.set_read_timeout(None).expect("clear timeout");
+                let resp = request_on(&mut conn, "GET", "/healthz", "");
+                assert_eq!(resp.status, 200, "{}", resp.body);
+                admitted = true;
+                break;
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+        }
+    }
+    assert!(admitted, "a freed slot must admit new connections");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deeply_nested_json_body_is_rejected_not_fatal() {
+    let _serial = common::serial();
+    timekd_obs::reset();
+    let root = temp_registry("deepjson");
+    let _student = publish_version(&root, 1, 51, Precision::F32);
+    let server = Server::start(ServeConfig::new(&root)).expect("start");
+    let addr = server.addr();
+
+    // ~100k nested arrays is well under the 1 MiB body cap but would
+    // overflow the handler stack without the parser depth limit — the
+    // whole process would abort, not just the request.
+    let bomb = "[".repeat(100_000);
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let resp = request_on(&mut conn, "POST", "/forecast", &bomb);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("nesting"), "{}", resp.body);
+
+    // The server survives and keeps serving.
+    let resp = request(addr, "GET", "/healthz", "");
+    assert_eq!(resp.status, 200, "{}", resp.body);
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&root);

@@ -29,6 +29,7 @@ struct Args {
     registry: String,
     addr: String,
     micro_batch: usize,
+    max_connections: usize,
     bootstrap: bool,
 }
 
@@ -37,6 +38,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         registry: String::new(),
         addr: "127.0.0.1:7878".to_string(),
         micro_batch: 4,
+        max_connections: 256,
         bootstrap: false,
     };
     let mut it = argv.iter();
@@ -52,6 +54,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--micro-batch needs a width")?;
                 args.micro_batch = v.parse().map_err(|_| format!("bad --micro-batch `{v}`"))?;
             }
+            "--max-connections" => {
+                let v = it.next().ok_or("--max-connections needs a count")?;
+                args.max_connections = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-connections `{v}`"))?;
+            }
             "--bootstrap" => args.bootstrap = true,
             "--help" | "help" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
@@ -63,11 +71,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.micro_batch == 0 {
         return Err("--micro-batch must be at least 1".to_string());
     }
+    if args.max_connections == 0 {
+        return Err("--max-connections must be at least 1".to_string());
+    }
     Ok(args)
 }
 
 const USAGE: &str = "usage: timekd-serve --registry <dir> \
-[--addr host:port] [--micro-batch N] [--bootstrap]";
+[--addr host:port] [--micro-batch N] [--max-connections N] [--bootstrap]";
 
 /// Publishes a seeded demo student as the registry's next version.
 fn bootstrap_demo(registry: &str) -> Result<u64, String> {
@@ -122,6 +133,7 @@ fn main() -> ExitCode {
     let mut cfg = ServeConfig::new(&args.registry);
     cfg.addr = args.addr;
     cfg.micro_batch = args.micro_batch;
+    cfg.max_connections = args.max_connections;
     let server = match Server::start(cfg) {
         Ok(server) => server,
         Err(e) => {
